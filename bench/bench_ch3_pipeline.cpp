@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Thesis Tables 3.2 and 3.3: mean queue-over-stack speed-up with a
+ * pipelined ALU, averaged over every binary expression parse tree of a
+ * given size (exhaustive enumeration).
+ */
+#include <iostream>
+
+#include "expr/enumerate.hpp"
+#include "expr/pipeline_model.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+using namespace qm;
+using namespace qm::expr;
+
+int
+main()
+{
+    std::cout << "Table 3.2: speed-up vs parse-tree size, two-stage "
+                 "pipelined ALU\n"
+                 "(speed-up = stack-machine cycles / queue-machine "
+                 "cycles, averaged over all trees)\n\n";
+    {
+        TextTable table({"nodes", "trees", "case 1 (non-overlapped)",
+                         "case 2 (overlapped)"});
+        for (int n = 1; n <= 11; ++n) {
+            SpeedupResult case1 =
+                averageSpeedup(n, PipelineConfig{2, false});
+            SpeedupResult case2 =
+                averageSpeedup(n, PipelineConfig{2, true});
+            table.addRow({std::to_string(n),
+                          std::to_string(case1.trees),
+                          fixed(case1.meanSpeedup, 2),
+                          fixed(case2.meanSpeedup, 2)});
+        }
+        std::cout << table.render() << "\n";
+    }
+
+    std::cout << "Table 3.3: speed-up vs pipeline depth, 11-node "
+                 "trees\n\n";
+    {
+        TextTable table({"stages", "case 1 (non-overlapped)",
+                         "case 2 (overlapped)"});
+        for (int stages = 1; stages <= 6; ++stages) {
+            SpeedupResult case1 =
+                averageSpeedup(11, PipelineConfig{stages, false});
+            SpeedupResult case2 =
+                averageSpeedup(11, PipelineConfig{stages, true});
+            table.addRow({std::to_string(stages),
+                          fixed(case1.meanSpeedup, 2),
+                          fixed(case2.meanSpeedup, 2)});
+        }
+        std::cout << table.render() << "\n";
+    }
+    std::cout << "Note: tree counts are the unary-binary (Motzkin) "
+                 "numbers; the thesis's Solomon-style enumeration "
+                 "differs slightly above 5 nodes (see EXPERIMENTS.md).\n";
+    return 0;
+}

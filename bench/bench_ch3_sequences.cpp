@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Thesis Table 3.1 and Fig 3.1: queue-machine vs stack-machine
+ * instruction sequences for f <- a*b + (c-d)/e, the level order of the
+ * parse tree, and the level-order conjugate tree construction.
+ */
+#include <iostream>
+
+#include "expr/conjugate.hpp"
+#include "expr/eval.hpp"
+#include "expr/parse_tree.hpp"
+#include "expr/traversal.hpp"
+#include "support/table.hpp"
+
+using namespace qm;
+using namespace qm::expr;
+
+int
+main()
+{
+    ParseTree tree = ParseTree::parse("a*b + (c-d)/e");
+    std::cout << "Statement: f <- ab + (c-d)/e   (thesis Table 3.1)\n";
+    std::cout << "Parse tree: " << tree.toString() << "\n\n";
+
+    auto queue_seq = levelOrder(tree);
+    auto stack_seq = postOrder(tree);
+    auto queue_text = renderSequence(tree, queue_seq);
+    auto stack_text = renderSequence(tree, stack_seq);
+
+    TextTable table({"stack machine", "queue machine"});
+    for (std::size_t i = 0; i < queue_text.size(); ++i)
+        table.addRow({stack_text[i], queue_text[i]});
+    table.addRow({"store f", "store f"});
+    std::cout << table.render() << "\n";
+
+    Env env = {{"a", 6}, {"b", 7}, {"c", 20}, {"d", 8}, {"e", 3}};
+    std::cout << "stack evaluation: " << evalStack(tree, stack_seq, env)
+              << "\n";
+    std::cout << "queue evaluation: " << evalQueue(tree, queue_seq, env)
+              << "\n\n";
+
+    std::cout << "Level-order traversal via the conjugate tree "
+                 "(Fig 3.1(c)/Fig 3.3):\n  ";
+    for (int id : levelOrderViaConjugate(tree))
+        std::cout << tree.node(id).label << " ";
+    std::cout << "\nmatches the direct level order: "
+              << (levelOrderViaConjugate(tree) == levelOrder(tree)
+                      ? "yes"
+                      : "NO")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Thesis Table 6.6: compiler optimization speed-up factors.
+ *
+ * Each optimization is disabled in turn and every benchmark re-run at
+ * 4 PEs; the factor is cycles(optimization off) / cycles(all on). The
+ * three knobs are the ones Chapter 4 develops:
+ *   - live-value analysis (only live values cross context splices),
+ *   - pi_I input sequencing of splice transfers,
+ *   - actor-priority instruction scheduling (Fig 4.20 heuristic).
+ */
+#include <iostream>
+
+#include "programs/benchmarks.hpp"
+#include "sim/experiment.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+using namespace qm;
+
+namespace {
+
+sim::RunReport
+measure(const programs::Benchmark &bench,
+        const occam::CompileOptions &options, int pes)
+{
+    occam::CompiledProgram program =
+        occam::compileOccam(bench.source, options);
+    return sim::runOnce(program, bench.resultArray, bench.expected,
+                        pes);
+}
+
+} // namespace
+
+int
+main()
+{
+    const int pes = 4;
+    std::cout << "Table 6.6: compiler optimization speed-up factors "
+                 "(4 PEs)\n"
+                 "factor = cycles with the optimization disabled / "
+                 "cycles with all optimizations on\n\n";
+
+    TextTable table({"program", "baseline cycles", "live-value",
+                     "input-seq", "priority-sched", "all off"});
+    for (const programs::Benchmark &bench :
+         programs::thesisBenchmarks()) {
+        occam::CompileOptions all_on;
+        sim::RunReport base = measure(bench, all_on, pes);
+
+        auto factor = [&](occam::CompileOptions options) {
+            sim::RunReport run = measure(bench, options, pes);
+            if (!run.verified)
+                return std::string("BAD");
+            return fixed(static_cast<double>(run.cycles) /
+                             static_cast<double>(base.cycles),
+                         3);
+        };
+        occam::CompileOptions no_live = all_on;
+        no_live.liveAnalysis = false;
+        occam::CompileOptions no_seq = all_on;
+        no_seq.inputSequencing = false;
+        occam::CompileOptions no_prio = all_on;
+        no_prio.priorityScheduling = false;
+        occam::CompileOptions none = all_on;
+        none.liveAnalysis = false;
+        none.inputSequencing = false;
+        none.priorityScheduling = false;
+
+        table.addRow({bench.name, std::to_string(base.cycles),
+                      factor(no_live), factor(no_seq),
+                      factor(no_prio), factor(none)});
+    }
+    std::cout << table.render();
+    std::cout << "\n(values > 1.0 mean the optimization saves cycles; "
+                 "all runs verified against reference results)\n";
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Thesis Figures 6.6 and 6.7: Amdahl's law (f = 0.93) and the modified
+ * Amdahl's law (f = 0.63, g = 0.3) speed-up curves, printed as the
+ * series the figures plot, side by side with the measured matmul
+ * throughput ratios for comparison.
+ */
+#include <iostream>
+
+#include "programs/benchmarks.hpp"
+#include "sim/amdahl.hpp"
+#include "sim/experiment.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+using namespace qm;
+
+int
+main()
+{
+    std::cout << "Fig 6.6: Amdahl's law, f = 0.93\n"
+              << "Fig 6.7: modified Amdahl's law, f = 0.63, g = 0.3\n"
+              << "(modified form: overhead fraction g amortizes "
+                 "quadratically with PEs; see sim/amdahl.hpp)\n\n";
+
+    programs::Benchmark matmul = programs::thesisBenchmarks()[0];
+    sim::SpeedupSeries measured = sim::runSpeedupSweep(
+        matmul.name, matmul.source, matmul.resultArray, matmul.expected,
+        {1, 2, 3, 4, 5, 6, 7, 8});
+
+    TextTable table({"PEs", "Amdahl f=0.93", "modified f=0.63 g=0.3",
+                     "measured (matmul)"});
+    for (int n = 1; n <= 8; ++n)
+        table.addRow({std::to_string(n),
+                      fixed(sim::amdahlSpeedup(0.93, n), 3),
+                      fixed(sim::modifiedAmdahlSpeedup(0.63, 0.3, n), 3),
+                      fixed(measured.ratio(static_cast<size_t>(n - 1)),
+                            3)});
+    std::cout << table.render();
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Chapter 6 simulation study: system throughput ratio vs number of
+ * processing elements for the four thesis benchmarks.
+ *
+ * Regenerates: Fig 6.8 + Table 6.2 (matrix multiplication),
+ *              Fig 6.10 + Table 6.3 (FFT),
+ *              Fig 6.11 + Table 6.4 (Cholesky decomposition),
+ *              Fig 6.12 + Table 6.5 (congruence transformation),
+ *              Fig 6.9 (recursive vs iterative binary fan-out).
+ *
+ * Every run is verified against the reference result before its
+ * statistics are reported.
+ */
+#include <iostream>
+
+#include "programs/benchmarks.hpp"
+#include "sim/experiment.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+using namespace qm;
+
+namespace {
+
+void
+reportSeries(const sim::SpeedupSeries &series,
+             const std::string &figure)
+{
+    std::cout << "=== " << series.name << " (" << figure << ") ===\n";
+    TextTable table({"PEs", "cycles", "throughput ratio", "instrs",
+                     "contexts", "rendezvous", "switches", "util",
+                     "ok"});
+    for (std::size_t i = 0; i < series.runs.size(); ++i) {
+        const sim::RunReport &run = series.runs[i];
+        table.addRow({std::to_string(run.pes),
+                      std::to_string(run.cycles),
+                      fixed(series.ratio(i), 3),
+                      std::to_string(run.instructions),
+                      std::to_string(run.contexts),
+                      std::to_string(run.rendezvous),
+                      std::to_string(run.contextSwitches),
+                      fixed(run.utilization, 3),
+                      run.verified ? "yes" : "NO"});
+    }
+    std::cout << table.render() << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<int> pe_counts = {1, 2, 3, 4, 5, 6, 7, 8};
+
+    std::cout << "Queue-machine multiprocessor simulation study "
+                 "(thesis Chapter 6)\n"
+              << "Throughput ratio = cycles(1 PE) / cycles(N PEs)\n\n";
+
+    for (const programs::Benchmark &bench :
+         programs::thesisBenchmarks()) {
+        sim::SpeedupSeries series = sim::runSpeedupSweep(
+            bench.name, bench.source, bench.resultArray, bench.expected,
+            pe_counts);
+        reportSeries(series, bench.thesisFigure);
+    }
+
+    // Fig 6.9: recursive vs non-recursive fan-out.
+    sim::SpeedupSeries recursive = sim::runSpeedupSweep(
+        "binary fan-out (recursive)", programs::binaryFanRecursiveSource(),
+        "v", programs::expectedBinaryFan(), pe_counts);
+    reportSeries(recursive, "Fig 6.9 recursive");
+    sim::SpeedupSeries iterative = sim::runSpeedupSweep(
+        "binary fan-out (iterative)", programs::binaryFanIterativeSource(),
+        "v", programs::expectedBinaryFan(), pe_counts);
+    reportSeries(iterative, "Fig 6.9 non-recursive");
+    return 0;
+}

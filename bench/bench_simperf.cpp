@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Host-side performance of the simulator itself (google-benchmark):
+ * instruction throughput of a single PE, whole-system simulation rate,
+ * and compiler throughput. Not a thesis experiment - this guards the
+ * usability of the reproduction.
+ */
+#include <benchmark/benchmark.h>
+
+#include "isa/assembler.hpp"
+#include "mp/system.hpp"
+#include "occam/compiler.hpp"
+#include "pe/memory.hpp"
+#include "pe/pe.hpp"
+#include "programs/benchmarks.hpp"
+
+using namespace qm;
+
+namespace {
+
+void
+BM_PeInstructionRate(benchmark::State &state)
+{
+    // A tight register loop: measures raw PE step() throughput.
+    isa::ObjectCode code = isa::assemble(
+        "  plus #100000,#0 :r17\n"
+        "loop:\n"
+        "  minus r17,#1 :r17\n"
+        "  bne r17,@loop\n"
+        "  fret\n");
+    pe::Memory memory(1 << 16);
+    pe::NullHost host;
+    for (auto _ : state) {
+        pe::ProcessingElement pe(memory, code, host);
+        pe::ContextState ctx;
+        ctx.qp = 0x1000;
+        ctx.pom = pe::pomForPageWords(64);
+        pe.loadContext(ctx);
+        std::uint64_t instructions = 0;
+        while (pe.step().status == pe::StepStatus::Executed)
+            ++instructions;
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(instructions));
+    }
+}
+BENCHMARK(BM_PeInstructionRate)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompileMatmul(benchmark::State &state)
+{
+    for (auto _ : state) {
+        occam::CompiledProgram program =
+            occam::compileOccam(programs::matmulSource());
+        benchmark::DoNotOptimize(program.object.words.data());
+    }
+}
+BENCHMARK(BM_CompileMatmul)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateMatmul(benchmark::State &state)
+{
+    occam::CompiledProgram program =
+        occam::compileOccam(programs::matmulSource());
+    int pes = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        mp::SystemConfig config;
+        config.numPes = pes;
+        mp::System system(program.object, config);
+        mp::RunResult result = system.run(program.mainLabel);
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(result.instructions));
+    }
+}
+BENCHMARK(BM_SimulateMatmul)->Arg(1)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * occamc - the OCCAM queue-machine compiler driver (thesis Fig 4.21).
+ *
+ * Usage: occamc [--asm] [--dot] [--run] [--pes N] [--stats] file.occ
+ *
+ * Compiles an OCCAM source file into queue-machine object code and, on
+ * request, prints the generated assembly, dumps each context's data-flow
+ * graph in Graphviz DOT form (the thesis draw/drawpic role), or runs the
+ * program on the simulated multiprocessor and reports statistics.
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "mp/system.hpp"
+#include "occam/compiler.hpp"
+#include "occam/graph_interp.hpp"
+#include "occam/ift.hpp"
+#include "occam/parser.hpp"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: occamc [--asm] [--dot] [--run] [--interp] "
+                 "[--pes N] [--stats] file.occ\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool show_asm = false, show_dot = false, run = false,
+         stats = false, interp_mode = false;
+    int pes = 1;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--asm") {
+            show_asm = true;
+        } else if (arg == "--dot") {
+            show_dot = true;
+        } else if (arg == "--run") {
+            run = true;
+        } else if (arg == "--interp") {
+            interp_mode = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--pes" && i + 1 < argc) {
+            pes = std::stoi(argv[++i]);
+        } else if (!arg.empty() && arg[0] != '-') {
+            path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty())
+        return usage();
+
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "occamc: cannot open " << path << "\n";
+        return 1;
+    }
+    std::ostringstream source;
+    source << in.rdbuf();
+
+    try {
+        qm::occam::CompileOptions options;
+        options.emitDot = show_dot;
+        qm::occam::CompiledProgram program =
+            qm::occam::compileOccam(source.str(), options);
+        std::cout << "; " << program.contextCount << " contexts, "
+                  << program.object.words.size() << " code words\n";
+        if (show_asm)
+            std::cout << program.assembly;
+        if (show_dot)
+            for (const auto &[label, dot] : program.dot)
+                std::cout << dot;
+        if (run) {
+            qm::mp::SystemConfig config;
+            config.numPes = pes;
+            qm::mp::System system(program.object, config);
+            qm::mp::RunResult result = system.run(program.mainLabel);
+            std::cout << "completed=" << result.completed
+                      << " cycles=" << result.cycles
+                      << " instructions=" << result.instructions
+                      << " contexts=" << result.contexts
+                      << " rendezvous=" << result.rendezvous << "\n";
+            for (const auto &[name, addr] : program.dataMap) {
+                std::cout << name << "[0..3] =";
+                for (int i = 0; i < 4; ++i)
+                    std::cout << " "
+                              << static_cast<qm::isa::SWord>(
+                                     system.memory().readWord(
+                                         addr + static_cast<qm::isa::
+                                                    Addr>(i) * 4));
+                std::cout << "\n";
+            }
+            if (stats)
+                std::cout << system.stats().render();
+        }
+        if (interp_mode) {
+            // Abstract context-graph interpretation (no ISA): useful
+            // to separate compiler-graph bugs from codegen bugs.
+            qm::occam::Program ast = qm::occam::parse(source.str());
+            qm::occam::SymbolTable table = qm::occam::analyze(ast);
+            qm::occam::Ift ift = qm::occam::Ift::build(ast, table);
+            qm::occam::ContextProgram ctxs =
+                qm::occam::buildContextGraphs(ast, table, ift);
+            qm::occam::GraphInterpreter interp(ctxs);
+            qm::occam::InterpResult r = interp.run();
+            std::cout << "abstract: steps=" << r.steps
+                      << " contexts=" << r.contexts
+                      << " transfers=" << r.transfers << "\n";
+            for (const auto &[name, addr] : program.dataMap) {
+                std::cout << name << "[0..3] =";
+                for (int i = 0; i < 4; ++i)
+                    std::cout << " "
+                              << interp.readWord(
+                                     addr +
+                                     static_cast<qm::isa::Addr>(i) * 4);
+                std::cout << "\n";
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "occamc: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: the complete pipeline in one page.
+ *
+ * 1. Compile an OCCAM program (a producer/consumer pair connected by a
+ *    channel) into queue-machine object code.
+ * 2. Boot a 2-PE queue-machine multiprocessor and run it.
+ * 3. Read the results back out of the simulated data memory.
+ *
+ * Build and run:  ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "mp/system.hpp"
+#include "occam/compiler.hpp"
+
+int
+main()
+{
+    // An OCCAM program: a producer streams the first 10 squares over a
+    // channel; a consumer accumulates them. The par components become
+    // separate contexts that may land on different processing elements
+    // and rendezvous through the message cache.
+    const std::string source =
+        "var results[2]:\n"
+        "chan c:\n"
+        "var total, count:\n"
+        "seq\n"
+        "  total := 0\n"
+        "  count := 0\n"
+        "  par\n"
+        "    seq i = [1 for 10]\n"
+        "      c ! i * i\n"
+        "    seq j = [1 for 10]\n"
+        "      var got:\n"
+        "      seq\n"
+        "        c ? got\n"
+        "        total := total + got\n"
+        "        count := count + 1\n"
+        "  results[0] := total\n"
+        "  results[1] := count\n";
+
+    try {
+        // Compile: OCCAM -> data-flow graphs -> queue-machine assembly
+        // -> 32-bit object code.
+        qm::occam::CompiledProgram program =
+            qm::occam::compileOccam(source);
+        std::cout << "compiled " << program.contextCount
+                  << " context graphs into "
+                  << program.object.words.size() << " code words\n";
+
+        // Simulate on 2 PEs joined by the partitioned ring bus.
+        qm::mp::SystemConfig config;
+        config.numPes = 2;
+        qm::mp::System system(program.object, config);
+        qm::mp::RunResult result = system.run(program.mainLabel);
+
+        std::cout << "completed in " << result.cycles << " cycles, "
+                  << result.instructions << " instructions, "
+                  << result.contexts << " contexts, "
+                  << result.rendezvous << " channel transfers\n";
+
+        // Results live in the data segment at the compiler-assigned
+        // address of the top-level array.
+        qm::isa::Addr base = program.arrayAddress("results");
+        std::cout << "sum of squares 1..10 = "
+                  << system.memory().readWord(base) << " (expect 385)\n"
+                  << "values received     = "
+                  << system.memory().readWord(base + 4)
+                  << " (expect 10)\n";
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Acyclic data-flow graphs (thesis sections 3.6 and 4.5).
+ *
+ * Vertices are either inputs (no predecessors; their values are injected
+ * when the graph is evaluated) or operators with an ordered list of
+ * predecessor arcs. The graph induces the partial order pi_G: v precedes
+ * w iff a directed path leads from v to w; any linearization respecting
+ * pi_G is a valid indexed-queue-machine instruction sequence.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qm::dfg {
+
+/** One vertex of an acyclic data-flow graph. */
+struct DfgNode
+{
+    /**
+     * Operator symbol. Arithmetic ops ("+", "-", "*", "/", "neg"),
+     * "const" (literal), "in" (graph input), or any domain-specific actor
+     * name (send/recv/fork/... in the compiler).
+     */
+    std::string op;
+    /** Literal value for "const" nodes; input name for "in" nodes. */
+    std::int64_t constValue = 0;
+    std::string name;
+    /** Ordered predecessor node ids (input arc l feeds slot l). */
+    std::vector<int> args;
+};
+
+/** A consumer reference: which node consumes a value, at which slot. */
+struct Consumer
+{
+    int node = -1;
+    int slot = -1;
+
+    bool operator==(const Consumer &) const = default;
+};
+
+/** Arena-based acyclic data-flow graph. */
+class Dfg
+{
+  public:
+    /** Add an input vertex; returns its handle. */
+    int addInput(std::string input_name);
+
+    /** Add a constant vertex. */
+    int addConst(std::int64_t value);
+
+    /** Add an operator vertex over already-added arguments. */
+    int addNode(std::string op, std::vector<int> args);
+
+    /** Add a code-address constant (resolved to a label at assembly). */
+    int addCodeAddr(std::string label);
+
+    /**
+     * Add a control-token arc (thesis section 4.6): @p before must be
+     * scheduled before @p after, but no value flows and no queue
+     * position is consumed - control arcs are an artifact of the graph
+     * representation and vanish in the instruction sequence.
+     */
+    void addOrderEdge(int before, int after);
+
+    const std::vector<int> &orderSuccs(int id) const
+    {
+        return orderSuccs_[static_cast<size_t>(id)];
+    }
+    const std::vector<int> &orderPreds(int id) const
+    {
+        return orderPreds_[static_cast<size_t>(id)];
+    }
+
+    int size() const { return static_cast<int>(nodes_.size()); }
+    const DfgNode &node(int id) const
+    {
+        return nodes_[static_cast<size_t>(id)];
+    }
+    int arity(int id) const
+    {
+        return static_cast<int>(node(id).args.size());
+    }
+    bool isInput(int id) const { return node(id).op == "in"; }
+
+    /** All input vertices, in insertion order. */
+    std::vector<int> inputs() const;
+
+    /** All sink vertices (no consumers), in insertion order. */
+    std::vector<int> sinks() const;
+
+    /** Consumers of node @p id, ordered by (consumer id, slot). */
+    const std::vector<Consumer> &consumers(int id) const
+    {
+        return consumers_[static_cast<size_t>(id)];
+    }
+
+    /** Immediate predecessor set P(v) (deduplicated args). */
+    std::vector<int> predecessors(int id) const;
+
+    /** Immediate successor set S(v) (deduplicated consumers). */
+    std::vector<int> successors(int id) const;
+
+    /** True iff a directed path from @p from reaches @p to (pi_G). */
+    bool reaches(int from, int to) const;
+
+    /** True iff @p order is a permutation of nodes respecting pi_G. */
+    bool isTopological(const std::vector<int> &order) const;
+
+    /** Render as a Graphviz DOT digraph (the thesis draw/drawpic role). */
+    std::string toDot(const std::string &title = "dfg") const;
+
+  private:
+    std::vector<DfgNode> nodes_;
+    std::vector<std::vector<Consumer>> consumers_;
+    std::vector<std::vector<int>> orderSuccs_;
+    std::vector<std::vector<int>> orderPreds_;
+};
+
+} // namespace qm::dfg

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Indexed queue machine execution model (thesis section 3.5-3.6).
+ *
+ * An indexed-queue-machine instruction is a pair (operator, result index
+ * set). Operands are removed from the front of the operand queue; the
+ * result is stored at every queue position named by the index set. The
+ * thesis proves that any linearization of an acyclic data-flow graph that
+ * respects pi_G generates a valid program under the construction
+ * implemented by buildProgram().
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace qm::dfg {
+
+/** One indexed-queue-machine instruction. */
+struct IqmInstr
+{
+    int nodeId = -1;
+    /**
+     * Absolute queue positions receiving the result (the o_j + l of the
+     * thesis construction). Empty for sinks whose value is discarded.
+     */
+    std::vector<int> resultIndices;
+    /**
+     * The same positions as offsets from the queue front after this
+     * instruction's operands have been removed - what the hardware
+     * instruction actually encodes (thesis section 3.5 example).
+     */
+    std::vector<int> resultOffsets;
+    /** Queue-front index when this instruction executes (o_i). */
+    int frontIndex = 0;
+};
+
+/** A complete indexed-queue-machine program for one data-flow graph. */
+struct IqmProgram
+{
+    std::vector<IqmInstr> instrs;
+
+    /** Highest queue index written plus one (queue page requirement). */
+    int queueDepth() const;
+};
+
+/**
+ * Build a valid program from @p graph linearized by @p order, following
+ * the four-step construction of section 3.6. @p order must be a
+ * topological permutation of the graph's nodes (checked).
+ */
+IqmProgram buildProgram(const Dfg &graph, const std::vector<int> &order);
+
+/** Values bound to input vertices when evaluating a graph. */
+using InputValues = std::map<std::string, std::int64_t>;
+
+/**
+ * Result of evaluating a program: the value computed by every node,
+ * indexed by node id.
+ */
+using NodeValues = std::vector<std::int64_t>;
+
+/**
+ * Custom actor semantics: receives the node and its operand values,
+ * returns the result. Return value of sink actors is ignored.
+ */
+using ActorFn = std::function<std::int64_t(const DfgNode &,
+                                           const std::vector<std::int64_t> &)>;
+
+/** Built-in arithmetic actor semantics (+,-,*,/,\\,neg,const,in). */
+std::int64_t arithActor(const DfgNode &node,
+                        const std::vector<std::int64_t> &operands,
+                        const InputValues &inputs);
+
+/**
+ * Evaluate @p program against the indexed-queue semantics of section 3.5
+ * and return every node's value. Panics if the program reads a queue
+ * position that was never written (i.e. the program is invalid).
+ */
+NodeValues evalProgram(const Dfg &graph, const IqmProgram &program,
+                       const InputValues &inputs,
+                       const ActorFn &actor = nullptr);
+
+/** Render the program as "op : @i,@j (+k,+l)" text lines (Table 3.4). */
+std::vector<std::string> renderProgram(const Dfg &graph,
+                                       const IqmProgram &program);
+
+} // namespace qm::dfg

@@ -1,0 +1,100 @@
+#include "dfg/sequencing.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/diagnostics.hpp"
+
+namespace qm::dfg {
+
+std::vector<int>
+depthFirstList(const Dfg &graph)
+{
+    std::vector<bool> marked(static_cast<size_t>(graph.size()), false);
+    std::vector<int> list;
+    list.reserve(static_cast<size_t>(graph.size()));
+
+    std::function<void(int)> search = [&](int node) {
+        marked[static_cast<size_t>(node)] = true;
+        for (int succ : graph.successors(node))
+            if (!marked[static_cast<size_t>(succ)])
+                search(succ);
+        list.push_back(node);
+    };
+
+    for (int node = 0; node < graph.size(); ++node)
+        if (!marked[static_cast<size_t>(node)])
+            search(node);
+    return list;
+}
+
+CostAnalysis
+analyzeCosts(const Dfg &graph)
+{
+    CostAnalysis result;
+    result.predecessorSet.resize(static_cast<size_t>(graph.size()));
+    result.requiredInputs.resize(static_cast<size_t>(graph.size()));
+    result.cost.resize(static_cast<size_t>(graph.size()), 0);
+
+    auto merge_sorted = [](std::vector<int> &dst,
+                           const std::vector<int> &src) {
+        std::vector<int> merged;
+        merged.reserve(dst.size() + src.size());
+        std::set_union(dst.begin(), dst.end(), src.begin(), src.end(),
+                       std::back_inserter(merged));
+        dst = std::move(merged);
+    };
+
+    // Fig 4.15: walk the depth-first list backwards so predecessors are
+    // processed before their successors.
+    std::vector<int> list = depthFirstList(graph);
+    for (auto it = list.rbegin(); it != list.rend(); ++it) {
+        int v = *it;
+        auto &pstar = result.predecessorSet[static_cast<size_t>(v)];
+        auto &istar = result.requiredInputs[static_cast<size_t>(v)];
+        pstar = {v};
+        if (graph.isInput(v))
+            istar = {v};
+        for (int pred : graph.predecessors(v)) {
+            merge_sorted(pstar,
+                         result.predecessorSet[static_cast<size_t>(pred)]);
+            merge_sorted(istar,
+                         result.requiredInputs[static_cast<size_t>(pred)]);
+        }
+        result.cost[static_cast<size_t>(v)] =
+            static_cast<int>(pstar.size());
+    }
+    return result;
+}
+
+std::vector<long>
+inputWeights(const Dfg &graph, const CostAnalysis &costs)
+{
+    std::vector<long> weights(static_cast<size_t>(graph.size()), 0);
+    for (int input : graph.inputs()) {
+        long w = 0;
+        for (int u = 0; u < graph.size(); ++u) {
+            const auto &istar =
+                costs.requiredInputs[static_cast<size_t>(u)];
+            if (std::binary_search(istar.begin(), istar.end(), input))
+                w += costs.cost[static_cast<size_t>(u)];
+        }
+        weights[static_cast<size_t>(input)] = w;
+    }
+    return weights;
+}
+
+std::vector<int>
+orderInputs(const Dfg &graph)
+{
+    CostAnalysis costs = analyzeCosts(graph);
+    std::vector<long> weights = inputWeights(graph, costs);
+    std::vector<int> inputs = graph.inputs();
+    std::stable_sort(inputs.begin(), inputs.end(), [&](int a, int b) {
+        return weights[static_cast<size_t>(a)] >
+               weights[static_cast<size_t>(b)];
+    });
+    return inputs;
+}
+
+} // namespace qm::dfg

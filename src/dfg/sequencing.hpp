@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Input-sequencing heuristic for intercontext communication
+ * (thesis section 4.5, Figures 4.13-4.16, Tables 4.4/4.5).
+ *
+ * When a context receives its inputs one at a time over a channel, the
+ * preferred arrival order maximizes the computation possible before the
+ * context must wait for the next input. The heuristic weights each input
+ * v by W(v) = sum of C(u) over all nodes u whose required input set
+ * I*(u) contains v, and sends heavier inputs first.
+ */
+#pragma once
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace qm::dfg {
+
+/**
+ * Depth-first list of the nodes of a DAG (Fig 4.13): every successor of
+ * a node precedes the node in the list; every predecessor follows it.
+ */
+std::vector<int> depthFirstList(const Dfg &graph);
+
+/** Per-node analysis results of the Fig 4.15 pass. */
+struct CostAnalysis
+{
+    /** P*(v): all predecessors of v including v itself. */
+    std::vector<std::vector<int>> predecessorSet;
+    /** I*(v): the graph inputs required to compute v. */
+    std::vector<std::vector<int>> requiredInputs;
+    /** C(v) = |P*(v)|: cost of computing v. */
+    std::vector<int> cost;
+};
+
+/** Compute P*, I*, and C for every node (Fig 4.15). */
+CostAnalysis analyzeCosts(const Dfg &graph);
+
+/** W(v) for every input vertex v, keyed by node id (Fig 4.16). */
+std::vector<long> inputWeights(const Dfg &graph, const CostAnalysis &costs);
+
+/**
+ * Inputs of @p graph ordered by decreasing W (satisfying pi_I). Ties keep
+ * insertion order, making the result deterministic.
+ */
+std::vector<int> orderInputs(const Dfg &graph);
+
+} // namespace qm::dfg

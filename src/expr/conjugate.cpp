@@ -1,0 +1,83 @@
+#include "expr/conjugate.hpp"
+
+#include <functional>
+
+#include "support/diagnostics.hpp"
+
+namespace qm::expr {
+
+ConjugateTree
+ConjugateTree::build(const ParseTree &tree)
+{
+    ConjugateTree conj;
+    conj.nodes.push_back(ConjNode{});  // sentinel, level -1
+    if (tree.root() >= 0)
+        conj.buildRec(tree, tree.root(), 0);
+    return conj;
+}
+
+/**
+ * Insert @p parseId at the head of the level list hanging off
+ * @p conjCursor's left pointer, per the two cases of Fig 3.3. The head
+ * node keeps its identity (so the cursor for the next level is stable);
+ * its contents are swapped into a freshly spliced second node.
+ */
+int
+ConjugateTree::insertBelow(const ParseTree &, int parseId, int conjCursor)
+{
+    ConjNode &cursor = nodes[static_cast<size_t>(conjCursor)];
+    if (cursor.left < 0) {
+        // Case 1: first node on this level.
+        nodes.push_back(ConjNode{parseId, -1, -1});
+        int fresh = static_cast<int>(nodes.size()) - 1;
+        nodes[static_cast<size_t>(conjCursor)].left = fresh;
+        return fresh;
+    }
+    // Case 2: push-front. The level head keeps its identity; the old head
+    // contents move into a new node spliced just after it.
+    int head = cursor.left;
+    nodes.push_back(ConjNode{nodes[static_cast<size_t>(head)].parseNode,
+                             -1,
+                             nodes[static_cast<size_t>(head)].right});
+    int moved = static_cast<int>(nodes.size()) - 1;
+    nodes[static_cast<size_t>(head)].right = moved;
+    nodes[static_cast<size_t>(head)].parseNode = parseId;
+    return head;
+}
+
+void
+ConjugateTree::buildRec(const ParseTree &tree, int parseId, int conjCursor)
+{
+    // Reverse post-order walk: visit node, then right subtree, then left,
+    // inserting each visited node at the head of its level's list.
+    int levelHead = insertBelow(tree, parseId, conjCursor);
+    const Node &n = tree.node(parseId);
+    if (n.right >= 0)
+        buildRec(tree, n.right, levelHead);
+    if (n.left >= 0)
+        buildRec(tree, n.left, levelHead);
+}
+
+std::vector<int>
+ConjugateTree::inOrder() const
+{
+    std::vector<int> order;
+    std::function<void(int)> walk = [&](int id) {
+        if (id < 0)
+            return;
+        walk(nodes[static_cast<size_t>(id)].left);
+        order.push_back(nodes[static_cast<size_t>(id)].parseNode);
+        walk(nodes[static_cast<size_t>(id)].right);
+    };
+    // Skip the sentinel itself: traverse only its left subtree.
+    walk(nodes[0].left);
+    return order;
+}
+
+std::vector<int>
+levelOrderViaConjugate(const ParseTree &tree)
+{
+    return ConjugateTree::build(tree).inOrder();
+}
+
+} // namespace qm::expr

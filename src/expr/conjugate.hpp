@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Level-order conjugate tree construction (thesis Figure 3.3).
+ *
+ * The conjugate tree δ(T) is a tree of right-only binary trees with the
+ * property that an in-order traversal of δ(T) equals the level-order
+ * traversal Π(T). BuildConjugate runs in O(|N(T)|) time and space, giving
+ * an efficient way to produce queue-machine instruction sequences.
+ */
+#pragma once
+
+#include <vector>
+
+#include "expr/parse_tree.hpp"
+
+namespace qm::expr {
+
+/**
+ * The level-order conjugate tree. Nodes reference the parse-tree node
+ * they stand for; node 0 is the sentinel root (parseNode == -1).
+ */
+class ConjugateTree
+{
+  public:
+    struct ConjNode
+    {
+        int parseNode = -1;  ///< Handle into the source parse tree.
+        int left = -1;       ///< Head of the next (deeper) level.
+        int right = -1;      ///< Next node within the same level.
+    };
+
+    /** Run BuildConjugate (Fig 3.3) on @p tree. */
+    static ConjugateTree build(const ParseTree &tree);
+
+    /**
+     * In-order traversal of the conjugate tree, skipping the sentinel.
+     * By the thesis lemma this equals levelOrder() on the source tree.
+     */
+    std::vector<int> inOrder() const;
+
+    int size() const { return static_cast<int>(nodes.size()); }
+    const ConjNode &node(int id) const
+    {
+        return nodes[static_cast<size_t>(id)];
+    }
+
+  private:
+    void buildRec(const ParseTree &tree, int parseId, int conjCursor);
+    int insertBelow(const ParseTree &tree, int parseId, int conjCursor);
+
+    std::vector<ConjNode> nodes;
+};
+
+/** Convenience: level-order traversal computed via the conjugate tree. */
+std::vector<int> levelOrderViaConjugate(const ParseTree &tree);
+
+} // namespace qm::expr

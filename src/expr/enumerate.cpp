@@ -1,0 +1,109 @@
+#include "expr/enumerate.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace qm::expr {
+
+namespace {
+
+/** Recursive shape: node with optional left/right sub-shapes. */
+struct Shape
+{
+    int left = -1;   ///< Index into the shape pool, -1 if absent.
+    int right = -1;
+};
+
+/** Pool-based shape builder so enumeration can share subtree lists. */
+class ShapeEnumerator
+{
+  public:
+    /** All shapes with n nodes, as indices of pool roots. */
+    const std::vector<int> &
+    shapes(int n)
+    {
+        panicIf(n < 1, "tree must have at least one node");
+        while (static_cast<int>(byCount.size()) <= n)
+            grow();
+        return byCount[static_cast<size_t>(n)];
+    }
+
+    const Shape &at(int id) const { return pool[static_cast<size_t>(id)]; }
+
+  private:
+    void
+    grow()
+    {
+        int n = static_cast<int>(byCount.size());
+        std::vector<int> result;
+        if (n == 0) {
+            byCount.push_back(std::move(result));
+            return;
+        }
+        if (n == 1) {
+            pool.push_back(Shape{-1, -1});
+            result.push_back(static_cast<int>(pool.size()) - 1);
+            byCount.push_back(std::move(result));
+            return;
+        }
+        // Unary root over every (n-1)-node shape.
+        for (int child : byCount[static_cast<size_t>(n - 1)]) {
+            pool.push_back(Shape{child, -1});
+            result.push_back(static_cast<int>(pool.size()) - 1);
+        }
+        // Binary root over every split of the remaining n-1 nodes.
+        for (int i = 1; i <= n - 2; ++i) {
+            for (int l : byCount[static_cast<size_t>(i)]) {
+                for (int r : byCount[static_cast<size_t>(n - 1 - i)]) {
+                    pool.push_back(Shape{l, r});
+                    result.push_back(static_cast<int>(pool.size()) - 1);
+                }
+            }
+        }
+        byCount.push_back(std::move(result));
+    }
+
+    std::vector<Shape> pool;
+    std::vector<std::vector<int>> byCount;
+};
+
+int
+materialize(const ShapeEnumerator &shapes, int shapeId, ParseTree &tree,
+            int &leafCounter)
+{
+    const Shape &s = shapes.at(shapeId);
+    if (s.left < 0 && s.right < 0)
+        return tree.addLeaf("x" + std::to_string(leafCounter++));
+    if (s.right < 0) {
+        int child = materialize(shapes, s.left, tree, leafCounter);
+        return tree.addUnary("neg", child);
+    }
+    int left = materialize(shapes, s.left, tree, leafCounter);
+    int right = materialize(shapes, s.right, tree, leafCounter);
+    return tree.addBinary("+", left, right);
+}
+
+} // namespace
+
+void
+forEachTree(int node_count,
+            const std::function<void(const ParseTree &)> &visit)
+{
+    ShapeEnumerator shapes;
+    for (int shapeId : shapes.shapes(node_count)) {
+        ParseTree tree;
+        int leaves = 0;
+        int root = materialize(shapes, shapeId, tree, leaves);
+        tree.setRoot(root);
+        visit(tree);
+    }
+}
+
+std::uint64_t
+treeCount(int node_count)
+{
+    std::uint64_t count = 0;
+    forEachTree(node_count, [&](const ParseTree &) { ++count; });
+    return count;
+}
+
+} // namespace qm::expr

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Exhaustive enumeration of binary expression parse trees (thesis 3.4).
+ *
+ * A parse tree with n nodes has leaves (no children), unary nodes (left
+ * child only), and binary nodes (both children); these are the
+ * unary-binary (Motzkin) trees. The thesis enumerates all trees of a
+ * given size to average the pipelined-ALU speed-up over every shape.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "expr/parse_tree.hpp"
+
+namespace qm::expr {
+
+/**
+ * Invoke @p visit on every distinct parse-tree shape with exactly
+ * @p node_count nodes. Unary nodes are labelled "neg", binary nodes "+",
+ * and leaves "x<k>" numbered in pre-order.
+ */
+void forEachTree(int node_count,
+                 const std::function<void(const ParseTree &)> &visit);
+
+/** Number of distinct shapes with @p node_count nodes (Motzkin number). */
+std::uint64_t treeCount(int node_count);
+
+} // namespace qm::expr

@@ -1,0 +1,156 @@
+#include "expr/eval.hpp"
+
+#include <cctype>
+#include <deque>
+#include <functional>
+
+#include "support/diagnostics.hpp"
+
+namespace qm::expr {
+
+std::int64_t
+leafValue(const std::string &label, const Env &env)
+{
+    auto it = env.find(label);
+    if (it != env.end())
+        return it->second;
+    fatalIf(label.empty() ||
+                !std::isdigit(static_cast<unsigned char>(label[0])),
+            "unbound variable '", label, "'");
+    return std::stoll(label);
+}
+
+std::int64_t
+applyUnary(const std::string &label, std::int64_t x)
+{
+    if (label == "neg" || label == "-")
+        return -x;
+    fatal("unknown unary operator '", label, "'");
+}
+
+std::int64_t
+applyBinary(const std::string &label, std::int64_t x, std::int64_t y)
+{
+    if (label == "+")
+        return x + y;
+    if (label == "-")
+        return x - y;
+    if (label == "*")
+        return x * y;
+    if (label == "/") {
+        fatalIf(y == 0, "division by zero");
+        return x / y;
+    }
+    fatal("unknown binary operator '", label, "'");
+}
+
+std::int64_t
+evalQueue(const ParseTree &tree, const std::vector<int> &sequence,
+          const Env &env)
+{
+    std::deque<std::int64_t> queue;
+    for (int id : sequence) {
+        const Node &n = tree.node(id);
+        switch (n.kind) {
+          case OpKind::Leaf:
+            queue.push_back(leafValue(n.label, env));
+            break;
+          case OpKind::Unary: {
+            panicIf(queue.empty(), "queue underflow at unary op");
+            std::int64_t x = queue.front();
+            queue.pop_front();
+            queue.push_back(applyUnary(n.label, x));
+            break;
+          }
+          case OpKind::Binary: {
+            panicIf(queue.size() < 2, "queue underflow at binary op");
+            std::int64_t x = queue.front();
+            queue.pop_front();
+            std::int64_t y = queue.front();
+            queue.pop_front();
+            queue.push_back(applyBinary(n.label, x, y));
+            break;
+          }
+        }
+    }
+    panicIf(queue.size() != 1,
+            "queue-machine evaluation left ", queue.size(),
+            " values (expected 1)");
+    return queue.front();
+}
+
+std::int64_t
+evalStack(const ParseTree &tree, const std::vector<int> &sequence,
+          const Env &env)
+{
+    std::vector<std::int64_t> stack;
+    for (int id : sequence) {
+        const Node &n = tree.node(id);
+        switch (n.kind) {
+          case OpKind::Leaf:
+            stack.push_back(leafValue(n.label, env));
+            break;
+          case OpKind::Unary: {
+            panicIf(stack.empty(), "stack underflow at unary op");
+            std::int64_t x = stack.back();
+            stack.pop_back();
+            stack.push_back(applyUnary(n.label, x));
+            break;
+          }
+          case OpKind::Binary: {
+            panicIf(stack.size() < 2, "stack underflow at binary op");
+            std::int64_t y = stack.back();
+            stack.pop_back();
+            std::int64_t x = stack.back();
+            stack.pop_back();
+            stack.push_back(applyBinary(n.label, x, y));
+            break;
+          }
+        }
+    }
+    panicIf(stack.size() != 1,
+            "stack-machine evaluation left ", stack.size(),
+            " values (expected 1)");
+    return stack.back();
+}
+
+std::int64_t
+evalTree(const ParseTree &tree, const Env &env)
+{
+    std::function<std::int64_t(int)> walk = [&](int id) -> std::int64_t {
+        const Node &n = tree.node(id);
+        switch (n.kind) {
+          case OpKind::Leaf:
+            return leafValue(n.label, env);
+          case OpKind::Unary:
+            return applyUnary(n.label, walk(n.left));
+          case OpKind::Binary:
+            return applyBinary(n.label, walk(n.left), walk(n.right));
+        }
+        panic("unreachable op kind");
+    };
+    return walk(tree.root());
+}
+
+std::vector<std::string>
+renderSequence(const ParseTree &tree, const std::vector<int> &sequence)
+{
+    static const std::map<std::string, std::string> mnemonics = {
+        {"+", "add"}, {"-", "sub"}, {"*", "mul"}, {"/", "div"},
+        {"neg", "neg"},
+    };
+    std::vector<std::string> lines;
+    lines.reserve(sequence.size());
+    for (int id : sequence) {
+        const Node &n = tree.node(id);
+        if (n.kind == OpKind::Leaf) {
+            lines.push_back("fetch " + n.label);
+        } else {
+            auto it = mnemonics.find(n.label);
+            lines.push_back(it == mnemonics.end() ? n.label : it->second);
+        }
+    }
+    return lines;
+}
+
+} // namespace qm::expr

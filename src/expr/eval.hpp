@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Simple queue-machine and stack-machine evaluators (thesis 3.2-3.3).
+ *
+ * Both machines execute an instruction sequence that is a permutation of
+ * the parse-tree nodes: leaves are fetch instructions, interior nodes are
+ * ALU instructions. The queue machine takes operands from the front of a
+ * FIFO and appends results at the rear; the stack machine pops operands
+ * from and pushes results onto a stack.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expr/parse_tree.hpp"
+
+namespace qm::expr {
+
+/** Leaf-name -> value bindings. Unbound numeric labels parse as literals. */
+using Env = std::map<std::string, std::int64_t>;
+
+/** Value of leaf @p label under @p env (literal if numeric). */
+std::int64_t leafValue(const std::string &label, const Env &env);
+
+/** Apply unary operator @p label ("neg"). */
+std::int64_t applyUnary(const std::string &label, std::int64_t x);
+
+/** Apply binary operator @p label ("+","-","*","/"). */
+std::int64_t applyBinary(const std::string &label, std::int64_t x,
+                         std::int64_t y);
+
+/**
+ * Evaluate @p sequence on a simple queue machine.
+ *
+ * Fails (panics) if an instruction finds too few operands at the queue
+ * front or if the final state is not a single queued result — i.e. if the
+ * sequence is not a valid queue-machine program for the tree.
+ */
+std::int64_t evalQueue(const ParseTree &tree, const std::vector<int> &sequence,
+                       const Env &env);
+
+/** Evaluate @p sequence on a stack machine (post-order sequences). */
+std::int64_t evalStack(const ParseTree &tree, const std::vector<int> &sequence,
+                       const Env &env);
+
+/** Reference recursive evaluation of the tree itself. */
+std::int64_t evalTree(const ParseTree &tree, const Env &env);
+
+/**
+ * Render an instruction sequence as assembly-like text lines
+ * ("fetch a", "mul", ...), as in thesis Table 3.1.
+ */
+std::vector<std::string> renderSequence(const ParseTree &tree,
+                                        const std::vector<int> &sequence);
+
+} // namespace qm::expr

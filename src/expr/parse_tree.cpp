@@ -1,0 +1,227 @@
+#include "expr/parse_tree.hpp"
+
+#include <cctype>
+#include <functional>
+
+#include "support/diagnostics.hpp"
+
+namespace qm::expr {
+
+int
+ParseTree::addLeaf(std::string label)
+{
+    nodes.push_back(Node{OpKind::Leaf, std::move(label), -1, -1});
+    return static_cast<int>(nodes.size()) - 1;
+}
+
+int
+ParseTree::addUnary(std::string label, int child)
+{
+    panicIf(child < 0 || child >= size(), "bad unary child handle");
+    nodes.push_back(Node{OpKind::Unary, std::move(label), child, -1});
+    return static_cast<int>(nodes.size()) - 1;
+}
+
+int
+ParseTree::addBinary(std::string label, int left, int right)
+{
+    panicIf(left < 0 || left >= size() || right < 0 || right >= size(),
+            "bad binary child handle");
+    nodes.push_back(Node{OpKind::Binary, std::move(label), left, right});
+    return static_cast<int>(nodes.size()) - 1;
+}
+
+int
+ParseTree::arity(int id) const
+{
+    switch (node(id).kind) {
+      case OpKind::Leaf: return 0;
+      case OpKind::Unary: return 1;
+      case OpKind::Binary: return 2;
+    }
+    panic("unreachable op kind");
+}
+
+int
+ParseTree::level(int id) const
+{
+    // Walk down from the root looking for the node; trees are small, so
+    // the O(n) search per query is fine for the theory experiments.
+    int result = -1;
+    std::function<void(int, int)> walk = [&](int cur, int depth) {
+        if (cur < 0)
+            return;
+        if (cur == id) {
+            result = depth;
+            return;
+        }
+        walk(node(cur).left, depth + 1);
+        walk(node(cur).right, depth + 1);
+    };
+    walk(root_, 0);
+    panicIf(result < 0, "node ", id, " not reachable from root");
+    return result;
+}
+
+int
+ParseTree::leafCount() const
+{
+    int count = 0;
+    for (const Node &n : nodes)
+        if (n.kind == OpKind::Leaf)
+            ++count;
+    return count;
+}
+
+int
+ParseTree::height() const
+{
+    std::function<int(int)> walk = [&](int cur) -> int {
+        if (cur < 0)
+            return -1;
+        int hl = walk(node(cur).left);
+        int hr = walk(node(cur).right);
+        return 1 + std::max(hl, hr);
+    };
+    return walk(root_);
+}
+
+namespace {
+
+/** Tiny recursive-descent parser for infix expressions. */
+class ExprParser
+{
+  public:
+    ExprParser(std::string_view text, ParseTree &out)
+        : src(text), tree(out)
+    {
+    }
+
+    int
+    parseExpr()
+    {
+        int lhs = parseTerm();
+        for (;;) {
+            skipSpace();
+            if (peek() == '+' || peek() == '-') {
+                char op = take();
+                int rhs = parseTerm();
+                lhs = tree.addBinary(std::string(1, op), lhs, rhs);
+            } else {
+                return lhs;
+            }
+        }
+    }
+
+    void
+    expectEnd()
+    {
+        skipSpace();
+        fatalIf(pos != src.size(),
+                "trailing characters in expression at offset ", pos);
+    }
+
+  private:
+    int
+    parseTerm()
+    {
+        int lhs = parseFactor();
+        for (;;) {
+            skipSpace();
+            if (peek() == '*' || peek() == '/') {
+                char op = take();
+                int rhs = parseFactor();
+                lhs = tree.addBinary(std::string(1, op), lhs, rhs);
+            } else {
+                return lhs;
+            }
+        }
+    }
+
+    int
+    parseFactor()
+    {
+        skipSpace();
+        char c = peek();
+        if (c == '-') {
+            take();
+            return tree.addUnary("neg", parseFactor());
+        }
+        if (c == '(') {
+            take();
+            int inner = parseExpr();
+            skipSpace();
+            fatalIf(peek() != ')', "expected ')' at offset ", pos);
+            take();
+            return inner;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string name;
+            while (pos < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[pos])) ||
+                    src[pos] == '_'))
+                name += src[pos++];
+            return tree.addLeaf(std::move(name));
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string digits;
+            while (pos < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[pos])))
+                digits += src[pos++];
+            return tree.addLeaf(std::move(digits));
+        }
+        fatal("unexpected character '", c, "' at offset ", pos);
+    }
+
+    char peek() const { return pos < src.size() ? src[pos] : '\0'; }
+    char take() { return src[pos++]; }
+
+    void
+    skipSpace()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos])))
+            ++pos;
+    }
+
+    std::string_view src;
+    ParseTree &tree;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+ParseTree
+ParseTree::parse(std::string_view text)
+{
+    ParseTree tree;
+    ExprParser parser(text, tree);
+    int root = parser.parseExpr();
+    parser.expectEnd();
+    tree.setRoot(root);
+    return tree;
+}
+
+std::string
+ParseTree::toString() const
+{
+    return root_ < 0 ? std::string() : toStringRec(root_);
+}
+
+std::string
+ParseTree::toStringRec(int id) const
+{
+    const Node &n = node(id);
+    switch (n.kind) {
+      case OpKind::Leaf:
+        return n.label;
+      case OpKind::Unary:
+        return "(" + n.label + " " + toStringRec(n.left) + ")";
+      case OpKind::Binary:
+        return "(" + toStringRec(n.left) + " " + n.label + " " +
+               toStringRec(n.right) + ")";
+    }
+    panic("unreachable op kind");
+}
+
+} // namespace qm::expr

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Binary expression parse trees (thesis section 3.3).
+ *
+ * A parse tree node is a nullary operator (a leaf: variable or literal),
+ * a unary operator (left child only), or a binary operator (both
+ * children). Trees are stored in an index-based arena so traversals and
+ * the conjugate-tree construction can use plain ints as node handles.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qm::expr {
+
+/** Arity class of a parse-tree node (O0, O1, O2 in the thesis). */
+enum class OpKind { Leaf, Unary, Binary };
+
+/** One node of a binary expression parse tree. */
+struct Node
+{
+    OpKind kind = OpKind::Leaf;
+    /** Operator symbol ("+", "neg", ...) or leaf name ("a", "42"). */
+    std::string label;
+    int left = -1;   ///< Arena index of the left child, -1 if none.
+    int right = -1;  ///< Arena index of the right child, -1 if none.
+};
+
+/**
+ * A binary expression parse tree held in an arena.
+ *
+ * Node handles are indices into the arena; the root is root().
+ */
+class ParseTree
+{
+  public:
+    /** Append a leaf node; returns its handle. */
+    int addLeaf(std::string label);
+
+    /** Append a unary node over @p child; returns its handle. */
+    int addUnary(std::string label, int child);
+
+    /** Append a binary node over @p left and @p right; returns handle. */
+    int addBinary(std::string label, int left, int right);
+
+    /** Set the root node handle. */
+    void setRoot(int node) { root_ = node; }
+
+    int root() const { return root_; }
+    int size() const { return static_cast<int>(nodes.size()); }
+    const Node &node(int id) const { return nodes[static_cast<size_t>(id)]; }
+    bool empty() const { return nodes.empty(); }
+
+    /** Arity of node @p id (0, 1, or 2). */
+    int arity(int id) const;
+
+    /** Depth of node @p id below the root (root is level 0). */
+    int level(int id) const;
+
+    /** Number of leaf nodes. */
+    int leafCount() const;
+
+    /** Height: maximum level over all nodes. */
+    int height() const;
+
+    /**
+     * Parse an infix expression into a tree.
+     *
+     * Grammar: expr := term (('+'|'-') term)*;
+     *          term := factor (('*'|'/') factor)*;
+     *          factor := '-' factor | IDENT | NUMBER | '(' expr ')'.
+     * Unary minus becomes a "neg" node. Throws FatalError on bad input.
+     */
+    static ParseTree parse(std::string_view text);
+
+    /** Render the tree as a parenthesized infix string (for debugging). */
+    std::string toString() const;
+
+  private:
+    std::string toStringRec(int id) const;
+
+    std::vector<Node> nodes;
+    int root_ = -1;
+};
+
+} // namespace qm::expr

@@ -1,0 +1,92 @@
+#include "expr/pipeline_model.hpp"
+
+#include <algorithm>
+
+#include "expr/enumerate.hpp"
+#include "expr/traversal.hpp"
+#include "support/diagnostics.hpp"
+
+namespace qm::expr {
+
+namespace {
+
+/**
+ * Shared issue simulator. @p serialize_alu models the stack machine's
+ * requirement that each ALU operation wait for the previous one to
+ * retire its result to the stack top.
+ */
+long
+simulate(const ParseTree &tree, const std::vector<int> &sequence,
+         const PipelineConfig &config, bool serialize_alu)
+{
+    panicIf(config.aluStages < 1, "pipeline needs at least one stage");
+    std::vector<long> done(static_cast<size_t>(tree.size()), 0);
+    long next_issue = 0;  // One instruction issued per cycle at most.
+    long alu_idle = 0;    // Cycle at which every issued ALU op is done.
+    long finish = 0;
+
+    for (int id : sequence) {
+        const Node &n = tree.node(id);
+        long t = next_issue;
+        if (n.kind == OpKind::Leaf) {
+            if (!config.overlappedFetch)
+                t = std::max(t, alu_idle);
+            done[static_cast<size_t>(id)] = t + 1;
+        } else {
+            long ready = done[static_cast<size_t>(n.left)];
+            if (n.kind == OpKind::Binary)
+                ready = std::max(ready, done[static_cast<size_t>(n.right)]);
+            t = std::max(t, ready);
+            if (serialize_alu)
+                t = std::max(t, alu_idle);
+            done[static_cast<size_t>(id)] = t + config.aluStages;
+            alu_idle = std::max(alu_idle, done[static_cast<size_t>(id)]);
+        }
+        finish = std::max(finish, done[static_cast<size_t>(id)]);
+        next_issue = t + 1;
+    }
+    return finish;
+}
+
+} // namespace
+
+long
+queueCycles(const ParseTree &tree, const std::vector<int> &sequence,
+            const PipelineConfig &config)
+{
+    return simulate(tree, sequence, config, /*serialize_alu=*/false);
+}
+
+long
+stackCycles(const ParseTree &tree, const std::vector<int> &sequence,
+            const PipelineConfig &config)
+{
+    return simulate(tree, sequence, config, /*serialize_alu=*/true);
+}
+
+SpeedupResult
+averageSpeedup(int node_count, const PipelineConfig &config)
+{
+    SpeedupResult result;
+    double sum = 0.0;
+    forEachTree(node_count, [&](const ParseTree &tree) {
+        long queue = queueCycles(tree, levelOrder(tree), config);
+        long stack = stackCycles(tree, postOrder(tree), config);
+        double ratio = static_cast<double>(stack) /
+                       static_cast<double>(queue);
+        if (result.trees == 0) {
+            result.minSpeedup = ratio;
+            result.maxSpeedup = ratio;
+        } else {
+            result.minSpeedup = std::min(result.minSpeedup, ratio);
+            result.maxSpeedup = std::max(result.maxSpeedup, ratio);
+        }
+        sum += ratio;
+        ++result.trees;
+    });
+    result.meanSpeedup =
+        result.trees ? sum / static_cast<double>(result.trees) : 0.0;
+    return result;
+}
+
+} // namespace qm::expr

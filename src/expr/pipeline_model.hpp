@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Pipelined-ALU cycle cost model (thesis section 3.4, Tables 3.2/3.3).
+ *
+ * Both machines issue at most one instruction per cycle. An ALU operation
+ * entering an S-stage pipeline at cycle T completes at T+S; a fetch takes
+ * one cycle. The machines differ in what can overlap:
+ *
+ *  - Queue machine: an ALU op may issue as soon as its operands (the
+ *    results of its children) are complete; independent ops pipeline.
+ *  - Stack machine: an ALU op must additionally wait for the previous ALU
+ *    op to complete, because its results must be pushed back onto the top
+ *    of the stack before they can become the operands of the next
+ *    operation (thesis Fig 3.4 argument) - the stack derives no benefit
+ *    from ALU pipelining.
+ *
+ * Fetch issue discipline (thesis cases):
+ *  - Case 1 (non-overlapped fetch/execute): a fetch cannot issue until
+ *    the ALU is idle, on either machine.
+ *  - Case 2 (overlapped): a fetch issues immediately and takes one cycle.
+ */
+#pragma once
+
+#include <vector>
+
+#include "expr/parse_tree.hpp"
+
+namespace qm::expr {
+
+/** Timing parameters for the cost model. */
+struct PipelineConfig
+{
+    int aluStages = 2;           ///< Number of ALU pipeline stages (>= 1).
+    bool overlappedFetch = false;///< false = case 1, true = case 2.
+};
+
+/**
+ * Cycles to evaluate @p sequence on the queue machine (data-dependence
+ * limited issue).
+ */
+long queueCycles(const ParseTree &tree, const std::vector<int> &sequence,
+                 const PipelineConfig &config);
+
+/**
+ * Cycles to evaluate @p sequence on the stack machine (ALU operations
+ * fully serialized).
+ */
+long stackCycles(const ParseTree &tree, const std::vector<int> &sequence,
+                 const PipelineConfig &config);
+
+/** Aggregate speed-up statistics over all trees of one size. */
+struct SpeedupResult
+{
+    std::uint64_t trees = 0;       ///< Number of tree shapes evaluated.
+    double meanSpeedup = 0.0;      ///< Mean of stack/queue cycle ratios.
+    double minSpeedup = 0.0;       ///< Worst-case ratio over all shapes.
+    double maxSpeedup = 0.0;       ///< Best-case ratio over all shapes.
+};
+
+/**
+ * Enumerate every parse tree with @p node_count nodes, evaluate the
+ * stack machine on its post-order sequence and the queue machine on its
+ * level-order sequence, and average stack/queue cycle ratios
+ * (thesis Tables 3.2 and 3.3).
+ */
+SpeedupResult averageSpeedup(int node_count, const PipelineConfig &config);
+
+} // namespace qm::expr

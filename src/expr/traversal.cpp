@@ -1,0 +1,72 @@
+#include "expr/traversal.hpp"
+
+#include <deque>
+#include <functional>
+
+#include "support/diagnostics.hpp"
+
+namespace qm::expr {
+
+std::vector<int>
+levelOrder(const ParseTree &tree)
+{
+    if (tree.root() < 0)
+        return {};
+
+    // BFS collects each level left-to-right; emit deepest level first.
+    std::vector<std::vector<int>> levels;
+    std::deque<std::pair<int, int>> frontier{{tree.root(), 0}};
+    while (!frontier.empty()) {
+        auto [id, depth] = frontier.front();
+        frontier.pop_front();
+        if (static_cast<int>(levels.size()) <= depth)
+            levels.resize(static_cast<size_t>(depth) + 1);
+        levels[static_cast<size_t>(depth)].push_back(id);
+        const Node &n = tree.node(id);
+        if (n.left >= 0)
+            frontier.emplace_back(n.left, depth + 1);
+        if (n.right >= 0)
+            frontier.emplace_back(n.right, depth + 1);
+    }
+
+    std::vector<int> order;
+    order.reserve(static_cast<size_t>(tree.size()));
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it)
+        for (int id : *it)
+            order.push_back(id);
+    return order;
+}
+
+std::vector<int>
+postOrder(const ParseTree &tree)
+{
+    std::vector<int> order;
+    order.reserve(static_cast<size_t>(tree.size()));
+    std::function<void(int)> walk = [&](int id) {
+        if (id < 0)
+            return;
+        walk(tree.node(id).left);
+        walk(tree.node(id).right);
+        order.push_back(id);
+    };
+    walk(tree.root());
+    return order;
+}
+
+std::vector<int>
+preOrder(const ParseTree &tree)
+{
+    std::vector<int> order;
+    order.reserve(static_cast<size_t>(tree.size()));
+    std::function<void(int)> walk = [&](int id) {
+        if (id < 0)
+            return;
+        order.push_back(id);
+        walk(tree.node(id).left);
+        walk(tree.node(id).right);
+    };
+    walk(tree.root());
+    return order;
+}
+
+} // namespace qm::expr

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Parse-tree traversals (thesis section 3.3).
+ *
+ * The level-order traversal Π(T) lists nodes from the deepest level to the
+ * root, left-to-right within each level; evaluating it on a simple queue
+ * machine computes the expression. The post-order traversal is the classic
+ * stack-machine sequence used for comparison.
+ */
+#pragma once
+
+#include <vector>
+
+#include "expr/parse_tree.hpp"
+
+namespace qm::expr {
+
+/**
+ * Level-order traversal Π(T): nodes ordered by decreasing level, then
+ * left-to-right within a level. Computed directly (BFS by level); the
+ * conjugate-tree route in conjugate.hpp must agree with this.
+ */
+std::vector<int> levelOrder(const ParseTree &tree);
+
+/** Post-order traversal (the stack-machine instruction sequence). */
+std::vector<int> postOrder(const ParseTree &tree);
+
+/** Pre-order traversal (root, left, right). */
+std::vector<int> preOrder(const ParseTree &tree);
+
+} // namespace qm::expr

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Two-pass assembler for the queue-machine assembly language
+ * (thesis section 5.3.4 syntax):
+ *
+ *   [label:] opcode[{+}|+n] [src1[,src2]] [:dst1[,dst2]] [>] [; comment]
+ *
+ * Sources are registers (r0..r31 or dummy/nar/pom/qp/pc), immediates
+ * (#n), or label references (@name, which assemble as immediate words
+ * holding the label's code word address; for branch opcodes the
+ * assembler emits the PC-relative word offset instead). The ".word n"
+ * directive places a literal data word in the code stream.
+ *
+ * Code addresses are word indices into the instruction space - the
+ * pseudo-static layout keeps instruction and data spaces separate
+ * (thesis Fig 2.10), so code addresses never alias data addresses.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace qm::isa {
+
+/** Assembled object code for one program. */
+struct ObjectCode
+{
+    std::vector<Word> words;
+    /** Label name -> code word index. */
+    std::map<std::string, Addr> labels;
+
+    Addr
+    labelAddr(const std::string &name) const;
+};
+
+/** Assemble @p source; throws FatalError with line info on bad input. */
+ObjectCode assemble(const std::string &source);
+
+/** Disassemble object code into addressed text lines. */
+std::vector<std::string> disassemble(const ObjectCode &code);
+
+} // namespace qm::isa

@@ -1,0 +1,271 @@
+#include "isa/instruction.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace qm::isa {
+
+namespace {
+
+const std::map<Opcode, std::string> kMnemonics = {
+    {Opcode::Dup1, "dup1"},   {Opcode::Dup2, "dup2"},
+    {Opcode::Send, "send"},   {Opcode::Store, "store"},
+    {Opcode::Storb, "storb"}, {Opcode::Recv, "recv"},
+    {Opcode::Fetch, "fetch"}, {Opcode::Fchb, "fchb"},
+    {Opcode::Or, "or"},       {Opcode::And, "and"},
+    {Opcode::Xor, "xor"},     {Opcode::Lshift, "lshift"},
+    {Opcode::Rshift, "rshift"}, {Opcode::Plus, "plus"},
+    {Opcode::Minus, "minus"}, {Opcode::Mul, "mul"},
+    {Opcode::Div, "div"},     {Opcode::Rem, "rem"},
+    {Opcode::Ge, "ge"},       {Opcode::Ne, "ne"},
+    {Opcode::Gt, "gt"},       {Opcode::Lt, "lt"},
+    {Opcode::Eq, "eq"},       {Opcode::Le, "le"},
+    {Opcode::His, "his"},     {Opcode::Hi, "hi"},
+    {Opcode::Lo, "lo"},       {Opcode::Los, "los"},
+    {Opcode::Bne, "bne"},     {Opcode::Beq, "beq"},
+    {Opcode::Ftrap, "ftrap"}, {Opcode::Trap, "trap"},
+    {Opcode::Fret, "fret"},   {Opcode::Rett, "rett"},
+};
+
+constexpr Word kImmWordMarker = 0b110000;
+
+} // namespace
+
+std::string
+mnemonic(Opcode op)
+{
+    auto it = kMnemonics.find(op);
+    panicIf(it == kMnemonics.end(),
+            "unknown opcode ", static_cast<int>(op));
+    return it->second;
+}
+
+bool
+opcodeFromMnemonic(const std::string &name, Opcode &out)
+{
+    for (const auto &[op, text] : kMnemonics) {
+        if (text == name) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+Src
+Src::window(int n)
+{
+    panicIf(n < 0 || n > 15, "window register out of range: ", n);
+    return Src{SrcKind::WindowReg, n, 0};
+}
+
+Src
+Src::global(int n)
+{
+    panicIf(n < 16 || n > 31, "global register out of range: ", n);
+    return Src{SrcKind::GlobalReg, n, 0};
+}
+
+Src
+Src::anyReg(int n)
+{
+    return n < 16 ? window(n) : global(n);
+}
+
+Src
+Src::immediate(SWord value)
+{
+    if (value >= kSmallImmMin && value <= kSmallImmMax)
+        return Src{SrcKind::SmallImm, 0, value};
+    return Src{SrcKind::ImmWord, 0, value};
+}
+
+int
+Src::regNumber() const
+{
+    panicIf(!isReg(), "source is not a register");
+    return reg;
+}
+
+namespace {
+
+/** Encode one 6-bit source field; may append an immediate word later. */
+Word
+encodeSrc(const Src &src, bool &needs_imm_word)
+{
+    needs_imm_word = false;
+    switch (src.kind) {
+      case SrcKind::None:
+        return 0b100000;  // small immediate 0
+      case SrcKind::WindowReg:
+        panicIf(src.reg < 0 || src.reg > 15, "bad window reg");
+        return static_cast<Word>(src.reg);
+      case SrcKind::GlobalReg:
+        panicIf(src.reg < 16 || src.reg > 31, "bad global reg");
+        return 0b010000 | static_cast<Word>(src.reg - 16);
+      case SrcKind::SmallImm: {
+        panicIf(src.imm < kSmallImmMin || src.imm > kSmallImmMax,
+                "small immediate out of range: ", src.imm);
+        Word bits = static_cast<Word>(src.imm) & 0x1F;
+        panicIf((0b100000 | bits) == kImmWordMarker,
+                "small immediate collides with imm-word marker");
+        return 0b100000 | bits;
+      }
+      case SrcKind::ImmWord:
+        needs_imm_word = true;
+        return kImmWordMarker;
+    }
+    panic("unreachable src kind");
+}
+
+Src
+decodeSrc(Word field, const std::vector<Word> &words, std::size_t &index)
+{
+    if ((field & 0b110000) == 0)
+        return Src::window(static_cast<int>(field & 0xF));
+    if ((field & 0b110000) == 0b010000)
+        return Src::global(16 + static_cast<int>(field & 0xF));
+    if (field == kImmWordMarker) {
+        panicIf(index >= words.size(), "truncated immediate word");
+        Word literal = words[index++];
+        Src src;
+        src.kind = SrcKind::ImmWord;
+        src.imm = static_cast<SWord>(literal);
+        return src;
+    }
+    // 5-bit signed small immediate.
+    int value = static_cast<int>(field & 0x1F);
+    if (value >= 16)
+        value -= 32;
+    Src src;
+    src.kind = SrcKind::SmallImm;
+    src.imm = value;
+    return src;
+}
+
+} // namespace
+
+int
+Instruction::sizeWords() const
+{
+    if (isDup(op))
+        return 1;
+    int size = 1;
+    if (src1.kind == SrcKind::ImmWord)
+        ++size;
+    if (src2.kind == SrcKind::ImmWord)
+        ++size;
+    return size;
+}
+
+void
+Instruction::encode(std::vector<Word> &out) const
+{
+    Word word = 0;
+    word |= (continueFlag ? 1u : 0u) << 31;
+    word |= (static_cast<Word>(op) & 0x3F) << 25;
+
+    if (isDup(op)) {
+        panicIf(dupDst1 < 0 || dupDst1 > 255 || dupDst2 < 0 ||
+                    dupDst2 > 255,
+                "dup offset out of range");
+        word |= static_cast<Word>(dupDst1) << 17;
+        word |= static_cast<Word>(dupDst2) << 9;
+        out.push_back(word);
+        return;
+    }
+
+    bool imm1 = false, imm2 = false;
+    word |= encodeSrc(src1, imm1) << 19;
+    word |= encodeSrc(src2, imm2) << 13;
+    panicIf(dst1 < 0 || dst1 > 31 || dst2 < 0 || dst2 > 31,
+            "destination register out of range");
+    word |= static_cast<Word>(dst1) << 8;
+    word |= static_cast<Word>(dst2) << 3;
+    panicIf(qpInc < 0 || qpInc > 7, "QP increment out of range: ", qpInc);
+    word |= static_cast<Word>(qpInc);
+    out.push_back(word);
+    if (imm1)
+        out.push_back(static_cast<Word>(src1.imm));
+    if (imm2)
+        out.push_back(static_cast<Word>(src2.imm));
+}
+
+Instruction
+Instruction::decode(const std::vector<Word> &words, std::size_t &index)
+{
+    panicIf(index >= words.size(), "decode past end of code");
+    Word word = words[index++];
+    Instruction instr;
+    instr.continueFlag = (word >> 31) & 1;
+    instr.op = static_cast<Opcode>((word >> 25) & 0x3F);
+    panicIf(kMnemonics.find(instr.op) == kMnemonics.end(),
+            "illegal opcode ", (word >> 25) & 0x3F);
+
+    if (isDup(instr.op)) {
+        instr.dupDst1 = static_cast<int>((word >> 17) & 0xFF);
+        instr.dupDst2 = static_cast<int>((word >> 9) & 0xFF);
+        return instr;
+    }
+    instr.src1 = decodeSrc((word >> 19) & 0x3F, words, index);
+    instr.src2 = decodeSrc((word >> 13) & 0x3F, words, index);
+    instr.dst1 = static_cast<int>((word >> 8) & 0x1F);
+    instr.dst2 = static_cast<int>((word >> 3) & 0x1F);
+    instr.qpInc = static_cast<int>(word & 0x7);
+    return instr;
+}
+
+namespace {
+
+std::string
+regName(int n)
+{
+    switch (n) {
+      case RegDummy: return "dummy";
+      case RegNar: return "nar";
+      case RegPom: return "pom";
+      case RegQp: return "qp";
+      case RegPc: return "pc";
+      default: return "r" + std::to_string(n);
+    }
+}
+
+std::string
+srcName(const Src &src)
+{
+    switch (src.kind) {
+      case SrcKind::None: return "#0";
+      case SrcKind::WindowReg:
+      case SrcKind::GlobalReg: return regName(src.reg);
+      case SrcKind::SmallImm:
+      case SrcKind::ImmWord: return "#" + std::to_string(src.imm);
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << mnemonic(op);
+    if (isDup(op)) {
+        os << " :r" << dupDst1;
+        if (op == Opcode::Dup2)
+            os << ",r" << dupDst2;
+    } else {
+        if (qpInc > 0)
+            os << "+" << qpInc;
+        os << " " << srcName(src1) << "," << srcName(src2);
+        os << " :" << regName(dst1) << "," << regName(dst2);
+    }
+    if (continueFlag)
+        os << " >";
+    return os.str();
+}
+
+} // namespace qm::isa

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Kernel runtime contract: trap entry points and channel conventions
+ * (the thesis Table 6.1 kernel entry points, carried by the trap/ftrap
+ * instructions).
+ *
+ * The compiler emits these trap numbers; the multiprocessing kernel
+ * implements them. Channel-id convention: an rfork allocates the child's
+ * channel pair contiguously, in = id, out = id + 1, so a parent holding
+ * the in id derives the out id with a single plus instruction and the
+ * actor graphs stay single-result.
+ */
+#pragma once
+
+#include "isa/fields.hpp"
+
+namespace qm::isa {
+
+/** Kernel entry points reachable via trap/ftrap. */
+enum KernelTrap : Word
+{
+    /** Context finished; no results (ends the context). */
+    TrapExit = 0,
+    /**
+     * Recursive fork: arg = code word address of the child graph.
+     * Result 1 = child's in-channel id (out id is in + 1).
+     */
+    TrapRfork = 1,
+    /**
+     * Iterative fork: arg = code word address. Child inherits the
+     * caller's out channel. Result 1 = child's in-channel id.
+     */
+    TrapIfork = 2,
+    /** Result 1 = current context's in-channel id. */
+    TrapGetIn = 3,
+    /** Result 1 = current context's out-channel id. */
+    TrapGetOut = 4,
+    /** Allocate arg bytes of heap; result 1 = base address. */
+    TrapAlloc = 5,
+    /** Result 1 = current simulation time (cycles). */
+    TrapNow = 6,
+    /** Block until the simulation time exceeds arg. */
+    TrapWait = 7,
+    /** Allocate a fresh channel id; result 1 = id. */
+    TrapChan = 8,
+};
+
+/** Channel id 0 is never allocated (null channel). */
+constexpr Word kNullChannel = 0;
+
+} // namespace qm::isa

@@ -1,0 +1,73 @@
+#include "mp/ring_bus.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace qm::mp {
+
+RingBus::RingBus(RingBusConfig config) : config_(config)
+{
+    fatalIf(config_.numPes < 1, "ring bus needs at least one PE");
+    fatalIf(config_.numPartitions < 1, "ring bus needs >= 1 partition");
+    if (config_.numPartitions > config_.numPes)
+        config_.numPartitions = config_.numPes;
+    partitionFree.assign(static_cast<size_t>(config_.numPartitions), 0);
+}
+
+int
+RingBus::partitionOf(int pe) const
+{
+    panicIf(pe < 0 || pe >= config_.numPes, "PE index out of range");
+    // PEs are spread evenly over the partitions in ring order.
+    return pe * config_.numPartitions / config_.numPes;
+}
+
+int
+RingBus::partitionsCrossed(int src, int dst) const
+{
+    if (src == dst)
+        return 0;
+    // Walk the ring upward from src to dst counting partition boundaries
+    // crossed (inclusive of the destination's partition entry).
+    int crossings = 1;
+    int pe = src;
+    while (pe != dst) {
+        int next = (pe + 1) % config_.numPes;
+        if (partitionOf(next) != partitionOf(pe))
+            ++crossings;
+        pe = next;
+    }
+    return std::min(crossings, config_.numPartitions);
+}
+
+Cycle
+RingBus::transfer(int src, int dst, Cycle now)
+{
+    if (src == dst) {
+        // Intra-PE transfers stay inside the local message processor.
+        stats_.inc("bus.local_transfers");
+        return now + config_.messageOverhead;
+    }
+    stats_.inc("bus.remote_transfers");
+
+    Cycle t = now + config_.messageOverhead;
+    // Reserve each partition along the path in order.
+    int first = partitionOf(src);
+    int hops = partitionsCrossed(src, dst);
+    for (int i = 0; i < hops; ++i) {
+        int partition = (first + i) % config_.numPartitions;
+        Cycle &free_at = partitionFree[static_cast<size_t>(partition)];
+        Cycle start = std::max(t, free_at);
+        Cycle wait = start - t;
+        if (wait > 0)
+            stats_.inc("bus.contention_cycles",
+                       static_cast<std::uint64_t>(wait));
+        t = start + config_.hopCycles;
+        free_at = t;
+    }
+    stats_.inc("bus.hop_count", static_cast<std::uint64_t>(hops));
+    return t;
+}
+
+} // namespace qm::mp

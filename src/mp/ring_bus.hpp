@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Partitioned ring-bus interconnect (thesis section 5.6, Fig 5.18).
+ *
+ * The PEs sit on a shared bus that is partitioned into segments and
+ * closed into a ring. A message travels the ring in one direction,
+ * crossing every partition between source and destination; each
+ * partition is an independently arbitrated resource, so transfers
+ * through disjoint partitions proceed concurrently while transfers
+ * sharing a partition serialize.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace qm::mp {
+
+using Cycle = std::int64_t;
+
+/** Ring-bus configuration. */
+struct RingBusConfig
+{
+    int numPes = 4;
+    /** Bus partitions (Fig 5.18 shows 4 PEs on 2 partitions). */
+    int numPartitions = 2;
+    /** Cycles to cross one partition segment. */
+    Cycle hopCycles = 4;
+    /** Fixed per-message overhead (arbitration + header). */
+    Cycle messageOverhead = 2;
+};
+
+/** Time-aware transfer model for the partitioned ring. */
+class RingBus
+{
+  public:
+    explicit RingBus(RingBusConfig config);
+
+    /** Partition index owning PE @p pe's bus tap. */
+    int partitionOf(int pe) const;
+
+    /** Partitions crossed travelling the ring from @p src to @p dst. */
+    int partitionsCrossed(int src, int dst) const;
+
+    /**
+     * Schedule a one-word message from PE @p src to PE @p dst entering
+     * the bus at time @p now. Returns the delivery time; partition
+     * reservations serialize conflicting transfers.
+     */
+    Cycle transfer(int src, int dst, Cycle now);
+
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    RingBusConfig config_;
+    /** Earliest free cycle per partition. */
+    std::vector<Cycle> partitionFree;
+    StatSet stats_;
+};
+
+} // namespace qm::mp

@@ -1,0 +1,526 @@
+#include "mp/system.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace {
+bool traceEnabled() {
+    static bool on = std::getenv("QM_TRACE") != nullptr;
+    return on;
+}
+}
+
+#include "support/diagnostics.hpp"
+
+namespace qm::mp {
+
+using pe::HostStatus;
+using pe::StepResult;
+using pe::StepStatus;
+using pe::TrapOutcome;
+
+/** Adapts System kernel services to one PE's host interface. */
+class HostAdapter : public pe::PeHost
+{
+  public:
+    HostAdapter(System &system, int pe) : system_(system), pe_(pe) {}
+
+    HostStatus
+    send(Word channel, Word value) override
+    {
+        return system_.hostSend(pe_, channel, value);
+    }
+
+    HostStatus
+    recv(Word channel, Word &value) override
+    {
+        return system_.hostRecv(pe_, channel, value);
+    }
+
+    TrapOutcome
+    trap(Word number, Word argument) override
+    {
+        return system_.hostTrap(pe_, number, argument);
+    }
+
+  private:
+    System &system_;
+    int pe_;
+};
+
+/** Per-PE scheduling state. */
+struct System::PeSlot
+{
+    int index = 0;
+    Cycle clock = 0;
+    Cycle busyCycles = 0;
+    CtxId running = msg::kNoCtx;
+    /** Ready contexts ordered by earliest runnable time. */
+    struct Entry
+    {
+        Cycle readyAt;
+        CtxId ctx;
+        bool operator>(const Entry &o) const
+        {
+            if (readyAt != o.readyAt)
+                return readyAt > o.readyAt;
+            return ctx > o.ctx;
+        }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> readyQ;
+    std::unique_ptr<HostAdapter> host;
+    std::unique_ptr<pe::ProcessingElement> pe;
+    /** Deferred wait deadline when a TrapWait blocks. */
+    std::optional<Cycle> blockUntil;
+    /**
+     * Lazy context switching: a context that blocks while no other
+     * work is ready stays loaded on the PE (registers intact) and
+     * resumes for free when its rendezvous completes. Only an arriving
+     * ready context forces the roll-out. With one PE there is almost
+     * always other work, so every block pays the full switch; with
+     * many PEs blocked contexts usually stay resident - the mechanism
+     * behind the thesis's better-than-linear throughput ratios.
+     */
+    CtxId residentBlocked = msg::kNoCtx;
+
+    /** Next time this slot could do work, if any. */
+    std::optional<Cycle>
+    nextTime() const
+    {
+        if (running != msg::kNoCtx)
+            return clock;
+        if (!readyQ.empty())
+            return std::max(clock, readyQ.top().readyAt);
+        return std::nullopt;
+    }
+};
+
+System::System(const isa::ObjectCode &code, SystemConfig config)
+    : code_(code), config_(config),
+      memory_(std::make_unique<pe::Memory>(config.memoryBytes)),
+      bus(config.busConfig()), cache(config.channelDepth)
+{
+    fatalIf(config_.numPes < 1, "system needs at least one PE");
+    fatalIf(config_.pageWords < 32 || config_.pageWords > 256,
+            "queue page words out of range");
+
+    for (int i = 0; i < config_.numPes; ++i) {
+        auto slot = std::make_unique<PeSlot>();
+        slot->index = i;
+        slot->host = std::make_unique<HostAdapter>(*this, i);
+        slot->pe = std::make_unique<pe::ProcessingElement>(
+            *memory_, code_, *slot->host, config_.peTiming);
+        slots.push_back(std::move(slot));
+    }
+
+    // Queue page pool, top-down so page 0 is handed out last.
+    Addr page_bytes = static_cast<Addr>(config_.pageWords) * 4;
+    for (int i = config_.maxLiveContexts - 1; i >= 0; --i)
+        freePages.push_back(kQueuePagePool +
+                            static_cast<Addr>(i) * page_bytes);
+    fatalIf(kQueuePagePool +
+                    static_cast<Addr>(config_.maxLiveContexts) *
+                        page_bytes >
+                kDataBase,
+            "queue page pool overlaps the data segment");
+}
+
+System::~System() = default;
+
+Word
+System::allocChannelPair()
+{
+    Word id = nextChannel;
+    nextChannel += 2;
+    return id;
+}
+
+Addr
+System::allocQueuePage()
+{
+    fatalIf(freePages.empty(),
+            "out of operand-queue pages (too many live contexts)");
+    Addr page = freePages.back();
+    freePages.pop_back();
+    return page;
+}
+
+void
+System::freeQueuePage(Addr page)
+{
+    freePages.push_back(page);
+}
+
+int
+System::placeContext(int forkingPe)
+{
+    switch (config_.placement) {
+      case Placement::Local:
+        return forkingPe;
+      case Placement::RoundRobin: {
+        int target = rrNext;
+        rrNext = (rrNext + 1) % config_.numPes;
+        return target;
+      }
+      case Placement::LeastLoaded: {
+        // Emptiest runnable queue wins; ties rotate around the ring so
+        // independent forks still spread out.
+        int best = -1;
+        std::size_t best_load = 0;
+        for (int i = 0; i < config_.numPes; ++i) {
+            int pe = (rrNext + i) % config_.numPes;
+            const PeSlot &slot = *slots[static_cast<size_t>(pe)];
+            std::size_t load = slot.readyQ.size() +
+                               (slot.running != msg::kNoCtx ? 1 : 0);
+            if (best < 0 || load < best_load) {
+                best = pe;
+                best_load = load;
+            }
+        }
+        rrNext = (best + 1) % config_.numPes;
+        return best;
+    }
+    }
+    panic("unreachable placement policy");
+}
+
+CtxId
+System::createContext(Word codeAddr, Word inChan, Word outChan,
+                      int forkingPe, Cycle now)
+{
+    Context ctx;
+    ctx.id = static_cast<CtxId>(contexts.size());
+    ctx.inChan = inChan;
+    ctx.outChan = outChan;
+    ctx.homePe = placeContext(forkingPe);
+    ctx.queuePage = allocQueuePage();
+    ctx.regs.pc = codeAddr;
+    ctx.regs.qp = ctx.queuePage;
+    ctx.regs.pom = pe::pomForPageWords(config_.pageWords);
+    ctx.status = CtxStatus::Ready;
+    // Shipping the context descriptor to a remote PE rides the bus.
+    ctx.readyAt = ctx.homePe == forkingPe
+                      ? now
+                      : bus.transfer(forkingPe, ctx.homePe, now);
+    contexts.push_back(ctx);
+    ++liveContexts;
+    stats_.inc("sys.contexts_created");
+
+    slots[static_cast<size_t>(ctx.homePe)]->readyQ.push(
+        {ctx.readyAt, ctx.id});
+    return ctx.id;
+}
+
+void
+System::wakeContext(CtxId id, Cycle at)
+{
+    Context &ctx = contexts[id];
+    panicIf(ctx.status == CtxStatus::Done, "waking a finished context");
+    if (ctx.status == CtxStatus::Running)
+        return;  // Peer is mid-step on its own PE; it will observe.
+    ctx.status = CtxStatus::Ready;
+    ctx.readyAt = std::max(ctx.readyAt, at);
+    slots[static_cast<size_t>(ctx.homePe)]->readyQ.push(
+        {ctx.readyAt, ctx.id});
+}
+
+HostStatus
+System::hostSend(int pe_idx, Word channel, Word value)
+{
+    PeSlot &slot = *slots[static_cast<size_t>(pe_idx)];
+    CtxId self = slot.running;
+    msg::ChannelOp op = cache.send(channel, self, value);
+    if (traceEnabled())
+        std::cerr << "[t=" << slot.clock << " pe" << pe_idx << " ctx"
+                  << self << "] send ch" << channel << " val="
+                  << static_cast<std::int32_t>(value)
+                  << (op.completed ? " done" : " blocked") << "\n";
+    if (op.completed) {
+        for (CtxId peer_id : op.wakes) {
+            Context &peer = contexts[peer_id];
+            Cycle delivery =
+                bus.transfer(pe_idx, peer.homePe, slot.clock);
+            wakeContext(peer_id, delivery);
+        }
+        return HostStatus::Done;
+    }
+    return HostStatus::Blocked;
+}
+
+HostStatus
+System::hostRecv(int pe_idx, Word channel, Word &value)
+{
+    PeSlot &slot = *slots[static_cast<size_t>(pe_idx)];
+    CtxId self = slot.running;
+    msg::ChannelOp op = cache.recv(channel, self);
+    if (traceEnabled())
+        std::cerr << "[t=" << slot.clock << " pe" << pe_idx << " ctx"
+                  << self << "] recv ch" << channel
+                  << (op.completed ? " done val=" +
+                          std::to_string(static_cast<std::int32_t>(
+                              *op.value))
+                                   : " blocked")
+                  << "\n";
+    if (op.completed) {
+        value = *op.value;
+        for (CtxId peer_id : op.wakes) {
+            Context &peer = contexts[peer_id];
+            Cycle notify =
+                bus.transfer(pe_idx, peer.homePe, slot.clock);
+            wakeContext(peer_id, notify);
+        }
+        return HostStatus::Done;
+    }
+    return HostStatus::Blocked;
+}
+
+TrapOutcome
+System::hostTrap(int pe_idx, Word number, Word argument)
+{
+    PeSlot &slot = *slots[static_cast<size_t>(pe_idx)];
+    Context &self = contexts[slot.running];
+    TrapOutcome outcome;
+    switch (number) {
+      case isa::TrapExit:
+        outcome.endContext = true;
+        outcome.kernelCycles = config_.exitCycles;
+        return outcome;
+      case isa::TrapRfork: {
+        Word in = allocChannelPair();
+        createContext(argument, in, in + 1, pe_idx, slot.clock);
+        outcome.result = in;
+        outcome.kernelCycles = config_.forkCycles;
+        stats_.inc("sys.rforks");
+        return outcome;
+      }
+      case isa::TrapIfork: {
+        Word in = allocChannelPair();
+        createContext(argument, in, self.outChan, pe_idx, slot.clock);
+        outcome.result = in;
+        outcome.kernelCycles = config_.forkCycles;
+        stats_.inc("sys.iforks");
+        return outcome;
+      }
+      case isa::TrapGetIn:
+        outcome.result = self.inChan;
+        outcome.kernelCycles = config_.queryCycles;
+        return outcome;
+      case isa::TrapGetOut:
+        outcome.result = self.outChan;
+        outcome.kernelCycles = config_.queryCycles;
+        return outcome;
+      case isa::TrapAlloc: {
+        Addr base = heapNext;
+        heapNext = (heapNext + argument + 3) & ~static_cast<Addr>(3);
+        fatalIf(heapNext > memory_->size(), "kernel heap exhausted");
+        outcome.result = base;
+        outcome.kernelCycles = config_.allocCycles;
+        return outcome;
+      }
+      case isa::TrapNow:
+        outcome.result = static_cast<Word>(slot.clock);
+        outcome.kernelCycles = config_.queryCycles;
+        return outcome;
+      case isa::TrapWait:
+        if (slot.clock >= static_cast<Cycle>(argument)) {
+            outcome.kernelCycles = config_.queryCycles;
+            return outcome;
+        }
+        slot.blockUntil = static_cast<Cycle>(argument);
+        outcome.status = HostStatus::Blocked;
+        return outcome;
+      case isa::TrapChan:
+        outcome.result = allocChannelPair();
+        outcome.kernelCycles = config_.queryCycles;
+        return outcome;
+      default:
+        fatal("unknown kernel trap ", number);
+    }
+}
+
+bool
+System::dispatch(PeSlot &slot)
+{
+    if (slot.running != msg::kNoCtx)
+        return true;
+    if (slot.readyQ.empty())
+        return false;
+    auto entry = slot.readyQ.top();
+    slot.readyQ.pop();
+    Context &ctx = contexts[entry.ctx];
+    if (ctx.status != CtxStatus::Ready)
+        return dispatch(slot);  // stale queue entry; skip it
+    slot.clock = std::max(slot.clock, entry.readyAt);
+
+    if (slot.residentBlocked == ctx.id) {
+        // The resident context's rendezvous completed: resume in place
+        // with its registers still live. No roll-out, no reload.
+        slot.residentBlocked = msg::kNoCtx;
+        ctx.status = CtxStatus::Running;
+        slot.running = ctx.id;
+        stats_.inc("sys.resident_resumes");
+        return true;
+    }
+    if (slot.residentBlocked != msg::kNoCtx) {
+        // Another context needs the PE: evict the resident one now,
+        // paying the deferred save.
+        Context &resident = contexts[slot.residentBlocked];
+        slot.clock += slot.pe->rollOut() + config_.contextSaveCycles;
+        resident.regs = slot.pe->saveContext();
+        slot.residentBlocked = msg::kNoCtx;
+        ++switches;
+        stats_.inc("sys.evictions");
+    }
+    slot.clock += config_.contextLoadCycles;
+    ctx.status = CtxStatus::Running;
+    slot.running = ctx.id;
+    slot.pe->loadContext(ctx.regs);
+    ++switches;
+    return true;
+}
+
+void
+System::park(PeSlot &slot, CtxStatus status)
+{
+    Context &ctx = contexts[slot.running];
+    slot.clock += slot.pe->rollOut() + config_.contextSaveCycles;
+    ctx.regs = slot.pe->saveContext();
+    ctx.status = status;
+    slot.running = msg::kNoCtx;
+}
+
+void
+System::finishContext(PeSlot &slot)
+{
+    Context &ctx = contexts[slot.running];
+    ctx.status = CtxStatus::Done;
+    freeQueuePage(ctx.queuePage);
+    slot.running = msg::kNoCtx;
+    --liveContexts;
+    stats_.inc("sys.contexts_finished");
+}
+
+RunResult
+System::run(const std::string &entry, Cycle max_cycles)
+{
+    panicIf(booted, "System::run may only be called once per instance");
+    booted = true;
+    Addr entry_addr = code_.labelAddr(entry);
+    Word in = allocChannelPair();
+    createContext(entry_addr, in, in + 1, /*forkingPe=*/0, /*now=*/0);
+
+    RunResult result;
+    while (liveContexts > 0) {
+        // Pick the PE able to act soonest.
+        PeSlot *best = nullptr;
+        Cycle best_time = 0;
+        for (auto &slot : slots) {
+            auto t = slot->nextTime();
+            if (t && (!best || *t < best_time)) {
+                best = slot.get();
+                best_time = *t;
+            }
+        }
+        if (!best) {
+            // Everyone starved: genuine deadlock (blocked channels with
+            // no partner) since TrapWait wakes re-queue themselves.
+            fatal("deadlock: ", liveContexts,
+                  " live contexts, none runnable\n", dumpState());
+        }
+        if (best_time > max_cycles) {
+            result.completed = false;
+            result.cycles = best_time;
+            return result;
+        }
+
+        PeSlot &slot = *best;
+        if (!dispatch(slot))
+            continue;
+
+        // Run the context until it blocks, finishes, or a small batch
+        // elapses (keeps PE clocks loosely synchronized).
+        for (int batch = 0; batch < 16; ++batch) {
+            Cycle before = slot.clock;
+            StepResult step = slot.pe->step();
+            slot.clock += step.cycles;
+            slot.busyCycles += slot.clock - before;
+            if (step.status == StepStatus::Executed)
+                continue;
+            if (step.status == StepStatus::ContextEnd) {
+                slot.clock += config_.exitCycles;
+                finishContext(slot);
+            } else if (step.status == StepStatus::Blocked) {
+                if (slot.blockUntil) {
+                    Context &ctx = contexts[slot.running];
+                    ctx.readyAt = *slot.blockUntil;
+                    CtxId id = slot.running;
+                    park(slot, CtxStatus::BlockedTime);
+                    contexts[id].status = CtxStatus::Ready;
+                    slot.readyQ.push({contexts[id].readyAt, id});
+                    slot.blockUntil.reset();
+                } else if (slot.readyQ.empty()) {
+                    // Nothing else to run: stay resident (lazy switch).
+                    Context &ctx = contexts[slot.running];
+                    ctx.status = CtxStatus::BlockedChannel;
+                    slot.residentBlocked = slot.running;
+                    slot.running = msg::kNoCtx;
+                } else {
+                    park(slot, CtxStatus::BlockedChannel);
+                }
+            } else {
+                panic("fret/rett executed inside a kernel-managed "
+                      "context");
+            }
+            break;
+        }
+    }
+
+    result.completed = true;
+    Cycle finish = 0;
+    std::uint64_t instructions = 0;
+    double busy = 0.0;
+    for (auto &slot : slots) {
+        finish = std::max(finish, slot->clock);
+        instructions += slot->pe->stats().counter("pe.instructions");
+        stats_.merge(slot->pe->stats());
+    }
+    for (auto &slot : slots)
+        busy += finish > 0 ? static_cast<double>(slot->busyCycles) /
+                                 static_cast<double>(finish)
+                           : 0.0;
+    result.cycles = finish;
+    result.instructions = instructions;
+    result.contexts = stats_.counter("sys.contexts_created");
+    result.rendezvous = cache.stats().counter("msg.rendezvous");
+    result.contextSwitches = switches;
+    result.utilization = busy / config_.numPes;
+    stats_.set("sys.cycles", static_cast<double>(finish));
+    stats_.set("sys.utilization", result.utilization);
+    stats_.merge(cache.stats());
+    return result;
+}
+
+std::string
+System::dumpState() const
+{
+    std::ostringstream os;
+    for (const Context &ctx : contexts) {
+        if (ctx.status == CtxStatus::Done)
+            continue;
+        os << "ctx " << ctx.id << " pe=" << ctx.homePe << " pc="
+           << ctx.regs.pc << " status=";
+        switch (ctx.status) {
+          case CtxStatus::Ready: os << "ready"; break;
+          case CtxStatus::Running: os << "running"; break;
+          case CtxStatus::BlockedChannel: os << "blocked-chan"; break;
+          case CtxStatus::BlockedTime: os << "blocked-time"; break;
+          case CtxStatus::Done: os << "done"; break;
+        }
+        os << " in=" << ctx.inChan << " out=" << ctx.outChan << "\n";
+    }
+    return os.str();
+}
+
+} // namespace qm::mp

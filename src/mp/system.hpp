@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Queue-machine multiprocessor system (thesis Chapters 5.6 and 6).
+ *
+ * N processing elements share one instruction space (pure code) and one
+ * data memory, connected by a partitioned ring bus. The multiprocessing
+ * kernel implements the Table 6.1 entry points (reached by trap
+ * instructions), manages the Fig 6.4 context lifecycle, allocates
+ * operand-queue pages and channels, places forked contexts on PEs, and
+ * routes channel rendezvous through the message cache, charging ring-bus
+ * transfer time for inter-PE messages.
+ *
+ * Substitution note (see DESIGN.md): the kernel's logic runs in C++
+ * rather than in queue-machine code, but it is entered through the same
+ * trap numbers and charges configurable cycle costs, exactly as the
+ * thesis's Concurrent Euclid simulation charged kernel overheads.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/runtime.hpp"
+#include "mp/ring_bus.hpp"
+#include "msg/message_cache.hpp"
+#include "pe/memory.hpp"
+#include "pe/pe.hpp"
+#include "support/stats.hpp"
+
+namespace qm::mp {
+
+using isa::Addr;
+using isa::Word;
+using msg::CtxId;
+
+/** Where a forked context is placed (thesis scheduling policy knob). */
+enum class Placement
+{
+    LeastLoaded, ///< Emptiest runnable queue, cyclic tie-break (default).
+    RoundRobin,  ///< Cyclic over the ring.
+    Local,       ///< Always on the forking PE (degenerate baseline).
+};
+
+/** Memory map constants shared with the compiler. */
+constexpr Addr kQueuePagePool = 0x0000'1000;  ///< Up to ~6 MB of pages.
+constexpr Addr kDataBase = 0x0060'0000;       ///< Compiler data segment.
+constexpr Addr kHeapBase = 0x0100'0000;       ///< TrapAlloc heap.
+
+/** System-wide configuration. */
+struct SystemConfig
+{
+    int numPes = 1;
+    int busPartitions = 2;
+    std::size_t memoryBytes = 32u << 20;
+    int pageWords = 256;         ///< Operand-queue page size per context.
+    int maxLiveContexts = 2048;  ///< Queue-page pool size.
+    int channelDepth = 8;        ///< Message-cache tokens per channel.
+    Placement placement = Placement::LeastLoaded;
+
+    // Kernel service costs in cycles (trap entry cost is charged by the
+    // PE's own timing on top of these).
+    long forkCycles = 12;
+    long exitCycles = 4;
+    long queryCycles = 1;   ///< getin/getout/now/chan.
+    long allocCycles = 4;
+    long contextLoadCycles = 6;  ///< Scheduler dispatch + register load.
+    long contextSaveCycles = 4;  ///< On top of per-register roll-out.
+
+    RingBusConfig
+    busConfig() const
+    {
+        RingBusConfig bus;
+        bus.numPes = numPes;
+        bus.numPartitions = busPartitions;
+        return bus;
+    }
+
+    pe::PeTiming peTiming{};
+};
+
+/** Context lifecycle states (thesis Fig 6.4). */
+enum class CtxStatus
+{
+    Ready,
+    Running,
+    BlockedChannel,
+    BlockedTime,
+    Done,
+};
+
+/** One context: an activation of an acyclic data-flow graph. */
+struct Context
+{
+    CtxId id = 0;
+    pe::ContextState regs;
+    CtxStatus status = CtxStatus::Ready;
+    int homePe = 0;
+    Word inChan = isa::kNullChannel;
+    Word outChan = isa::kNullChannel;
+    Addr queuePage = 0;
+    Cycle readyAt = 0;
+};
+
+/** Result of a complete program run. */
+struct RunResult
+{
+    bool completed = false;   ///< All contexts terminated.
+    Cycle cycles = 0;         ///< Finish time (max PE clock).
+    std::uint64_t instructions = 0;
+    std::uint64_t contexts = 0;      ///< Contexts created.
+    std::uint64_t rendezvous = 0;    ///< Channel transfers completed.
+    std::uint64_t contextSwitches = 0;
+    double utilization = 0.0;        ///< Mean busy fraction over PEs.
+};
+
+/** The whole simulated machine. */
+class System
+{
+  public:
+    System(const isa::ObjectCode &code, SystemConfig config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Data memory (for loading benchmark inputs / reading results). */
+    pe::Memory &memory() { return *memory_; }
+
+    /**
+     * Boot a context at @p entry and simulate until every context has
+     * terminated or @p max_cycles elapses on some PE.
+     */
+    RunResult run(const std::string &entry,
+                  Cycle max_cycles = 500'000'000);
+
+    /** Aggregate statistics from the last run. */
+    const StatSet &stats() const { return stats_; }
+
+    /** Per-channel/context diagnostic dump (deadlock analysis). */
+    std::string dumpState() const;
+
+  private:
+    friend class HostAdapter;
+
+    struct PeSlot;
+
+    // --- Kernel services -------------------------------------------------
+    CtxId createContext(Word codeAddr, Word inChan, Word outChan,
+                        int forkingPe, Cycle now);
+    Word allocChannelPair();
+    Addr allocQueuePage();
+    void freeQueuePage(Addr page);
+    int placeContext(int forkingPe);
+    void wakeContext(CtxId ctx, Cycle at);
+
+    // Host operations, invoked from the PE mid-step.
+    pe::HostStatus hostSend(int pe, Word channel, Word value);
+    pe::HostStatus hostRecv(int pe, Word channel, Word &value);
+    pe::TrapOutcome hostTrap(int pe, Word number, Word argument);
+
+    // --- Scheduling ------------------------------------------------------
+    bool dispatch(PeSlot &slot);   ///< Load next ready context if idle.
+    void park(PeSlot &slot, CtxStatus status);
+    void finishContext(PeSlot &slot);
+
+    const isa::ObjectCode &code_;
+    SystemConfig config_;
+    std::unique_ptr<pe::Memory> memory_;
+    RingBus bus;
+    msg::MessageCache cache;
+
+    std::vector<std::unique_ptr<PeSlot>> slots;
+    std::vector<Context> contexts;
+    std::vector<Addr> freePages;
+    Word nextChannel = 2;  ///< 0 reserved, allocate pairs from 2.
+    Addr heapNext = kHeapBase;
+    int rrNext = 0;        ///< Round-robin placement cursor.
+    bool booted = false;
+    std::uint64_t liveContexts = 0;
+    std::uint64_t switches = 0;
+
+    StatSet stats_;
+};
+
+} // namespace qm::mp

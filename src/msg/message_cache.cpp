@@ -1,0 +1,95 @@
+#include "msg/message_cache.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace qm::msg {
+
+std::string
+toString(ChannelState state)
+{
+    switch (state) {
+      case ChannelState::Idle: return "Idle";
+      case ChannelState::Full: return "Full";
+      case ChannelState::RecvWait: return "RecvWait";
+    }
+    panic("unreachable channel state");
+}
+
+MessageCache::MessageCache(int capacity) : capacity_(capacity)
+{
+    fatalIf(capacity < 1, "message cache capacity must be >= 1");
+}
+
+ChannelOp
+MessageCache::send(Word channel, CtxId ctx, Word value)
+{
+    ChannelEntry &entry = entries[channel];
+    ChannelOp op;
+    stats_.inc("msg.send_requests");
+    if (static_cast<int>(entry.values.size()) >= capacity_) {
+        entry.sendWaiters.push_back(ctx);
+        op.blocked = true;
+        return op;
+    }
+    entry.values.push_back(value);
+    op.completed = true;
+    if (!entry.recvWaiters.empty()) {
+        op.wakes.push_back(entry.recvWaiters.front());
+        entry.recvWaiters.pop_front();
+    }
+    return op;
+}
+
+ChannelOp
+MessageCache::recv(Word channel, CtxId ctx)
+{
+    ChannelEntry &entry = entries[channel];
+    ChannelOp op;
+    stats_.inc("msg.recv_requests");
+    if (entry.values.empty()) {
+        entry.recvWaiters.push_back(ctx);
+        op.blocked = true;
+        return op;
+    }
+    op.completed = true;
+    op.value = entry.values.front();
+    entry.values.pop_front();
+    stats_.inc("msg.rendezvous");
+    if (!entry.sendWaiters.empty()) {
+        op.wakes.push_back(entry.sendWaiters.front());
+        entry.sendWaiters.pop_front();
+    }
+    return op;
+}
+
+ChannelState
+MessageCache::state(Word channel) const
+{
+    auto it = entries.find(channel);
+    if (it == entries.end())
+        return ChannelState::Idle;
+    if (!it->second.values.empty())
+        return ChannelState::Full;
+    if (!it->second.recvWaiters.empty())
+        return ChannelState::RecvWait;
+    return ChannelState::Idle;
+}
+
+const ChannelEntry *
+MessageCache::entry(Word channel) const
+{
+    auto it = entries.find(channel);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+std::size_t
+MessageCache::pendingChannels() const
+{
+    std::size_t count = 0;
+    for (const auto &[id, entry] : entries)
+        if (!entry.values.empty() || !entry.recvWaiters.empty())
+            ++count;
+    return count;
+}
+
+} // namespace qm::msg

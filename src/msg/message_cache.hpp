@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Message-cache channel state machine (thesis section 5.5, Tables
+ * 5.3/5.4, Figures 5.14-5.17, and the accessible-state analysis of
+ * Table 6.7 / Fig 6.13).
+ *
+ * The thesis implements channels with dedicated message-processor and
+ * message-cache hardware; operand/token queueing is "an integral part
+ * of data-flow machines" (section 2.7), and every value sent over a
+ * splice channel is a distinct arc of the data-flow graph with its own
+ * token-carrying capacity of one. The cache entry therefore holds a
+ * small FIFO of in-flight values: a send deposits into the FIFO and the
+ * sending context continues, blocking only when the FIFO is full; a
+ * receive takes the oldest value, or parks until one arrives.
+ *
+ * Entry states (Fig 5.16/5.17 protocol):
+ *   Idle     - no values, no parked receivers.
+ *   Full     - one or more values queued, awaiting receivers.
+ *   RecvWait - receivers parked, awaiting values.
+ *
+ * Requests that find the entry unable to serve them park in per-entry
+ * waiter queues and are woken to retry, in arrival order, whenever the
+ * entry can make progress - so no wakeup is ever lost.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/fields.hpp"
+#include "support/stats.hpp"
+
+namespace qm::msg {
+
+using isa::Word;
+
+/** Protocol state of one channel entry. */
+enum class ChannelState
+{
+    Idle,
+    Full,
+    RecvWait,
+};
+
+std::string toString(ChannelState state);
+
+/** Opaque context identifier (kernel context ids). */
+using CtxId = std::uint32_t;
+constexpr CtxId kNoCtx = 0xFFFFFFFFu;
+
+/** Outcome of presenting a send or receive request to the cache. */
+struct ChannelOp
+{
+    bool completed = false;       ///< Request retired this attempt.
+    bool blocked = false;         ///< Requester must park and retry.
+    std::optional<Word> value;    ///< Received value (receive only).
+    /** Contexts to make ready (woken peers / queued waiters). */
+    std::vector<CtxId> wakes;
+};
+
+/** One channel's protocol entry (Fig 5.15 format). */
+struct ChannelEntry
+{
+    std::deque<Word> values;       ///< In-flight tokens, oldest first.
+    std::deque<CtxId> sendWaiters; ///< Parked senders (FIFO full).
+    std::deque<CtxId> recvWaiters; ///< Parked receivers (FIFO empty).
+};
+
+/**
+ * The message cache: channel-id -> protocol entry, with the transition
+ * functions of Tables 5.3/5.4. One instance is shared by the kernel in
+ * this reproduction (the thesis distributes entries across per-PE
+ * caches; the protocol states and transitions are identical, and the
+ * per-hop transfer costs are charged by the ring-bus model instead).
+ */
+class MessageCache
+{
+  public:
+    /** @p capacity = tokens one entry can hold before senders park. */
+    explicit MessageCache(int capacity = 8);
+
+    /**
+     * Present a send request from context @p ctx: deposit into the
+     * FIFO (completed; wakes one parked receiver), or park when the
+     * FIFO is at capacity.
+     */
+    ChannelOp send(Word channel, CtxId ctx, Word value);
+
+    /**
+     * Present a receive request from context @p ctx: take the oldest
+     * value (completed; wakes one parked sender), or park when no
+     * value is available.
+     */
+    ChannelOp recv(Word channel, CtxId ctx);
+
+    /** Current state of @p channel (Idle if never touched). */
+    ChannelState state(Word channel) const;
+
+    /** Entry inspection for tests/diagnostics. */
+    const ChannelEntry *entry(Word channel) const;
+
+    /** Number of channels not currently Idle. */
+    std::size_t pendingChannels() const;
+
+    int capacity() const { return capacity_; }
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    int capacity_;
+    std::map<Word, ChannelEntry> entries;
+    StatSet stats_;
+};
+
+} // namespace qm::msg

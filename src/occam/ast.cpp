@@ -1,0 +1,115 @@
+#include "occam/ast.hpp"
+
+namespace qm::occam {
+
+ExprPtr
+makeNumber(long value, int line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Number;
+    e->value = value;
+    e->line = line;
+    return e;
+}
+
+ExprPtr
+makeVar(std::string name, int line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Var;
+    e->name = std::move(name);
+    e->line = line;
+    return e;
+}
+
+ExprPtr
+makeUnary(std::string op, ExprPtr arg, int line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Unary;
+    e->op = std::move(op);
+    e->args.push_back(std::move(arg));
+    e->line = line;
+    return e;
+}
+
+ExprPtr
+makeBinary(std::string op, ExprPtr lhs, ExprPtr rhs, int line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Binary;
+    e->op = std::move(op);
+    e->args.push_back(std::move(lhs));
+    e->args.push_back(std::move(rhs));
+    e->line = line;
+    return e;
+}
+
+ExprPtr
+Expr::clone() const
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->value = value;
+    e->name = name;
+    e->op = op;
+    e->symbol = symbol;
+    e->line = line;
+    for (const ExprPtr &arg : args)
+        e->args.push_back(arg->clone());
+    return e;
+}
+
+ProcessPtr
+Process::clone() const
+{
+    auto p = std::make_unique<Process>();
+    p->kind = kind;
+    p->line = line;
+    for (const Declaration &d : decls) {
+        Declaration copy;
+        copy.kind = d.kind;
+        copy.name = d.name;
+        copy.line = d.line;
+        copy.symbol = d.symbol;
+        if (d.arraySize)
+            copy.arraySize = d.arraySize->clone();
+        if (d.constValue)
+            copy.constValue = d.constValue->clone();
+        copy.params = d.params;
+        if (d.procBody)
+            copy.procBody = d.procBody->clone();
+        p->decls.push_back(std::move(copy));
+    }
+    for (const ProcessPtr &c : children)
+        p->children.push_back(c->clone());
+    for (const Branch &b : branches) {
+        Branch copy;
+        copy.condition = b.condition->clone();
+        copy.body = b.body->clone();
+        p->branches.push_back(std::move(copy));
+    }
+    if (condition)
+        p->condition = condition->clone();
+    if (target)
+        p->target = target->clone();
+    if (value)
+        p->value = value->clone();
+    if (channel)
+        p->channel = channel->clone();
+    if (repl) {
+        Replicator r;
+        r.var = repl->var;
+        r.symbol = repl->symbol;
+        r.base = repl->base->clone();
+        r.count = repl->count->clone();
+        p->repl = std::move(r);
+    }
+    p->callee = callee;
+    p->calleeSymbol = calleeSymbol;
+    for (const ExprPtr &a : args)
+        p->args.push_back(a->clone());
+    return p;
+}
+
+} // namespace qm::occam

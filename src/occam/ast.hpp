@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Abstract syntax tree for the OCCAM subset (thesis Chapter 4).
+ *
+ * The supported subset covers every construct the thesis compiler
+ * handles: the five primitive processes (assignment, input, output,
+ * wait, skip), the seq/par/if/while constructors, replicated seq/par,
+ * named procedures with value/var parameters, and var/chan/def
+ * declarations including word vectors.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qm::occam {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind
+    {
+        Number,    ///< Integer literal (value).
+        BoolLit,   ///< true/false (value = all-ones / 0).
+        Var,       ///< Scalar/channel/const reference (name, symbol).
+        ArrayRef,  ///< name[index] (args[0] = index).
+        Unary,     ///< op in {"neg", "not"} over args[0].
+        Binary,    ///< args[0] op args[1].
+    };
+
+    Kind kind = Kind::Number;
+    long value = 0;
+    std::string name;
+    /** Operator: + - * / \\ and or = <> < > <= >= (Binary). */
+    std::string op;
+    std::vector<ExprPtr> args;
+    int symbol = -1;  ///< Filled by sema for Var/ArrayRef.
+    int line = 0;
+
+    ExprPtr clone() const;
+};
+
+ExprPtr makeNumber(long value, int line);
+ExprPtr makeVar(std::string name, int line);
+ExprPtr makeUnary(std::string op, ExprPtr arg, int line);
+ExprPtr makeBinary(std::string op, ExprPtr lhs, ExprPtr rhs, int line);
+
+struct Process;
+using ProcessPtr = std::unique_ptr<Process>;
+
+/** One declaration introduced in a block. */
+struct Declaration
+{
+    enum class Kind { Scalar, Array, Channel, Constant, Procedure };
+
+    Kind kind = Kind::Scalar;
+    std::string name;
+    ExprPtr arraySize;           ///< Array: element count (const expr).
+    ExprPtr constValue;          ///< Constant: defining expression.
+    // Procedure:
+    struct Param
+    {
+        bool byValue = false;    ///< value x (copy-in only).
+        bool isArray = false;    ///< var x[] (passed by base address).
+        bool isChannel = false;  ///< chan x (channel id, copy-in).
+        std::string name;
+        int symbol = -1;
+    };
+    std::vector<Param> params;
+    ProcessPtr procBody;
+    int symbol = -1;             ///< Filled by sema.
+    int line = 0;
+};
+
+/** Replicator clause: name = [base for count]. */
+struct Replicator
+{
+    std::string var;
+    int symbol = -1;
+    ExprPtr base;
+    ExprPtr count;
+};
+
+/** Process (statement) node. */
+struct Process
+{
+    enum class Kind
+    {
+        Seq,     ///< children (+ optional replicator, desugared by parser)
+        Par,     ///< children (+ optional constant replicator)
+        If,      ///< branches
+        While,   ///< condition + children[0]
+        Assign,  ///< target := value
+        Input,   ///< channel ? target
+        Output,  ///< channel ! value
+        Skip,
+        Wait,    ///< wait until time 'value'
+        Call,    ///< callee(args)
+    };
+
+    Kind kind = Kind::Skip;
+    int line = 0;
+
+    /** Declarations scoped over this block (Seq/Par bodies). */
+    std::vector<Declaration> decls;
+    std::vector<ProcessPtr> children;
+
+    // If: guard/body pairs, tried in order (no true guard acts as skip).
+    struct Branch
+    {
+        ExprPtr condition;
+        ProcessPtr body;
+    };
+    std::vector<Branch> branches;
+
+    ExprPtr condition;  ///< While.
+    ExprPtr target;     ///< Assign/Input destination (Var or ArrayRef).
+    ExprPtr value;      ///< Assign/Output/Wait source expression.
+    ExprPtr channel;    ///< Input/Output channel expression (Var).
+
+    std::optional<Replicator> repl;  ///< Par replication (Seq desugars).
+
+    std::string callee;
+    int calleeSymbol = -1;
+    std::vector<ExprPtr> args;
+
+    ProcessPtr clone() const;
+};
+
+/** A parsed program: top-level declarations plus the main process. */
+struct Program
+{
+    std::vector<Declaration> decls;
+    ProcessPtr main;
+};
+
+} // namespace qm::occam

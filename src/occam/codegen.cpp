@@ -1,0 +1,354 @@
+#include "occam/codegen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/runtime.hpp"
+#include "support/diagnostics.hpp"
+
+namespace qm::occam {
+
+namespace {
+
+using dfg::Dfg;
+
+bool
+isImmediateNode(const dfg::DfgNode &node)
+{
+    return node.op == "const" || node.op == "claddr";
+}
+
+/** Ops with side effects must be emitted even without consumers. */
+bool
+hasSideEffect(const std::string &op)
+{
+    return op == "send" || op == "recv" || op == "store" ||
+           op == "fetch" || op == "rfork" || op == "ifork" ||
+           op == "exit" || op == "wait" || op == "alloc" ||
+           op == "challoc" || op == "now";
+}
+
+/** Arithmetic/comparison op -> machine mnemonic. */
+const char *
+mnemonicFor(const std::string &op)
+{
+    if (op == "+") return "plus";
+    if (op == "-") return "minus";
+    if (op == "*") return "mul";
+    if (op == "/") return "div";
+    if (op == "\\") return "rem";
+    if (op == "and") return "and";
+    if (op == "or") return "or";
+    if (op == "xor") return "xor";
+    if (op == "lshift") return "lshift";
+    if (op == "rshift") return "rshift";
+    if (op == "eq") return "eq";
+    if (op == "ne") return "ne";
+    if (op == "lt") return "lt";
+    if (op == "le") return "le";
+    if (op == "gt") return "gt";
+    if (op == "ge") return "ge";
+    return nullptr;
+}
+
+class ContextEmitter
+{
+  public:
+    ContextEmitter(const ContextGraph &context,
+                   const CodegenOptions &options, std::ostream &os)
+        : cg(context), options_(options), os_(os)
+    {
+    }
+
+    void
+    run()
+    {
+        const Dfg &graph = cg.graph;
+        dfg::PriorityFn priority = options_.priorityScheduling
+                                       ? dfg::thesisPriority
+                                       : dfg::fifoPriority;
+        order = dfg::schedule(graph, priority);
+
+        computePositions();
+        os_ << cg.label << ":  ; " << cg.role << "\n";
+        for (int node : order)
+            emitNode(node);
+        os_ << "\n";
+    }
+
+  private:
+    const ContextGraph &cg;
+    const CodegenOptions &options_;
+    std::ostream &os_;
+    std::vector<int> order;
+
+    /** Queue front index when each node executes. */
+    std::vector<int> front;
+    /** Result queue positions per node (sorted). */
+    std::vector<std::vector<int>> positions;
+    /** Whether a node is emitted as an instruction. */
+    std::vector<bool> emitted;
+
+    int
+    queueArity(int node) const
+    {
+        int n = 0;
+        for (int arg : cg.graph.node(node).args)
+            if (!isImmediateNode(cg.graph.node(arg)))
+                ++n;
+        return n;
+    }
+
+    int
+    queueRank(int node, int slot) const
+    {
+        int rank = 0;
+        const auto &args = cg.graph.node(node).args;
+        for (int i = 0; i < slot; ++i)
+            if (!isImmediateNode(cg.graph.node(args[static_cast<size_t>(
+                    i)])))
+                ++rank;
+        return rank;
+    }
+
+    void
+    computePositions()
+    {
+        const Dfg &graph = cg.graph;
+        front.assign(static_cast<size_t>(graph.size()), 0);
+        positions.assign(static_cast<size_t>(graph.size()), {});
+        emitted.assign(static_cast<size_t>(graph.size()), false);
+
+        // Decide which nodes become instructions.
+        for (int node = 0; node < graph.size(); ++node) {
+            const dfg::DfgNode &n = graph.node(node);
+            if (isImmediateNode(n))
+                continue;
+            if ((n.op == "getin" || n.op == "getout") &&
+                graph.consumers(node).empty())
+                continue;  // unused channel query: free to drop
+            if (!hasSideEffect(n.op) && graph.consumers(node).empty() &&
+                queueArity(node) == 0)
+                continue;  // dead pure value with no queue effect
+            emitted[static_cast<size_t>(node)] = true;
+        }
+
+        // Pass 1: queue-front index per instruction in schedule order.
+        int running = 0;
+        for (int node : order) {
+            front[static_cast<size_t>(node)] = running;
+            if (emitted[static_cast<size_t>(node)])
+                running += queueArity(node);
+        }
+
+        // Pass 2: producers' result positions from consumers' operands.
+        for (int node = 0; node < graph.size(); ++node) {
+            if (!emitted[static_cast<size_t>(node)])
+                continue;
+            const auto &args = graph.node(node).args;
+            for (std::size_t slot = 0; slot < args.size(); ++slot) {
+                int producer = args[slot];
+                if (isImmediateNode(graph.node(producer)))
+                    continue;
+                panicIf(!emitted[static_cast<size_t>(producer)],
+                        "consumed node was not emitted (op ",
+                        graph.node(producer).op, ")");
+                positions[static_cast<size_t>(producer)].push_back(
+                    front[static_cast<size_t>(node)] +
+                    queueRank(node, static_cast<int>(slot)));
+            }
+        }
+        for (auto &list : positions)
+            std::sort(list.begin(), list.end());
+    }
+
+    /** Offsets (relative to post-consume front) for a node's results. */
+    std::vector<int>
+    offsetsOf(int node) const
+    {
+        int base = front[static_cast<size_t>(node)] + queueArity(node);
+        std::vector<int> offsets;
+        for (int pos : positions[static_cast<size_t>(node)]) {
+            int offset = pos - base;
+            fatalIf(offset < 0,
+                    "context '", cg.label,
+                    "': result written behind the queue front");
+            fatalIf(offset >= options_.pageWords || offset > 255,
+                    "context '", cg.label, "' needs queue offset ",
+                    offset, "; the context is too large for a ",
+                    options_.pageWords, "-word page");
+            offsets.push_back(offset);
+        }
+        return offsets;
+    }
+
+    /** Source operand text for argument @p slot of @p node. */
+    std::string
+    srcText(int node, int slot) const
+    {
+        const dfg::DfgNode &n = cg.graph.node(node);
+        int arg = n.args[static_cast<size_t>(slot)];
+        const dfg::DfgNode &a = cg.graph.node(arg);
+        if (a.op == "const")
+            return "#" + std::to_string(a.constValue);
+        if (a.op == "claddr")
+            return "@" + a.name;
+        return "r" + std::to_string(queueRank(node, slot));
+    }
+
+    /**
+     * Emit the primary instruction line plus any dup chain needed to
+     * place every result copy.
+     */
+    void
+    emitWithDsts(const std::string &body, int node, int qp_inc)
+    {
+        std::vector<int> offsets = offsetsOf(node);
+        std::vector<int> in_dsts;   // encodable in dst fields (< 16)
+        std::vector<int> in_dups;
+        for (int offset : offsets) {
+            if (offset < 16 && in_dsts.size() < 2)
+                in_dsts.push_back(offset);
+            else
+                in_dups.push_back(offset);
+        }
+        (void)qp_inc;  // already encoded in the mnemonic suffix
+        std::ostringstream line;
+        line << "  " << body;
+        if (!in_dsts.empty()) {
+            line << " :r" << in_dsts[0];
+            if (in_dsts.size() > 1)
+                line << ",r" << in_dsts[1];
+        } else if (!offsets.empty()) {
+            line << " :dummy";
+        }
+        if (!in_dups.empty())
+            line << " >";
+        os_ << line.str() << "\n";
+        for (std::size_t i = 0; i < in_dups.size(); i += 2) {
+            bool last = i + 2 >= in_dups.size();
+            if (i + 1 < in_dups.size()) {
+                os_ << "  dup2 :r" << in_dups[i] << ",r"
+                    << in_dups[i + 1];
+            } else {
+                os_ << "  dup1 :r" << in_dups[i];
+            }
+            if (!last)
+                os_ << " >";
+            os_ << "\n";
+        }
+    }
+
+    std::string
+    qpSuffix(int qp_inc) const
+    {
+        return qp_inc > 0 ? "+" + std::to_string(qp_inc) : "";
+    }
+
+    void
+    emitNode(int node)
+    {
+        if (!emitted[static_cast<size_t>(node)])
+            return;
+        const dfg::DfgNode &n = cg.graph.node(node);
+        int qp = queueArity(node);
+        std::string suffix = qpSuffix(qp);
+
+        if (const char *m = mnemonicFor(n.op)) {
+            emitWithDsts(std::string(m) + suffix + " " +
+                             srcText(node, 0) + "," + srcText(node, 1),
+                         node, qp);
+            return;
+        }
+        if (n.op == "neg") {
+            emitWithDsts("minus" + suffix + " #0," + srcText(node, 0),
+                         node, qp);
+            return;
+        }
+        if (n.op == "not") {
+            emitWithDsts("xor" + suffix + " " + srcText(node, 0) +
+                             ",#-1",
+                         node, qp);
+            return;
+        }
+        if (n.op == "fetch") {
+            emitWithDsts("fetch" + suffix + " " + srcText(node, 0),
+                         node, qp);
+            return;
+        }
+        if (n.op == "store") {
+            os_ << "  store" << suffix << " " << srcText(node, 0) << ","
+                << srcText(node, 1) << "\n";
+            return;
+        }
+        if (n.op == "send") {
+            os_ << "  send" << suffix << " " << srcText(node, 0) << ","
+                << srcText(node, 1) << "\n";
+            return;
+        }
+        if (n.op == "recv") {
+            emitWithDsts("recv" + suffix + " " + srcText(node, 0), node,
+                         qp);
+            return;
+        }
+        auto trap = [&](isa::Word number, const std::string &argument) {
+            emitWithDsts("trap" + suffix + " #" +
+                             std::to_string(number) + "," + argument,
+                         node, qp);
+        };
+        if (n.op == "getin") {
+            trap(isa::TrapGetIn, "#0");
+            return;
+        }
+        if (n.op == "getout") {
+            trap(isa::TrapGetOut, "#0");
+            return;
+        }
+        if (n.op == "rfork") {
+            trap(isa::TrapRfork, srcText(node, 0));
+            return;
+        }
+        if (n.op == "ifork") {
+            trap(isa::TrapIfork, srcText(node, 0));
+            return;
+        }
+        if (n.op == "alloc") {
+            trap(isa::TrapAlloc, srcText(node, 0));
+            return;
+        }
+        if (n.op == "challoc") {
+            trap(isa::TrapChan, "#0");
+            return;
+        }
+        if (n.op == "now") {
+            trap(isa::TrapNow, "#0");
+            return;
+        }
+        if (n.op == "wait") {
+            trap(isa::TrapWait, srcText(node, 0));
+            return;
+        }
+        if (n.op == "exit") {
+            os_ << "  trap #" << isa::TrapExit << ",#0\n";
+            return;
+        }
+        panic("codegen: unknown actor '", n.op, "'");
+    }
+};
+
+} // namespace
+
+std::string
+generateAssembly(const ContextProgram &program,
+                 const CodegenOptions &options)
+{
+    std::ostringstream os;
+    os << "; generated by the OCCAM queue-machine compiler\n";
+    for (const ContextGraph &context : program.contexts) {
+        ContextEmitter emitter(context, options, os);
+        emitter.run();
+    }
+    return os.str();
+}
+
+} // namespace qm::occam

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Queue-machine code generation (thesis sections 4.7 and 5.3).
+ *
+ * Each context graph is linearized by the Fig 4.20 ready-list scheduler
+ * under the thesis actor priorities, then queue positions are assigned
+ * by the Chapter 3 valid-sequence construction: instruction i's operands
+ * occupy positions front_i .. front_i + arity - 1, and each producer
+ * stores its result at every consumer's operand position, encoded as an
+ * offset from the post-consume queue front. Offsets below 16 ride the
+ * two destination-register fields; further copies chain dup1/dup2
+ * instructions under the continue flag. Constants and code addresses
+ * fold into immediate source operands and occupy no queue positions.
+ */
+#pragma once
+
+#include <string>
+
+#include "dfg/scheduler.hpp"
+#include "occam/graph_builder.hpp"
+
+namespace qm::occam {
+
+/** Code-generation switches. */
+struct CodegenOptions
+{
+    /**
+     * Use the thesis actor-priority heuristic; false falls back to
+     * readiness (FIFO) order - the Table 6.6 scheduling ablation.
+     */
+    bool priorityScheduling = true;
+    /** Operand-queue page size the contexts will run with. */
+    int pageWords = 256;
+};
+
+/** Generate assembly text for every context of @p program. */
+std::string generateAssembly(const ContextProgram &program,
+                             const CodegenOptions &options = {});
+
+} // namespace qm::occam

@@ -1,0 +1,49 @@
+#include "occam/compiler.hpp"
+
+#include "occam/codegen.hpp"
+#include "occam/ift.hpp"
+#include "occam/parser.hpp"
+#include "occam/symbols.hpp"
+#include "support/diagnostics.hpp"
+
+namespace qm::occam {
+
+isa::Addr
+CompiledProgram::arrayAddress(const std::string &name) const
+{
+    auto it = dataMap.find(name);
+    fatalIf(it == dataMap.end(), "no top-level array named '", name,
+            "'");
+    return it->second;
+}
+
+CompiledProgram
+compileOccam(const std::string &source, const CompileOptions &options)
+{
+    Program program = parse(source);
+    SymbolTable table = analyze(program);
+    Ift ift = Ift::build(program, table, options.liveAnalysis);
+
+    BuildOptions build_options;
+    build_options.inputSequencing = options.inputSequencing;
+    ContextProgram contexts =
+        buildContextGraphs(program, table, ift, build_options);
+
+    CodegenOptions codegen_options;
+    codegen_options.priorityScheduling = options.priorityScheduling;
+    codegen_options.pageWords = options.pageWords;
+
+    CompiledProgram result;
+    result.assembly = generateAssembly(contexts, codegen_options);
+    result.object = isa::assemble(result.assembly);
+    result.mainLabel = contexts.mainLabel;
+    result.contextCount = static_cast<int>(contexts.contexts.size());
+    for (const auto &[symbol, addr] : contexts.dataAddress)
+        result.dataMap[table.symbol(symbol).name] = addr;
+    if (options.emitDot)
+        for (const ContextGraph &cg : contexts.contexts)
+            result.dot[cg.label] = cg.graph.toDot(cg.label);
+    return result;
+}
+
+} // namespace qm::occam

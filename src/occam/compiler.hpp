@@ -1,0 +1,56 @@
+/**
+ * @file
+ * OCCAM-to-queue-machine compiler driver (thesis section 4.8).
+ *
+ * Mirrors the thesis software-system pipeline (Fig 4.21): scanparse ->
+ * semantic -> dataflow (IFT) -> grapher -> sequencer -> coder ->
+ * assembler, producing object code runnable on the multiprocessor
+ * simulator plus the data-segment map for result inspection.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "occam/graph_builder.hpp"
+
+namespace qm::occam {
+
+/** All compiler switches (the Table 6.6 optimization knobs). */
+struct CompileOptions
+{
+    /** Live-value analysis: only live values cross context splices. */
+    bool liveAnalysis = true;
+    /** pi_I input sequencing of splice transfers (section 4.5). */
+    bool inputSequencing = true;
+    /** Actor-priority instruction scheduling (Fig 4.20 heuristic). */
+    bool priorityScheduling = true;
+    /** Operand-queue page size contexts run with. */
+    int pageWords = 256;
+    /** Keep the per-context DOT dumps (draw/drawpic role). */
+    bool emitDot = false;
+};
+
+/** A fully compiled program. */
+struct CompiledProgram
+{
+    std::string assembly;
+    isa::ObjectCode object;
+    std::string mainLabel;
+    /** Top-level array name -> static data address. */
+    std::map<std::string, isa::Addr> dataMap;
+    /** Graphviz DOT per context label (when emitDot). */
+    std::map<std::string, std::string> dot;
+    /** Number of context graphs produced. */
+    int contextCount = 0;
+
+    isa::Addr
+    arrayAddress(const std::string &name) const;
+};
+
+/** Compile OCCAM source end to end. Throws FatalError on bad input. */
+CompiledProgram compileOccam(const std::string &source,
+                             const CompileOptions &options = {});
+
+} // namespace qm::occam

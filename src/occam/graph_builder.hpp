@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Context-graph construction (thesis sections 4.2-4.6).
+ *
+ * The program is partitioned into acyclic data-flow graphs - one per
+ * context body: the main body, each while-loop's head/body/terminator,
+ * each if-branch, each par component, each replicated-par instance
+ * template, and each procedure. The graphs are connected at run time by
+ * the dynamic splicing actors:
+ *
+ *   rfork  - create a child context with a fresh in/out channel pair
+ *            (out = in + 1 by the kernel convention);
+ *   ifork  - create a continuation context inheriting the out channel
+ *            (loop iterations chain this way, so the loop terminator
+ *            sends its results straight back to the loop's creator);
+ *   send/recv - rendezvous value transfer over channels;
+ *   sel    - chooses a code address; lowered to the pure Boolean-mask
+ *            form (a AND c) OR (b AND NOT c) since comparison results
+ *            are all-ones/all-zeros words.
+ *
+ * Scalars flow as tokens; arrays live in shared memory, accessed with
+ * fetch/store actors sequenced by control-token (order) arcs under the
+ * multiple-readers/single-writer rule per array (section 4.6). User
+ * channel operations and waits share one control-token chain per
+ * context, preserving OCCAM sequencing (Fig 4.18).
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "occam/ift.hpp"
+#include "occam/symbols.hpp"
+
+namespace qm::occam {
+
+/** One compiled context body. */
+struct ContextGraph
+{
+    std::string label;     ///< Code label of this graph's sequence.
+    std::string role;      ///< main/proc/while-head/... (diagnostics).
+    dfg::Dfg graph;
+    int getin = -1;        ///< Node id of the getin actor.
+    int getout = -1;       ///< Node id of the getout actor.
+};
+
+/** Compiler optimization switches (the Table 6.6 ablation knobs). */
+struct BuildOptions
+{
+    /** Order splice transfers by the pi_I weight heuristic (4.5). */
+    bool inputSequencing = true;
+};
+
+/** Result of graph construction for a whole program. */
+struct ContextProgram
+{
+    std::vector<ContextGraph> contexts;
+    std::string mainLabel;
+    /** Top-level arrays: symbol id -> static data address. */
+    std::map<int, std::uint32_t> dataAddress;
+    /** Bytes of data segment used. */
+    std::uint32_t dataSize = 0;
+};
+
+/** Partition @p program into spliced context graphs. */
+ContextProgram buildContextGraphs(const Program &program,
+                                  const SymbolTable &table,
+                                  const Ift &ift,
+                                  const BuildOptions &options = {});
+
+} // namespace qm::occam

@@ -1,0 +1,555 @@
+#include "occam/ift.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace qm::occam {
+
+const IftValue *
+IftEntry::input(int symbol) const
+{
+    for (const IftValue &v : inputs)
+        if (v.symbol == symbol)
+            return &v;
+    return nullptr;
+}
+
+const IftValue *
+IftEntry::output(int symbol) const
+{
+    for (const IftValue &v : outputs)
+        if (v.symbol == symbol)
+            return &v;
+    return nullptr;
+}
+
+IftValue *
+IftEntry::output(int symbol)
+{
+    for (IftValue &v : outputs)
+        if (v.symbol == symbol)
+            return &v;
+    return nullptr;
+}
+
+int
+Ift::entryOf(const Process *proc) const
+{
+    auto it = byProcess.find(proc);
+    panicIf(it == byProcess.end(), "process has no IFT entry");
+    return it->second;
+}
+
+int
+Ift::procEntry(int proc_symbol) const
+{
+    auto it = byProc.find(proc_symbol);
+    panicIf(it == byProc.end(), "procedure has no IFT entry");
+    return it->second;
+}
+
+std::vector<int>
+Ift::liveOutputs(int index) const
+{
+    std::vector<int> result;
+    for (const IftValue &v : entry(index).outputs)
+        if (v.symbol != kControlToken && v.live)
+            result.push_back(v.symbol);
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+std::vector<int>
+Ift::inputSymbols(int index) const
+{
+    std::vector<int> result;
+    for (const IftValue &v : entry(index).inputs)
+        if (v.symbol != kControlToken)
+            result.push_back(v.symbol);
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+namespace {
+
+const char *
+typeName(IftEntry::Type type)
+{
+    switch (type) {
+      case IftEntry::Type::Assignment: return "assignment";
+      case IftEntry::Type::Input: return "input";
+      case IftEntry::Type::Output: return "output";
+      case IftEntry::Type::Wait: return "wait";
+      case IftEntry::Type::Skip: return "skip";
+      case IftEntry::Type::Condition: return "condition";
+      case IftEntry::Type::Declaration: return "declaration";
+      case IftEntry::Type::Seq: return "seq";
+      case IftEntry::Type::Par: return "par";
+      case IftEntry::Type::If: return "if";
+      case IftEntry::Type::While: return "while";
+      case IftEntry::Type::Call: return "call";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Ift::dump(const SymbolTable &table) const
+{
+    auto name = [&](int sym) {
+        return sym == kControlToken ? std::string("K")
+                                    : table.symbol(sym).name;
+    };
+    std::ostringstream os;
+    for (int i = 0; i < size(); ++i) {
+        const IftEntry &e = entry(i);
+        os << i << " " << typeName(e.type) << " I={";
+        for (const IftValue &v : e.inputs)
+            os << name(v.symbol) << " ";
+        os << "} O={";
+        for (const IftValue &v : e.outputs)
+            os << name(v.symbol) << (v.live ? "+ " : " ");
+        os << "} E={";
+        for (const auto &chain : e.chains) {
+            os << "(";
+            for (int c : chain)
+                os << c << " ";
+            os << ")";
+        }
+        os << "}\n";
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+
+class IftBuilder
+{
+  public:
+    IftBuilder(const Program &program, const SymbolTable &table,
+               bool live_analysis)
+        : program_(program), table_(table), liveAnalysis(live_analysis)
+    {
+    }
+
+    Ift
+    run()
+    {
+        // Procedure bodies first (call entries do not expand inline).
+        buildProcDecls(program_.decls);
+        ift.main_ = buildProcess(*program_.main);
+
+        // Use/definition linking, then liveness, per root.
+        useAndDef(ift.main_);
+        for (auto &[sym, root] : ift.byProc)
+            useAndDef(root);
+
+        if (liveAnalysis) {
+            // Program results are observed through memory, so the main
+            // block's own outputs are dead; proc-body outputs are live
+            // exactly for var formals.
+            for (IftValue &v : entryRef(ift.main_).outputs)
+                v.live = false;
+            assignLive(ift.main_);
+            for (auto &[sym, root] : ift.byProc) {
+                for (IftValue &v : entryRef(root).outputs)
+                    v.live = varFormal(v.symbol);
+                assignLive(root);
+            }
+        } else {
+            // Table 6.6 ablation: communicate everything.
+            for (IftEntry &e : ift.entries_)
+                for (IftValue &v : e.outputs)
+                    v.live = true;
+        }
+        return std::move(ift);
+    }
+
+  private:
+    IftEntry &
+    entryRef(int index)
+    {
+        return ift.entries_[static_cast<size_t>(index)];
+    }
+
+    int
+    newEntry(IftEntry::Type type, const Process *syntax)
+    {
+        IftEntry e;
+        e.type = type;
+        e.syntax = syntax;
+        ift.entries_.push_back(std::move(e));
+        int index = ift.size() - 1;
+        if (syntax)
+            ift.byProcess[syntax] = index;
+        return index;
+    }
+
+    bool
+    varFormal(int symbol) const
+    {
+        if (symbol == kControlToken)
+            return false;
+        const Symbol &sym = table_.symbol(symbol);
+        return sym.isParam && !sym.paramByValue &&
+               sym.kind == Symbol::Kind::Scalar;
+    }
+
+    /** Collect value symbols an expression consumes (not constants). */
+    void
+    collectVars(const Expr &expr, std::set<int> &out) const
+    {
+        switch (expr.kind) {
+          case Expr::Kind::Number:
+          case Expr::Kind::BoolLit:
+            return;
+          case Expr::Kind::Var: {
+            const Symbol &sym = table_.symbol(expr.symbol);
+            if (sym.kind != Symbol::Kind::Constant)
+                out.insert(expr.symbol);
+            return;
+          }
+          case Expr::Kind::ArrayRef:
+            out.insert(expr.symbol);
+            collectVars(*expr.args[0], out);
+            return;
+          case Expr::Kind::Unary:
+            collectVars(*expr.args[0], out);
+            return;
+          case Expr::Kind::Binary:
+            collectVars(*expr.args[0], out);
+            collectVars(*expr.args[1], out);
+            return;
+        }
+    }
+
+    static void
+    addValue(std::vector<IftValue> &set, int symbol)
+    {
+        for (const IftValue &v : set)
+            if (v.symbol == symbol)
+                return;
+        IftValue v;
+        v.symbol = symbol;
+        set.push_back(v);
+    }
+
+    void
+    addVars(std::vector<IftValue> &set, const Expr &expr)
+    {
+        std::set<int> symbols;
+        collectVars(expr, symbols);
+        for (int s : symbols)
+            addValue(set, s);
+    }
+
+    void
+    buildProcDecls(const std::vector<Declaration> &decls)
+    {
+        for (const Declaration &decl : decls) {
+            if (decl.kind != Declaration::Kind::Procedure)
+                continue;
+            int root = buildProcess(*decl.procBody);
+            ift.byProc[decl.symbol] = root;
+        }
+    }
+
+    int
+    buildCondition(const Expr &cond)
+    {
+        int index = newEntry(IftEntry::Type::Condition, nullptr);
+        entryRef(index).condExpr = &cond;
+        addVars(entryRef(index).inputs, cond);
+        return index;
+    }
+
+    /** Table 4.2 seq combination of already-built component entries. */
+    void
+    combineSeq(IftEntry &e, const std::vector<int> &chain)
+    {
+        std::set<int> defined;
+        for (int child : chain) {
+            for (const IftValue &v : entryRef(child).inputs)
+                if (!defined.count(v.symbol))
+                    addValue(e.inputs, v.symbol);
+            for (const IftValue &v : entryRef(child).outputs) {
+                defined.insert(v.symbol);
+                addValue(e.outputs, v.symbol);
+            }
+        }
+    }
+
+    /** Remove declared-local symbols from an interface's I/O sets. */
+    static void
+    filterLocals(IftEntry &e)
+    {
+        auto drop = [&](std::vector<IftValue> &set) {
+            set.erase(std::remove_if(set.begin(), set.end(),
+                                     [&](const IftValue &v) {
+                                         return e.locals.count(v.symbol);
+                                     }),
+                      set.end());
+        };
+        drop(e.inputs);
+        drop(e.outputs);
+    }
+
+    void
+    noteLocals(IftEntry &e, const std::vector<Declaration> &decls)
+    {
+        for (const Declaration &decl : decls)
+            if (decl.symbol >= 0)
+                e.locals.insert(decl.symbol);
+    }
+
+    int
+    buildProcess(const Process &proc)
+    {
+        switch (proc.kind) {
+          case Process::Kind::Assign: {
+            int index = newEntry(IftEntry::Type::Assignment, &proc);
+            IftEntry &e = entryRef(index);
+            addVars(e.inputs, *proc.value);
+            if (proc.target->kind == Expr::Kind::ArrayRef) {
+                addVars(e.inputs, *proc.target->args[0]);
+                addValue(e.inputs, proc.target->symbol);
+                addValue(e.outputs, proc.target->symbol);
+            } else {
+                addValue(e.outputs, proc.target->symbol);
+            }
+            return index;
+          }
+          case Process::Kind::Input: {
+            int index = newEntry(IftEntry::Type::Input, &proc);
+            IftEntry &e = entryRef(index);
+            addValue(e.inputs, kControlToken);
+            addValue(e.inputs, proc.channel->symbol);
+            addValue(e.outputs, kControlToken);
+            if (proc.target->kind == Expr::Kind::ArrayRef) {
+                addVars(e.inputs, *proc.target->args[0]);
+                addValue(e.inputs, proc.target->symbol);
+                addValue(e.outputs, proc.target->symbol);
+            } else {
+                addValue(e.outputs, proc.target->symbol);
+            }
+            return index;
+          }
+          case Process::Kind::Output: {
+            int index = newEntry(IftEntry::Type::Output, &proc);
+            IftEntry &e = entryRef(index);
+            addValue(e.inputs, kControlToken);
+            addValue(e.inputs, proc.channel->symbol);
+            addVars(e.inputs, *proc.value);
+            addValue(e.outputs, kControlToken);
+            return index;
+          }
+          case Process::Kind::Wait: {
+            int index = newEntry(IftEntry::Type::Wait, &proc);
+            IftEntry &e = entryRef(index);
+            addValue(e.inputs, kControlToken);
+            addVars(e.inputs, *proc.value);
+            addValue(e.outputs, kControlToken);
+            return index;
+          }
+          case Process::Kind::Skip:
+            return newEntry(IftEntry::Type::Skip, &proc);
+          case Process::Kind::Call: {
+            int index = newEntry(IftEntry::Type::Call, &proc);
+            IftEntry &e = entryRef(index);
+            addValue(e.inputs, kControlToken);
+            addValue(e.outputs, kControlToken);
+            const Symbol &callee = table_.symbol(proc.calleeSymbol);
+            for (std::size_t i = 0; i < proc.args.size(); ++i) {
+                const Expr &arg = *proc.args[i];
+                const Declaration::Param &param = callee.params[i];
+                if (param.byValue || param.isChannel) {
+                    addVars(e.inputs, arg);
+                } else {
+                    // var scalar / array: both used and (re)defined.
+                    addValue(e.inputs, arg.symbol);
+                    addValue(e.outputs, arg.symbol);
+                }
+            }
+            return index;
+          }
+          case Process::Kind::While: {
+            int cond = buildCondition(*proc.condition);
+            int body = buildProcess(*proc.children[0]);
+            int index = newEntry(IftEntry::Type::While, &proc);
+            IftEntry &e = entryRef(index);
+            e.chains.push_back({cond, body});
+            // I = I(C) + (I(P) - O(C)); O(C) is empty for conditions.
+            for (const IftValue &v : entryRef(cond).inputs)
+                addValue(e.inputs, v.symbol);
+            for (const IftValue &v : entryRef(body).inputs)
+                addValue(e.inputs, v.symbol);
+            for (const IftValue &v : entryRef(body).outputs)
+                addValue(e.outputs, v.symbol);
+            return index;
+          }
+          case Process::Kind::If: {
+            std::vector<std::pair<int, int>> pairs;
+            for (const Process::Branch &branch : proc.branches) {
+                int cond = buildCondition(*branch.condition);
+                int body = buildProcess(*branch.body);
+                pairs.emplace_back(cond, body);
+            }
+            int index = newEntry(IftEntry::Type::If, &proc);
+            IftEntry &e = entryRef(index);
+            for (auto [cond, body] : pairs) {
+                e.chains.push_back({cond, body});
+                for (const IftValue &v : entryRef(cond).inputs)
+                    addValue(e.inputs, v.symbol);
+                for (const IftValue &v : entryRef(body).inputs)
+                    addValue(e.inputs, v.symbol);
+                for (const IftValue &v : entryRef(body).outputs)
+                    addValue(e.outputs, v.symbol);
+            }
+            return index;
+          }
+          case Process::Kind::Seq: {
+            buildProcDecls(proc.decls);
+            std::vector<int> chain;
+            for (const ProcessPtr &child : proc.children)
+                chain.push_back(buildProcess(*child));
+            int index = newEntry(IftEntry::Type::Seq, &proc);
+            IftEntry &e = entryRef(index);
+            noteLocals(e, proc.decls);
+            e.chains.push_back(chain);
+            combineSeq(e, chain);
+            filterLocals(e);
+            return index;
+          }
+          case Process::Kind::Par: {
+            buildProcDecls(proc.decls);
+            int index;
+            if (proc.repl) {
+                // Replicated par: the body (children as a seq chain) is
+                // one template instance; the index var is local.
+                std::vector<int> chain;
+                for (const ProcessPtr &child : proc.children)
+                    chain.push_back(buildProcess(*child));
+                index = newEntry(IftEntry::Type::Par, &proc);
+                IftEntry &e = entryRef(index);
+                noteLocals(e, proc.decls);
+                e.locals.insert(proc.repl->symbol);
+                e.chains.push_back(chain);
+                combineSeq(e, chain);
+                addVars(e.inputs, *proc.repl->base);
+                addVars(e.inputs, *proc.repl->count);
+                filterLocals(e);
+                return index;
+            }
+            std::vector<std::vector<int>> chains;
+            for (const ProcessPtr &child : proc.children)
+                chains.push_back({buildProcess(*child)});
+            index = newEntry(IftEntry::Type::Par, &proc);
+            IftEntry &e = entryRef(index);
+            noteLocals(e, proc.decls);
+            for (auto &chain : chains) {
+                e.chains.push_back(chain);
+                for (const IftValue &v :
+                     entryRef(chain[0]).inputs)
+                    addValue(e.inputs, v.symbol);
+                for (const IftValue &v :
+                     entryRef(chain[0]).outputs)
+                    addValue(e.outputs, v.symbol);
+            }
+            filterLocals(e);
+            return index;
+          }
+        }
+        panic("unreachable process kind");
+    }
+
+    // --- Fig 4.11: use and definition sets --------------------------------
+
+    void
+    findDef(int symbol, int user, int interface,
+            const std::vector<int> &preceding, std::set<int> &defs)
+    {
+        for (int candidate : preceding) {
+            if (IftValue *out = entryRef(candidate).output(symbol)) {
+                out->uses.insert(user);
+                defs.insert(candidate);
+                return;
+            }
+        }
+        for (IftValue &in : entryRef(interface).inputs) {
+            if (in.symbol == symbol) {
+                in.uses.insert(user);
+                defs.insert(interface);
+                return;
+            }
+        }
+        // Locally declared (or use-before-definition): no def entry.
+    }
+
+    void
+    useAndDef(int interface)
+    {
+        IftEntry &e = entryRef(interface);
+        for (const std::vector<int> &chain : e.chains) {
+            std::vector<int> preceding;  // most recent first
+            for (int child : chain) {
+                for (IftValue &in : entryRef(child).inputs)
+                    findDef(in.symbol, child, interface, preceding,
+                            in.defs);
+                useAndDef(child);
+                preceding.insert(preceding.begin(), child);
+            }
+            for (IftValue &out : entryRef(interface).outputs)
+                findDef(out.symbol, interface, interface, preceding,
+                        out.defs);
+        }
+    }
+
+    // --- Fig 4.12: live-value analysis -------------------------------------
+
+    void
+    assignLive(int interface)
+    {
+        IftEntry &e = entryRef(interface);
+        for (const std::vector<int> &chain : e.chains) {
+            for (int child : chain) {
+                for (IftValue &out : entryRef(child).outputs) {
+                    if (out.uses.empty()) {
+                        out.live = varFormal(out.symbol);
+                    } else if (out.uses.size() == 1 &&
+                               *out.uses.begin() == interface) {
+                        // Only exported: loop-carried values are live,
+                        // everything else inherits the interface flag.
+                        if (e.isLoop() && e.input(out.symbol)) {
+                            out.live = true;
+                        } else if (const IftValue *up =
+                                       e.output(out.symbol)) {
+                            out.live = up->live;
+                        } else {
+                            out.live = varFormal(out.symbol);
+                        }
+                    } else {
+                        out.live = true;
+                    }
+                }
+                assignLive(child);
+            }
+        }
+    }
+
+    const Program &program_;
+    const SymbolTable &table_;
+    bool liveAnalysis;
+    Ift ift;
+};
+
+Ift
+Ift::build(const Program &program, const SymbolTable &table,
+           bool live_analysis)
+{
+    return IftBuilder(program, table, live_analysis).run();
+}
+
+} // namespace qm::occam

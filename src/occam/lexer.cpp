@@ -1,0 +1,214 @@
+#include "occam/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/diagnostics.hpp"
+
+namespace qm::occam {
+
+namespace {
+
+const std::map<std::string, Tok> kKeywords = {
+    {"seq", Tok::KwSeq},     {"par", Tok::KwPar},
+    {"if", Tok::KwIf},       {"while", Tok::KwWhile},
+    {"var", Tok::KwVar},     {"chan", Tok::KwChan},
+    {"def", Tok::KwDef},     {"proc", Tok::KwProc},
+    {"skip", Tok::KwSkip},   {"wait", Tok::KwWait},
+    {"value", Tok::KwValue}, {"for", Tok::KwFor},
+    {"true", Tok::KwTrue},   {"false", Tok::KwFalse},
+    {"and", Tok::KwAnd},     {"or", Tok::KwOr},
+    {"not", Tok::KwNot},     {"now", Tok::KwNow},
+    {"after", Tok::KwAfter},
+};
+
+} // namespace
+
+std::string
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::Newline: return "newline";
+      case Tok::Indent: return "indent";
+      case Tok::Dedent: return "dedent";
+      case Tok::EndOfFile: return "end of file";
+      case Tok::Number: return "number";
+      case Tok::Name: return "name";
+      case Tok::Assign: return "':='";
+      case Tok::Query: return "'?'";
+      case Tok::Bang: return "'!'";
+      case Tok::Colon: return "':'";
+      case Tok::Comma: return "','";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Eq: return "'='";
+      case Tok::Neq: return "'<>'";
+      case Tok::Lt: return "'<'";
+      case Tok::Gt: return "'>'";
+      case Tok::Le: return "'<='";
+      case Tok::Ge: return "'>='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Backslash: return "'\\'";
+      default: return "keyword";
+    }
+}
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> tokens;
+    std::vector<int> indents{0};
+    std::size_t pos = 0;
+    int line = 0;
+
+    auto emit = [&](Tok kind, std::string text = {}, long value = 0) {
+        tokens.push_back(Token{kind, std::move(text), value, line});
+    };
+
+    while (pos < source.size()) {
+        ++line;
+        // Measure indentation of this line.
+        int indent = 0;
+        while (pos < source.size() &&
+               (source[pos] == ' ' || source[pos] == '\t')) {
+            indent += source[pos] == '\t' ? 8 : 1;
+            ++pos;
+        }
+        // Blank or comment-only lines do not affect indentation.
+        std::size_t line_end = source.find('\n', pos);
+        if (line_end == std::string::npos)
+            line_end = source.size();
+        std::size_t content_end = line_end;
+        // Strip "--" comments.
+        for (std::size_t i = pos; i + 1 < content_end; ++i) {
+            if (source[i] == '-' && source[i + 1] == '-') {
+                content_end = i;
+                break;
+            }
+        }
+        bool blank = true;
+        for (std::size_t i = pos; i < content_end; ++i) {
+            if (!std::isspace(static_cast<unsigned char>(source[i]))) {
+                blank = false;
+                break;
+            }
+        }
+        if (blank) {
+            pos = line_end < source.size() ? line_end + 1 : line_end;
+            continue;
+        }
+
+        // Indentation bookkeeping.
+        if (indent > indents.back()) {
+            indents.push_back(indent);
+            emit(Tok::Indent);
+        } else {
+            while (indent < indents.back()) {
+                indents.pop_back();
+                emit(Tok::Dedent);
+            }
+            fatalIf(indent != indents.back(), "line ", line,
+                    ": inconsistent indentation");
+        }
+
+        // Tokenize the line content.
+        std::size_t i = pos;
+        while (i < content_end) {
+            char c = source[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+                continue;
+            }
+            if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+                std::string name;
+                while (i < content_end &&
+                       (std::isalnum(
+                            static_cast<unsigned char>(source[i])) ||
+                        source[i] == '_' || source[i] == '.'))
+                    name += source[i++];
+                auto it = kKeywords.find(name);
+                if (it != kKeywords.end())
+                    emit(it->second, name);
+                else
+                    emit(Tok::Name, name);
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                std::string digits;
+                while (i < content_end &&
+                       std::isdigit(
+                           static_cast<unsigned char>(source[i])))
+                    digits += source[i++];
+                emit(Tok::Number, digits, std::stol(digits));
+                continue;
+            }
+            auto two = [&](char second) {
+                return i + 1 < content_end && source[i + 1] == second;
+            };
+            switch (c) {
+              case ':':
+                if (two('=')) {
+                    emit(Tok::Assign);
+                    i += 2;
+                } else {
+                    emit(Tok::Colon);
+                    ++i;
+                }
+                continue;
+              case '<':
+                if (two('>')) {
+                    emit(Tok::Neq);
+                    i += 2;
+                } else if (two('=')) {
+                    emit(Tok::Le);
+                    i += 2;
+                } else {
+                    emit(Tok::Lt);
+                    ++i;
+                }
+                continue;
+              case '>':
+                if (two('=')) {
+                    emit(Tok::Ge);
+                    i += 2;
+                } else {
+                    emit(Tok::Gt);
+                    ++i;
+                }
+                continue;
+              case '?': emit(Tok::Query); ++i; continue;
+              case '!': emit(Tok::Bang); ++i; continue;
+              case ',': emit(Tok::Comma); ++i; continue;
+              case '(': emit(Tok::LParen); ++i; continue;
+              case ')': emit(Tok::RParen); ++i; continue;
+              case '[': emit(Tok::LBracket); ++i; continue;
+              case ']': emit(Tok::RBracket); ++i; continue;
+              case '=': emit(Tok::Eq); ++i; continue;
+              case '+': emit(Tok::Plus); ++i; continue;
+              case '-': emit(Tok::Minus); ++i; continue;
+              case '*': emit(Tok::Star); ++i; continue;
+              case '/': emit(Tok::Slash); ++i; continue;
+              case '\\': emit(Tok::Backslash); ++i; continue;
+              default:
+                fatal("line ", line, ": unexpected character '", c, "'");
+            }
+        }
+        emit(Tok::Newline);
+        pos = line_end < source.size() ? line_end + 1 : line_end;
+    }
+    // Close all open blocks.
+    ++line;
+    while (indents.size() > 1) {
+        indents.pop_back();
+        tokens.push_back(Token{Tok::Dedent, {}, 0, line});
+    }
+    tokens.push_back(Token{Tok::EndOfFile, {}, 0, line});
+    return tokens;
+}
+
+} // namespace qm::occam

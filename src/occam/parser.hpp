@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Recursive-descent parser for the OCCAM subset.
+ *
+ * Notable lowering performed here: a replicated seq
+ * (`seq i = [base for count]`) desugars into the equivalent
+ * while-loop form, which the graph builder then compiles with the
+ * iterative-fork (ifork) splicing scheme of thesis section 4.2.
+ * Replicated par keeps its replicator; the graph builder fans it out.
+ */
+#pragma once
+
+#include "occam/ast.hpp"
+
+namespace qm::occam {
+
+/** Parse OCCAM source; throws FatalError with line info on errors. */
+Program parse(const std::string &source);
+
+} // namespace qm::occam

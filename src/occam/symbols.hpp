@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Symbol table and semantic analysis for the OCCAM subset.
+ *
+ * Sema resolves every name to a symbol id, checks kind correctness
+ * (channels only in ?/!, arrays only subscripted, constants never
+ * assigned), folds def-constants, and annotates the AST in place.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "occam/ast.hpp"
+
+namespace qm::occam {
+
+/** One resolved program entity. */
+struct Symbol
+{
+    enum class Kind
+    {
+        Scalar,    ///< Word variable (flows as a data token).
+        Array,     ///< Word vector (base address flows; data in memory).
+        Channel,   ///< Channel variable (id flows as a token).
+        Constant,  ///< def-bound compile-time constant.
+        Procedure,
+    };
+
+    Kind kind = Kind::Scalar;
+    std::string name;
+    int id = -1;
+    int line = 0;
+    bool topLevel = false;   ///< Declared at program scope.
+
+    long arraySize = 0;      ///< Array element count.
+    long constValue = 0;     ///< Constant value.
+
+    // Procedure info.
+    std::vector<Declaration::Param> params;
+    const Process *procBody = nullptr;
+
+    // Parameter info (set when this symbol is a proc parameter).
+    bool isParam = false;
+    bool paramByValue = false;
+};
+
+/** Result of semantic analysis: the symbol table. */
+class SymbolTable
+{
+  public:
+    const Symbol &symbol(int id) const
+    {
+        return symbols_[static_cast<size_t>(id)];
+    }
+    Symbol &symbol(int id) { return symbols_[static_cast<size_t>(id)]; }
+    int size() const { return static_cast<int>(symbols_.size()); }
+
+    int add(Symbol symbol);
+
+  private:
+    std::vector<Symbol> symbols_;
+};
+
+/**
+ * Resolve names and check the program; annotates Expr::symbol,
+ * Declaration::symbol, Replicator::symbol, and Process::calleeSymbol.
+ * Throws FatalError on semantic errors.
+ */
+SymbolTable analyze(Program &program);
+
+/**
+ * Fold a constant expression (literals, def constants, arithmetic).
+ * Throws FatalError if the expression is not compile-time constant.
+ */
+long foldConstant(const Expr &expr, const SymbolTable &table);
+
+} // namespace qm::occam

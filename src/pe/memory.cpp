@@ -1,0 +1,53 @@
+#include "pe/memory.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace qm::pe {
+
+Memory::Memory(std::size_t bytes) : bytes_(bytes, 0) {}
+
+void
+Memory::checkWord(Addr addr) const
+{
+    fatalIf((addr & 3) != 0, "unaligned word access at ", addr);
+    fatalIf(static_cast<std::size_t>(addr) + 4 > bytes_.size(),
+            "word access out of bounds at ", addr);
+}
+
+Word
+Memory::readWord(Addr addr) const
+{
+    checkWord(addr);
+    return static_cast<Word>(bytes_[addr]) |
+           (static_cast<Word>(bytes_[addr + 1]) << 8) |
+           (static_cast<Word>(bytes_[addr + 2]) << 16) |
+           (static_cast<Word>(bytes_[addr + 3]) << 24);
+}
+
+void
+Memory::writeWord(Addr addr, Word value)
+{
+    checkWord(addr);
+    bytes_[addr] = static_cast<std::uint8_t>(value);
+    bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    bytes_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
+    bytes_[addr + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+std::uint8_t
+Memory::readByte(Addr addr) const
+{
+    fatalIf(static_cast<std::size_t>(addr) >= bytes_.size(),
+            "byte access out of bounds at ", addr);
+    return bytes_[addr];
+}
+
+void
+Memory::writeByte(Addr addr, std::uint8_t value)
+{
+    fatalIf(static_cast<std::size_t>(addr) >= bytes_.size(),
+            "byte access out of bounds at ", addr);
+    bytes_[addr] = value;
+}
+
+} // namespace qm::pe

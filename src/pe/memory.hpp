@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Byte-addressable data memory (thesis section 5.3.1).
+ *
+ * Words are 32 bits, little-endian, and word accesses must be aligned.
+ * The operand-queue pages of every context live in this memory alongside
+ * program data (vectors, arrays), exactly as in the pseudo-static layout
+ * where one instruction space is shared while each context owns a data
+ * page.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/fields.hpp"
+
+namespace qm::pe {
+
+using isa::Addr;
+using isa::Word;
+
+/** Flat byte-addressable memory with checked word/byte access. */
+class Memory
+{
+  public:
+    explicit Memory(std::size_t bytes);
+
+    std::size_t size() const { return bytes_.size(); }
+
+    Word readWord(Addr addr) const;
+    void writeWord(Addr addr, Word value);
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t value);
+
+  private:
+    void checkWord(Addr addr) const;
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace qm::pe

@@ -1,0 +1,314 @@
+#include "programs/benchmarks.hpp"
+
+namespace qm::programs {
+
+namespace {
+
+/** a[i][j] = i + 2j, b[i][j] = 3i - j (integer-exact test data). */
+std::int32_t
+matA(int i, int j)
+{
+    return static_cast<std::int32_t>(i + 2 * j);
+}
+
+std::int32_t
+matB(int i, int j)
+{
+    return static_cast<std::int32_t>(3 * i - j);
+}
+
+/** FFT input x[i] = (i*i + 3i) mod 11. */
+std::int32_t
+fftInput(int i)
+{
+    return static_cast<std::int32_t>((i * i + 3 * i) % 11);
+}
+
+/** Lower-triangular Cholesky generator G: g[i][j] = i-j+1 for j<=i. */
+std::int32_t
+cholG(int i, int j)
+{
+    return j <= i ? static_cast<std::int32_t>(i - j + 1) : 0;
+}
+
+/** Congruence test data: A symmetric, P a mixing matrix. */
+std::int32_t
+congA(int i, int j)
+{
+    return static_cast<std::int32_t>((i + 1) * (j + 1) + (i == j ? 7 : 0));
+}
+
+std::int32_t
+congP(int i, int j)
+{
+    return static_cast<std::int32_t>(((i * j) % 3) + (i == j ? 1 : 0) - 1);
+}
+
+} // namespace
+
+const std::string &
+matmulSource()
+{
+    static const std::string source =
+        "-- Matrix multiplication c = a * b (thesis Table 6.2/Fig 6.8).\n"
+        "-- One parallel context computes each result row.\n"
+        "def n = 6:\n"
+        "var a[36], b[36], c[36]:\n"
+        "seq\n"
+        "  seq i = [0 for n]\n"
+        "    seq j = [0 for n]\n"
+        "      seq\n"
+        "        a[(i * n) + j] := i + (2 * j)\n"
+        "        b[(i * n) + j] := (3 * i) - j\n"
+        "  par i = [0 for n]\n"
+        "    seq j = [0 for n]\n"
+        "      var sum:\n"
+        "      seq\n"
+        "        sum := 0\n"
+        "        seq k = [0 for n]\n"
+        "          sum := sum + (a[(i * n) + k] * b[(k * n) + j])\n"
+        "        c[(i * n) + j] := sum\n";
+    return source;
+}
+
+const std::string &
+fftSource()
+{
+    static const std::string source =
+        "-- 16-point integer butterfly transform (thesis Table 6.3/\n"
+        "-- Fig 6.10). Each stage runs its 8 butterflies in parallel.\n"
+        "def n = 16:\n"
+        "var x[16]:\n"
+        "var dist:\n"
+        "seq\n"
+        "  seq i = [0 for n]\n"
+        "    x[i] := ((i * i) + (3 * i)) \\ 11\n"
+        "  dist := 1\n"
+        "  while dist < n\n"
+        "    seq\n"
+        "      par g = [0 for 8]\n"
+        "        var p, q, u, v:\n"
+        "        seq\n"
+        "          p := (((g / dist) * dist) * 2) + (g \\ dist)\n"
+        "          q := p + dist\n"
+        "          u := x[p]\n"
+        "          v := x[q]\n"
+        "          x[p] := u + v\n"
+        "          x[q] := u - v\n"
+        "      dist := dist * 2\n";
+    return source;
+}
+
+const std::string &
+choleskySource()
+{
+    static const std::string source =
+        "-- Cholesky decomposition a = l * l' (thesis Table 6.4/\n"
+        "-- Fig 6.11). a is built as g * g' for integer lower-\n"
+        "-- triangular g, so the factor is integer-exact and l = g.\n"
+        "-- Row updates below the diagonal run in parallel.\n"
+        "def n = 6:\n"
+        "var g[36], a[36], l[36]:\n"
+        "proc isqrt (value v, var r) =\n"
+        "  seq\n"
+        "    r := 0\n"
+        "    while ((r + 1) * (r + 1)) <= v\n"
+        "      r := r + 1\n"
+        ":\n"
+        "seq\n"
+        "  seq i = [0 for n]\n"
+        "    seq j = [0 for n]\n"
+        "      if\n"
+        "        j <= i\n"
+        "          g[(i * n) + j] := (i - j) + 1\n"
+        "        j > i\n"
+        "          g[(i * n) + j] := 0\n"
+        "  seq i = [0 for n]\n"
+        "    seq j = [0 for n]\n"
+        "      var s:\n"
+        "      seq\n"
+        "        s := 0\n"
+        "        seq k = [0 for n]\n"
+        "          s := s + (g[(i * n) + k] * g[(j * n) + k])\n"
+        "        a[(i * n) + j] := s\n"
+        "  seq j = [0 for n]\n"
+        "    var d, s:\n"
+        "    seq\n"
+        "      s := a[(j * n) + j]\n"
+        "      seq k = [0 for j]\n"
+        "        s := s - (l[(j * n) + k] * l[(j * n) + k])\n"
+        "      isqrt (s, d)\n"
+        "      l[(j * n) + j] := d\n"
+        "      par i = [0 for n]\n"
+        "        if\n"
+        "          i > j\n"
+        "            var s2:\n"
+        "            seq\n"
+        "              s2 := a[(i * n) + j]\n"
+        "              seq k2 = [0 for j]\n"
+        "                s2 := s2 - (l[(i * n) + k2] * l[(j * n) + k2])\n"
+        "              l[(i * n) + j] := s2 / l[(j * n) + j]\n";
+    return source;
+}
+
+const std::string &
+congruenceSource()
+{
+    static const std::string source =
+        "-- Congruence transformation bm = p' * a * p (thesis\n"
+        "-- Table 6.5/Fig 6.12), as two row-parallel products.\n"
+        "def n = 6:\n"
+        "var a[36], p[36], t[36], bm[36]:\n"
+        "seq\n"
+        "  seq i = [0 for n]\n"
+        "    seq j = [0 for n]\n"
+        "      seq\n"
+        "        a[(i * n) + j] := ((i + 1) * (j + 1)) + (7 * (0 \\ 2))\n"
+        "        p[(i * n) + j] := (((i * j) \\ 3) - 1)\n"
+        "  seq i = [0 for n]\n"
+        "    seq\n"
+        "      a[(i * n) + i] := a[(i * n) + i] + 7\n"
+        "      p[(i * n) + i] := p[(i * n) + i] + 1\n"
+        "  par i = [0 for n]\n"
+        "    seq j = [0 for n]\n"
+        "      var s:\n"
+        "      seq\n"
+        "        s := 0\n"
+        "        seq k = [0 for n]\n"
+        "          s := s + (a[(i * n) + k] * p[(k * n) + j])\n"
+        "        t[(i * n) + j] := s\n"
+        "  par i = [0 for n]\n"
+        "    seq j = [0 for n]\n"
+        "      var s:\n"
+        "      seq\n"
+        "        s := 0\n"
+        "        seq k = [0 for n]\n"
+        "          s := s + (p[(k * n) + i] * t[(k * n) + j])\n"
+        "        bm[(i * n) + j] := s\n";
+    return source;
+}
+
+const std::string &
+binaryFanRecursiveSource()
+{
+    static const std::string source =
+        "-- Fig 6.9: binary-recursive fan-out. Each call splits the\n"
+        "-- index range and recurses in parallel; leaves record depth.\n"
+        "var v[16]:\n"
+        "proc fanrec (value d, value base, value width, var sink[]) =\n"
+        "  if\n"
+        "    width = 1\n"
+        "      sink[base] := d + base\n"
+        "    width > 1\n"
+        "      par\n"
+        "        fanrec (d + 1, base, width / 2, sink)\n"
+        "        fanrec (d + 1, base + (width / 2), width / 2, sink)\n"
+        ":\n"
+        "fanrec (0, 0, 16, v)\n";
+    return source;
+}
+
+const std::string &
+binaryFanIterativeSource()
+{
+    static const std::string source =
+        "-- Fig 6.9 counterpart: the same fan-out without recursion,\n"
+        "-- one replicated-par instance per leaf.\n"
+        "def depth = 4:\n"
+        "var v[16]:\n"
+        "par i = [0 for 16]\n"
+        "  v[i] := depth + i\n";
+    return source;
+}
+
+std::vector<std::int32_t>
+expectedMatmul()
+{
+    std::vector<std::int32_t> c(kMatN * kMatN, 0);
+    for (int i = 0; i < kMatN; ++i)
+        for (int j = 0; j < kMatN; ++j) {
+            std::int32_t sum = 0;
+            for (int k = 0; k < kMatN; ++k)
+                sum += matA(i, k) * matB(k, j);
+            c[static_cast<size_t>(i * kMatN + j)] = sum;
+        }
+    return c;
+}
+
+std::vector<std::int32_t>
+expectedFft()
+{
+    std::vector<std::int32_t> x(kFftN);
+    for (int i = 0; i < kFftN; ++i)
+        x[static_cast<size_t>(i)] = fftInput(i);
+    for (int dist = 1; dist < kFftN; dist *= 2) {
+        for (int g = 0; g < kFftN / 2; ++g) {
+            int p = (g / dist) * dist * 2 + (g % dist);
+            int q = p + dist;
+            std::int32_t u = x[static_cast<size_t>(p)];
+            std::int32_t v = x[static_cast<size_t>(q)];
+            x[static_cast<size_t>(p)] = u + v;
+            x[static_cast<size_t>(q)] = u - v;
+        }
+    }
+    return x;
+}
+
+std::vector<std::int32_t>
+expectedCholesky()
+{
+    // By construction A = G G' with positive diagonal, so L = G.
+    std::vector<std::int32_t> l(kMatN * kMatN, 0);
+    for (int i = 0; i < kMatN; ++i)
+        for (int j = 0; j < kMatN; ++j)
+            l[static_cast<size_t>(i * kMatN + j)] = cholG(i, j);
+    return l;
+}
+
+std::vector<std::int32_t>
+expectedCongruence()
+{
+    std::vector<std::int32_t> t(kMatN * kMatN, 0);
+    for (int i = 0; i < kMatN; ++i)
+        for (int j = 0; j < kMatN; ++j) {
+            std::int32_t sum = 0;
+            for (int k = 0; k < kMatN; ++k)
+                sum += congA(i, k) * congP(k, j);
+            t[static_cast<size_t>(i * kMatN + j)] = sum;
+        }
+    std::vector<std::int32_t> b(kMatN * kMatN, 0);
+    for (int i = 0; i < kMatN; ++i)
+        for (int j = 0; j < kMatN; ++j) {
+            std::int32_t sum = 0;
+            for (int k = 0; k < kMatN; ++k)
+                sum += congP(k, i) * t[static_cast<size_t>(k * kMatN + j)];
+            b[static_cast<size_t>(i * kMatN + j)] = sum;
+        }
+    return b;
+}
+
+std::vector<std::int32_t>
+expectedBinaryFan()
+{
+    std::vector<std::int32_t> v(16);
+    for (int i = 0; i < 16; ++i)
+        v[static_cast<size_t>(i)] = kFanDepth + i;
+    return v;
+}
+
+std::vector<Benchmark>
+thesisBenchmarks()
+{
+    return {
+        {"matmul", "Fig 6.8 / Table 6.2", matmulSource(), "c",
+         expectedMatmul()},
+        {"fft", "Fig 6.10 / Table 6.3", fftSource(), "x",
+         expectedFft()},
+        {"cholesky", "Fig 6.11 / Table 6.4", choleskySource(), "l",
+         expectedCholesky()},
+        {"congruence", "Fig 6.12 / Table 6.5", congruenceSource(), "bm",
+         expectedCongruence()},
+    };
+}
+
+} // namespace qm::programs

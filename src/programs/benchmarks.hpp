@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The thesis evaluation programs (Chapter 6, sections 6.3-6.4) as
+ * embedded OCCAM sources, with reference calculators for verification.
+ *
+ * The four programs match the thesis benchmark suite: matrix
+ * multiplication (Table 6.2/Fig 6.8), Fast Fourier Transform
+ * (Table 6.3/Fig 6.10), Cholesky decomposition (Table 6.4/Fig 6.11),
+ * and congruence transformation B = P'AP (Table 6.5/Fig 6.12), plus the
+ * Fig 6.9 binary-recursive fan-out procedure pair.
+ *
+ * Substitutions (documented in DESIGN.md): the machine is a 32-bit
+ * integer ISA, so the FFT is realized as the integer butterfly network
+ * of the Walsh-Hadamard transform (identical communication structure,
+ * exact arithmetic), and Cholesky uses an integer Newton-style isqrt on
+ * a matrix constructed as G*G' for integer lower-triangular G, making
+ * every intermediate value exact.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qm::programs {
+
+/** Problem sizes. */
+constexpr int kMatN = 6;    ///< Matrix benchmarks are kMatN x kMatN.
+constexpr int kFftN = 16;   ///< FFT length.
+constexpr int kFanDepth = 4;///< Fig 6.9 fan-out depth (16 leaves).
+
+/** OCCAM source of the matrix multiplication benchmark. */
+const std::string &matmulSource();
+/** OCCAM source of the (Walsh-Hadamard) FFT benchmark. */
+const std::string &fftSource();
+/** OCCAM source of the Cholesky decomposition benchmark. */
+const std::string &choleskySource();
+/** OCCAM source of the congruence transformation benchmark. */
+const std::string &congruenceSource();
+/** OCCAM source of the Fig 6.9 recursive binary fan-out program. */
+const std::string &binaryFanRecursiveSource();
+/** OCCAM source of the equivalent non-recursive fan-out program. */
+const std::string &binaryFanIterativeSource();
+
+/** Expected result matrix c of the matmul benchmark (row-major). */
+std::vector<std::int32_t> expectedMatmul();
+/** Expected transformed vector of the FFT benchmark. */
+std::vector<std::int32_t> expectedFft();
+/** Expected factor L of the Cholesky benchmark (row-major). */
+std::vector<std::int32_t> expectedCholesky();
+/** Expected matrix B of the congruence benchmark (row-major). */
+std::vector<std::int32_t> expectedCongruence();
+/** Expected leaf vector of the fan-out programs. */
+std::vector<std::int32_t> expectedBinaryFan();
+
+/** One entry of the benchmark suite. */
+struct Benchmark
+{
+    std::string name;          ///< "matmul", "fft", ...
+    std::string thesisFigure;  ///< e.g. "Fig 6.8 / Table 6.2".
+    const std::string &source;
+    std::string resultArray;   ///< Top-level array holding the result.
+    std::vector<std::int32_t> expected;
+};
+
+/** The four Chapter 6 benchmarks in thesis order. */
+std::vector<Benchmark> thesisBenchmarks();
+
+} // namespace qm::programs

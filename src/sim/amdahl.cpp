@@ -1,0 +1,25 @@
+#include "sim/amdahl.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace qm::sim {
+
+double
+amdahlSpeedup(double f, int n)
+{
+    fatalIf(f < 0.0 || f > 1.0, "parallel fraction must be in [0,1]");
+    fatalIf(n < 1, "need at least one PE");
+    return 1.0 / ((1.0 - f) + f / n);
+}
+
+double
+modifiedAmdahlSpeedup(double f, double g, int n)
+{
+    fatalIf(f < 0.0 || f > 1.0, "parallel fraction must be in [0,1]");
+    fatalIf(g < 0.0, "overhead fraction must be non-negative");
+    fatalIf(n < 1, "need at least one PE");
+    double nn = static_cast<double>(n);
+    return (1.0 + g) / ((1.0 - f) + f / nn + g / (nn * nn));
+}
+
+} // namespace qm::sim

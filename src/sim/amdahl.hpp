@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Analytic speed-up models (thesis Figures 6.6 and 6.7).
+ *
+ * Fig 6.6 plots classic Amdahl's law with parallel fraction f = 0.93.
+ * Fig 6.7 plots the thesis's modified law (f = 0.63, g = 0.3), which
+ * adds a multiprogramming-overhead term: with one PE every context
+ * multiplexes on the same processor, paying window roll-out and kernel
+ * scheduling costs that fade as contexts spread over more PEs. The
+ * surviving text does not give the exact functional form, so this
+ * reproduction uses
+ *
+ *     S(n) = (1 + g) / ((1 - f) + f/n + g/n^2)
+ *
+ * - the overhead fraction g falls off quadratically because both the
+ * switch frequency per PE and the ready-queue depth drop roughly as
+ * 1/n. The qualitative feature matches the thesis: measured speed-up
+ * exceeds the plain-Amdahl prediction because the one-PE baseline
+ * carries overhead the parallel runs shed.
+ */
+#pragma once
+
+namespace qm::sim {
+
+/** Classic Amdahl speed-up with parallel fraction @p f on @p n PEs. */
+double amdahlSpeedup(double f, int n);
+
+/** Modified Amdahl speed-up with overhead fraction @p g (see above). */
+double modifiedAmdahlSpeedup(double f, double g, int n);
+
+} // namespace qm::sim

@@ -1,0 +1,66 @@
+#include "sim/experiment.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace qm::sim {
+
+double
+SpeedupSeries::ratio(std::size_t index) const
+{
+    panicIf(runs.empty(), "empty speed-up series");
+    double base = static_cast<double>(runs.front().cycles);
+    return base / static_cast<double>(runs[index].cycles);
+}
+
+RunReport
+runOnce(const occam::CompiledProgram &program,
+        const std::string &result_array,
+        const std::vector<std::int32_t> &expected, int pes,
+        const mp::SystemConfig &base_config)
+{
+    mp::SystemConfig config = base_config;
+    config.numPes = pes;
+    mp::System system(program.object, config);
+    mp::RunResult result = system.run(program.mainLabel);
+
+    RunReport report;
+    report.pes = pes;
+    report.cycles = result.cycles;
+    report.instructions = result.instructions;
+    report.contexts = result.contexts;
+    report.rendezvous = result.rendezvous;
+    report.contextSwitches = result.contextSwitches;
+    report.utilization = result.utilization;
+    report.verified = result.completed;
+    if (report.verified && !expected.empty()) {
+        isa::Addr base = program.arrayAddress(result_array);
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            auto got = static_cast<std::int32_t>(system.memory().readWord(
+                base + static_cast<isa::Addr>(i) * 4));
+            if (got != expected[i]) {
+                report.verified = false;
+                break;
+            }
+        }
+    }
+    return report;
+}
+
+SpeedupSeries
+runSpeedupSweep(const std::string &name, const std::string &source,
+                const std::string &result_array,
+                const std::vector<std::int32_t> &expected,
+                const std::vector<int> &pe_counts,
+                const occam::CompileOptions &options,
+                const mp::SystemConfig &base_config)
+{
+    occam::CompiledProgram program = occam::compileOccam(source, options);
+    SpeedupSeries series;
+    series.name = name;
+    for (int pes : pe_counts)
+        series.runs.push_back(
+            runOnce(program, result_array, expected, pes, base_config));
+    return series;
+}
+
+} // namespace qm::sim

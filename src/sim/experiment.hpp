@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Experiment runner for the Chapter 6 simulation study: compiles an
+ * OCCAM benchmark, runs it at a given PE count, verifies the result
+ * against the reference, and reports the statistics the thesis tables
+ * record (instructions, contexts, channel transfers, cycles,
+ * throughput ratio, PE utilization).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mp/system.hpp"
+#include "occam/compiler.hpp"
+
+namespace qm::sim {
+
+/** Statistics of one benchmark run (one thesis table row). */
+struct RunReport
+{
+    int pes = 0;
+    bool verified = false;
+    mp::Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t contexts = 0;
+    std::uint64_t rendezvous = 0;
+    std::uint64_t contextSwitches = 0;
+    double utilization = 0.0;
+};
+
+/** One benchmark swept over PE counts. */
+struct SpeedupSeries
+{
+    std::string name;
+    std::vector<RunReport> runs;  ///< Indexed by sweep position.
+
+    /** Throughput ratio vs the 1-PE run (thesis Figs 6.8-6.12). */
+    double ratio(std::size_t index) const;
+};
+
+/**
+ * Compile @p source once per configuration and run it at every PE
+ * count in @p pe_counts, checking @p expected in @p result_array.
+ */
+SpeedupSeries
+runSpeedupSweep(const std::string &name, const std::string &source,
+                const std::string &result_array,
+                const std::vector<std::int32_t> &expected,
+                const std::vector<int> &pe_counts,
+                const occam::CompileOptions &options = {},
+                const mp::SystemConfig &base_config = {});
+
+/** Single run helper used by the sweep and the ablation bench. */
+RunReport runOnce(const occam::CompiledProgram &program,
+                  const std::string &result_array,
+                  const std::vector<std::int32_t> &expected, int pes,
+                  const mp::SystemConfig &base_config = {});
+
+} // namespace qm::sim

@@ -1,0 +1,17 @@
+#include "support/diagnostics.hpp"
+
+namespace qm {
+
+void
+panicImpl(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+} // namespace qm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error reporting facilities for the queue-machine system.
+ *
+ * Follows the gem5 convention: panic() flags an internal invariant
+ * violation (a bug in this library); fatal() flags a condition caused by
+ * the user of the library (bad program, bad configuration). Both throw
+ * typed exceptions rather than aborting so that tests can assert on them.
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "support/format.hpp"
+
+namespace qm {
+
+/** Thrown by panic(): an internal invariant of the simulator was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the input (program, configuration) is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+/** Report an internal error (a bug in the library itself). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    panicImpl(cat(std::forward<Args>(args)...));
+}
+
+/** Report a user-caused error (invalid source program, bad config). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    fatalImpl(cat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the invariant holds. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(std::forward<Args>(args)...);
+}
+
+/** fatal() if the user-facing condition is violated. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(std::forward<Args>(args)...);
+}
+
+} // namespace qm

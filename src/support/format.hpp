@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal string-building helpers.
+ *
+ * libstdc++ 12 lacks std::format, so diagnostics and table printers build
+ * strings with an ostream-based concatenator instead.
+ */
+#pragma once
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace qm {
+
+/** Concatenate any streamable values into one string. */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Format a double with fixed precision. */
+inline std::string
+fixed(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+} // namespace qm

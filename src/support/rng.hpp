@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for tests and workload
+ * generators. SplitMix64 keeps runs reproducible across platforms without
+ * depending on the (implementation-defined) std distributions.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace qm {
+
+/** SplitMix64 generator: tiny, fast, and fully deterministic. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform signed value in [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace qm

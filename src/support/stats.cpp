@@ -1,0 +1,90 @@
+#include "support/stats.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/format.hpp"
+
+namespace qm {
+
+void
+StatSet::inc(const std::string &name, std::uint64_t delta)
+{
+    counters[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    scalars[name] = value;
+}
+
+void
+StatSet::sample(const std::string &name, double value)
+{
+    distributions[name].sample(value);
+}
+
+std::uint64_t
+StatSet::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+bool
+StatSet::hasCounter(const std::string &name) const
+{
+    return counters.count(name) != 0;
+}
+
+double
+StatSet::scalar(const std::string &name) const
+{
+    auto it = scalars.find(name);
+    return it == scalars.end() ? 0.0 : it->second;
+}
+
+const Distribution &
+StatSet::distribution(const std::string &name) const
+{
+    auto it = distributions.find(name);
+    panicIf(it == distributions.end(), "unknown distribution: ", name);
+    return it->second;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+    for (const auto &[name, value] : other.scalars)
+        scalars[name] = value;
+    for (const auto &[name, dist] : other.distributions) {
+        Distribution &mine = distributions[name];
+        // Merging loses per-sample detail; fold in the aggregate moments.
+        if (dist.count() > 0) {
+            mine.sample(dist.min());
+            if (dist.count() > 1)
+                mine.sample(dist.max());
+        }
+    }
+}
+
+std::string
+StatSet::render() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters)
+        os << name << " " << value << "\n";
+    for (const auto &[name, value] : scalars)
+        os << name << " " << fixed(value, 4) << "\n";
+    for (const auto &[name, dist] : distributions) {
+        os << name << " count=" << dist.count() << " min=" << dist.min()
+           << " max=" << dist.max() << " mean=" << fixed(dist.mean(), 3)
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace qm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simple named-statistic registry used throughout the simulator.
+ *
+ * Mirrors the role of the thesis simulator's per-run statistics tables
+ * (Tables 6.2-6.5): counters (events), scalars (measured quantities), and
+ * distributions (min/max/mean over samples).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qm {
+
+/** Accumulates samples and reports count/min/max/mean. */
+class Distribution
+{
+  public:
+    void
+    sample(double value)
+    {
+        if (count_ == 0 || value < min_)
+            min_ = value;
+        if (count_ == 0 || value > max_)
+            max_ = value;
+        sum_ += value;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Registry of named counters and distributions for one simulated run. */
+class StatSet
+{
+  public:
+    /** Add delta to the named counter (created on first use). */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set a named scalar outright. */
+    void set(const std::string &name, double value);
+
+    /** Add a sample to a named distribution. */
+    void sample(const std::string &name, double value);
+
+    std::uint64_t counter(const std::string &name) const;
+    double scalar(const std::string &name) const;
+    const Distribution &distribution(const std::string &name) const;
+    bool hasCounter(const std::string &name) const;
+
+    /** Merge another StatSet into this one (counters add, samples append). */
+    void merge(const StatSet &other);
+
+    /** Render all statistics as "name value" lines, sorted by name. */
+    std::string render() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> scalars;
+    std::map<std::string, Distribution> distributions;
+};
+
+} // namespace qm

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness, so each bench
+ * binary can print rows in the same layout as the thesis tables.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qm {
+
+/** Column-aligned plain-text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; it must have as many cells as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column alignment and a header separator. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace qm

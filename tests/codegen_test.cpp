@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Code-generation stress tests: dup-chain fan-out, large contexts,
+ * queue-offset validation, assembly well-formedness, and the DOT
+ * dumper (thesis sections 4.7/5.3).
+ */
+#include <gtest/gtest.h>
+
+#include "mp/system.hpp"
+#include "occam/codegen.hpp"
+#include "occam/compiler.hpp"
+#include "occam/graph_builder.hpp"
+#include "occam/ift.hpp"
+#include "occam/parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace {
+
+using namespace qm;
+using namespace qm::occam;
+
+isa::Word
+runAndReadWord(const std::string &source, const std::string &array,
+               int index = 0, int pes = 1)
+{
+    CompiledProgram program = compileOccam(source);
+    mp::SystemConfig config;
+    config.numPes = pes;
+    mp::System system(program.object, config);
+    mp::RunResult result = system.run(program.mainLabel);
+    EXPECT_TRUE(result.completed);
+    return system.memory().readWord(
+        program.arrayAddress(array) +
+        static_cast<isa::Addr>(index) * 4);
+}
+
+TEST(Codegen, WideFanOutUsesDupChains)
+{
+    // One value consumed 20 times: the fan-out exceeds both dst fields
+    // and the 16-register window, forcing dup1/dup2 chains and
+    // memory-resident queue traffic.
+    // x is fetched from memory so constant folding cannot erase it.
+    std::string source =
+        "var r[1], seed[1]:\n"
+        "var x, acc:\n"
+        "seq\n"
+        "  seed[0] := 3\n"
+        "  x := seed[0]\n"
+        "  acc := 0\n";
+    source += "  acc := acc";
+    for (int i = 0; i < 20; ++i)
+        source += " + (x * " + std::to_string(i + 1) + ")";
+    source += "\n  r[0] := acc\n";
+    // 3 * (1+2+...+20) = 3 * 210 = 630.
+    EXPECT_EQ(runAndReadWord(source, "r"), 630u);
+
+    // The generated assembly must actually contain dup instructions.
+    CompiledProgram program = compileOccam(source);
+    EXPECT_NE(program.assembly.find("dup"), std::string::npos);
+}
+
+TEST(Codegen, DeepExpressionStressesQueueOffsets)
+{
+    // A long dependent chain keeps the queue span narrow; a wide sum
+    // keeps many live values. Both must fit the 256-word page.
+    std::string source =
+        "var r[1]:\n"
+        "var a, b, c, d:\n"
+        "seq\n"
+        "  a := 1\n"
+        "  b := 2\n"
+        "  c := 3\n"
+        "  d := 4\n"
+        "  r[0] := ((a + b) * (c + d)) + ((a * c) - (b * d)) + "
+        "((a + d) * (b + c)) + ((d - a) * (c - b))\n";
+    // (3*7) + (3-8) + (5*5) + (3*1) = 21 - 5 + 25 + 3 = 44.
+    EXPECT_EQ(static_cast<isa::SWord>(runAndReadWord(source, "r")), 44);
+}
+
+TEST(Codegen, OversizedContextIsRejectedCleanly)
+{
+    // A single expression with hundreds of simultaneously-live values
+    // overflows the operand-queue page; the compiler must refuse with
+    // a diagnostic, not emit broken code.
+    std::string source =
+        "var r[1], seed[1]:\n"
+        "var x:\n"
+        "seq\n"
+        "  seed[0] := 1\n"
+        "  x := seed[0]\n"
+        "  r[0] := x";
+    for (int i = 0; i < 300; ++i)
+        source += " + (x * " + std::to_string(i) + ")";
+    source += "\n";
+    EXPECT_THROW(compileOccam(source), FatalError);
+}
+
+TEST(Codegen, FifoSchedulingStillCorrect)
+{
+    const std::string source =
+        "var r[1]:\n"
+        "var i, sum:\n"
+        "seq\n"
+        "  i := 0\n"
+        "  sum := 0\n"
+        "  while i < 5\n"
+        "    seq\n"
+        "      sum := sum + i\n"
+        "      i := i + 1\n"
+        "  r[0] := sum\n";
+    CompileOptions options;
+    options.priorityScheduling = false;
+    CompiledProgram program = compileOccam(source, options);
+    mp::System system(program.object, mp::SystemConfig{});
+    ASSERT_TRUE(system.run(program.mainLabel).completed);
+    EXPECT_EQ(system.memory().readWord(program.arrayAddress("r")),
+              10u);
+}
+
+TEST(Codegen, AssemblyReassemblesAndDisassembles)
+{
+    CompiledProgram program = compileOccam(
+        "var r[1]:\n"
+        "var x:\n"
+        "seq\n"
+        "  x := 5\n"
+        "  if\n"
+        "    x > 3\n"
+        "      r[0] := 1\n"
+        "    x <= 3\n"
+        "      r[0] := 2\n");
+    // Round trip: the emitted text reassembles to identical words.
+    isa::ObjectCode again = isa::assemble(program.assembly);
+    EXPECT_EQ(again.words, program.object.words);
+    // And the whole object disassembles without tripping the decoder.
+    auto lines = isa::disassemble(program.object);
+    EXPECT_GT(lines.size(), program.object.words.size() / 2);
+}
+
+TEST(Codegen, DotDumpCoversEveryContext)
+{
+    CompileOptions options;
+    options.emitDot = true;
+    CompiledProgram program = compileOccam(
+        "var r[1]:\n"
+        "var i:\n"
+        "seq\n"
+        "  i := 0\n"
+        "  while i < 3\n"
+        "    i := i + 1\n"
+        "  r[0] := i\n",
+        options);
+    EXPECT_EQ(static_cast<int>(program.dot.size()),
+              program.contextCount);
+    for (const auto &[label, dot] : program.dot) {
+        EXPECT_NE(dot.find("digraph"), std::string::npos);
+        // Control-token arcs render dashed.
+        if (label.find("while") != std::string::npos)
+            EXPECT_NE(dot.find("->"), std::string::npos);
+    }
+}
+
+TEST(Codegen, ContextCountMatchesPartitioning)
+{
+    // main + head/body/term per while + branch/branch/skip per if.
+    CompiledProgram program = compileOccam(
+        "var r[1]:\n"
+        "var i:\n"
+        "seq\n"
+        "  i := 0\n"
+        "  while i < 2\n"
+        "    i := i + 1\n"
+        "  if\n"
+        "    i = 2\n"
+        "      r[0] := 1\n"
+        "    i <> 2\n"
+        "      r[0] := 2\n");
+    // 1 main + 3 loop graphs + 3 if graphs (2 branches + skip).
+    EXPECT_EQ(program.contextCount, 7);
+}
+
+TEST(Codegen, EveryContextEndsWithExitTrap)
+{
+    CompiledProgram program = compileOccam(
+        "var r[1]:\n"
+        "par i = [0 for 3]\n"
+        "  r[0] := i\n");
+    // Count exit traps in the assembly: one per context.
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while ((pos = program.assembly.find("trap #0,#0", pos)) !=
+           std::string::npos) {
+        ++count;
+        ++pos;
+    }
+    EXPECT_EQ(static_cast<int>(count), program.contextCount);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the pipelined-ALU cost model (thesis section 3.4).
+ */
+#include <gtest/gtest.h>
+
+#include "expr/enumerate.hpp"
+#include "expr/parse_tree.hpp"
+#include "expr/pipeline_model.hpp"
+#include "expr/traversal.hpp"
+
+namespace {
+
+using namespace qm::expr;
+
+TEST(Pipeline, SingleLeafTakesOneCycle)
+{
+    ParseTree tree = ParseTree::parse("a");
+    PipelineConfig config{2, false};
+    EXPECT_EQ(queueCycles(tree, levelOrder(tree), config), 1);
+    EXPECT_EQ(stackCycles(tree, postOrder(tree), config), 1);
+}
+
+TEST(Pipeline, SingleBinaryOpCosts)
+{
+    // fetch a @0, fetch b @1, add issues @2, completes @2+S.
+    ParseTree tree = ParseTree::parse("a+b");
+    for (int stages = 1; stages <= 5; ++stages) {
+        PipelineConfig config{stages, false};
+        EXPECT_EQ(queueCycles(tree, levelOrder(tree), config), 2 + stages);
+        EXPECT_EQ(stackCycles(tree, postOrder(tree), config), 2 + stages);
+    }
+}
+
+TEST(Pipeline, QueueNeverSlowerThanStack)
+{
+    // Thesis: "the queue-based execution model always meets or exceeds
+    // the performance of the stack-based machine ... for all instruction
+    // sequences (not just the average)". Exhaustive check to 9 nodes for
+    // both fetch disciplines and several pipeline depths.
+    for (bool overlapped : {false, true}) {
+        for (int stages : {1, 2, 3, 4}) {
+            PipelineConfig config{stages, overlapped};
+            for (int n = 1; n <= 9; ++n) {
+                forEachTree(n, [&](const ParseTree &tree) {
+                    long q = queueCycles(tree, levelOrder(tree), config);
+                    long s = stackCycles(tree, postOrder(tree), config);
+                    ASSERT_LE(q, s)
+                        << "tree " << tree.toString() << " stages "
+                        << stages << " overlapped " << overlapped;
+                });
+            }
+        }
+    }
+}
+
+TEST(Pipeline, NoSpeedupWithSingleStageAlu)
+{
+    // With a 1-stage ALU there is no pipelining to exploit, so the two
+    // machines tie on every tree in the overlapped-fetch case.
+    PipelineConfig config{1, true};
+    for (int n = 1; n <= 8; ++n) {
+        forEachTree(n, [&](const ParseTree &tree) {
+            long q = queueCycles(tree, levelOrder(tree), config);
+            long s = stackCycles(tree, postOrder(tree), config);
+            ASSERT_EQ(q, s) << tree.toString();
+        });
+    }
+}
+
+TEST(Pipeline, SmallTreesShowNoBenefit)
+{
+    // Table 3.2: speed-up is 1.00 for trees of up to 4 nodes.
+    PipelineConfig config{2, false};
+    for (int n = 1; n <= 4; ++n) {
+        SpeedupResult r = averageSpeedup(n, config);
+        EXPECT_DOUBLE_EQ(r.meanSpeedup, 1.0) << "n=" << n;
+    }
+}
+
+TEST(Pipeline, SpeedupGrowsWithTreeSize)
+{
+    // Table 3.2: mean speed-up is non-decreasing in tree size and
+    // materially above 1 by 11 nodes, for both cases.
+    for (bool overlapped : {false, true}) {
+        PipelineConfig config{2, overlapped};
+        double prev = 1.0;
+        for (int n = 5; n <= 11; ++n) {
+            SpeedupResult r = averageSpeedup(n, config);
+            EXPECT_GE(r.meanSpeedup, prev - 0.02)
+                << "n=" << n << " overlapped=" << overlapped;
+            prev = r.meanSpeedup;
+        }
+        SpeedupResult at11 = averageSpeedup(11, config);
+        EXPECT_GT(at11.meanSpeedup, 1.03);
+        EXPECT_LT(at11.meanSpeedup, 1.6);
+    }
+}
+
+TEST(Pipeline, OverlappedFetchBeatsNonOverlappedAt11Nodes)
+{
+    // Table 3.2: case 2 mean speed-up >= case 1 mean speed-up.
+    SpeedupResult case1 = averageSpeedup(11, PipelineConfig{2, false});
+    SpeedupResult case2 = averageSpeedup(11, PipelineConfig{2, true});
+    EXPECT_GE(case2.meanSpeedup + 1e-9, case1.meanSpeedup);
+}
+
+TEST(Pipeline, Case1BenefitGrowsWithPipelineDepth)
+{
+    // Table 3.3: under case 1 the queue machine's advantage grows with
+    // the number of pipeline stages.
+    double prev = 0.0;
+    for (int stages : {1, 2, 3, 4, 5}) {
+        SpeedupResult r = averageSpeedup(9, PipelineConfig{stages, false});
+        EXPECT_GE(r.meanSpeedup + 1e-9, prev) << "stages=" << stages;
+        prev = r.meanSpeedup;
+    }
+}
+
+} // namespace

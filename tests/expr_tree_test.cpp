@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for parse trees, traversals, the level-order conjugate tree
+ * (thesis Fig 3.1/3.3), and tree enumeration (thesis Table 3.2 column 2).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "expr/conjugate.hpp"
+#include "expr/enumerate.hpp"
+#include "expr/parse_tree.hpp"
+#include "expr/traversal.hpp"
+#include "support/diagnostics.hpp"
+
+namespace {
+
+using namespace qm;
+using namespace qm::expr;
+
+std::vector<std::string>
+labels(const ParseTree &tree, const std::vector<int> &order)
+{
+    std::vector<std::string> out;
+    for (int id : order)
+        out.push_back(tree.node(id).label);
+    return out;
+}
+
+TEST(ParseTree, ParsesThesisExpression)
+{
+    // f <- a*b + (c-d)/e, the running example of Table 3.1 / Fig 3.1.
+    ParseTree tree = ParseTree::parse("a*b + (c-d)/e");
+    EXPECT_EQ(tree.size(), 9);
+    EXPECT_EQ(tree.toString(), "((a * b) + ((c - d) / e))");
+    EXPECT_EQ(tree.leafCount(), 5);
+    EXPECT_EQ(tree.height(), 3);
+}
+
+TEST(ParseTree, ParsesUnaryMinus)
+{
+    ParseTree tree = ParseTree::parse("-(a - b)");
+    EXPECT_EQ(tree.toString(), "(neg (a - b))");
+    EXPECT_EQ(tree.node(tree.root()).kind, OpKind::Unary);
+}
+
+TEST(ParseTree, RespectsPrecedenceAndAssociativity)
+{
+    EXPECT_EQ(ParseTree::parse("a+b*c").toString(), "(a + (b * c))");
+    EXPECT_EQ(ParseTree::parse("a-b-c").toString(), "((a - b) - c)");
+    EXPECT_EQ(ParseTree::parse("a/b/c").toString(), "((a / b) / c)");
+    EXPECT_EQ(ParseTree::parse("(a+b)*c").toString(), "((a + b) * c)");
+}
+
+TEST(ParseTree, RejectsMalformedInput)
+{
+    EXPECT_THROW(ParseTree::parse("a +"), FatalError);
+    EXPECT_THROW(ParseTree::parse("(a"), FatalError);
+    EXPECT_THROW(ParseTree::parse("a b"), FatalError);
+    EXPECT_THROW(ParseTree::parse("$"), FatalError);
+}
+
+TEST(ParseTree, LevelsMatchDefinition)
+{
+    ParseTree tree = ParseTree::parse("a*b + (c-d)/e");
+    EXPECT_EQ(tree.level(tree.root()), 0);
+    const Node &root = tree.node(tree.root());
+    EXPECT_EQ(tree.level(root.left), 1);
+    EXPECT_EQ(tree.level(root.right), 1);
+}
+
+TEST(Traversal, LevelOrderOfThesisExpression)
+{
+    // Fig 3.1(b): level order visits c, d, a, b, -, e, *, /, + as the
+    // queue-machine sequence of Table 3.1 (fetch c, fetch d, fetch a,
+    // fetch b, sub, fetch e, mul, div, add).
+    ParseTree tree = ParseTree::parse("a*b + (c-d)/e");
+    auto seq = labels(tree, levelOrder(tree));
+    std::vector<std::string> expected = {"c", "d", "a", "b", "-",
+                                         "e", "*", "/", "+"};
+    EXPECT_EQ(seq, expected);
+}
+
+TEST(Traversal, PostOrderOfThesisExpression)
+{
+    ParseTree tree = ParseTree::parse("a*b + (c-d)/e");
+    auto seq = labels(tree, postOrder(tree));
+    std::vector<std::string> expected = {"a", "b", "*", "c", "d",
+                                         "-", "e", "/", "+"};
+    EXPECT_EQ(seq, expected);
+}
+
+TEST(Traversal, SingleNode)
+{
+    ParseTree tree = ParseTree::parse("a");
+    EXPECT_EQ(levelOrder(tree), std::vector<int>{tree.root()});
+    EXPECT_EQ(postOrder(tree), std::vector<int>{tree.root()});
+}
+
+TEST(Conjugate, MatchesDirectLevelOrderOnThesisExpression)
+{
+    ParseTree tree = ParseTree::parse("a*b + (c-d)/e");
+    EXPECT_EQ(levelOrderViaConjugate(tree), levelOrder(tree));
+}
+
+TEST(Conjugate, MatchesDirectLevelOrderExhaustively)
+{
+    // The thesis lemma: in-order(conjugate(T)) == level-order(T) for all
+    // binary trees. Check every tree shape up to 9 nodes.
+    for (int n = 1; n <= 9; ++n) {
+        forEachTree(n, [&](const ParseTree &tree) {
+            ASSERT_EQ(levelOrderViaConjugate(tree), levelOrder(tree))
+                << "tree: " << tree.toString();
+        });
+    }
+}
+
+TEST(Conjugate, ConjugateHasAllNodesExactlyOnce)
+{
+    ParseTree tree = ParseTree::parse("a*b + (c-d)/e - (-f)");
+    auto order = levelOrderViaConjugate(tree);
+    std::set<int> seen(order.begin(), order.end());
+    EXPECT_EQ(static_cast<int>(seen.size()), tree.size());
+    EXPECT_EQ(static_cast<int>(order.size()), tree.size());
+}
+
+TEST(Enumerate, CountsAreMotzkinNumbers)
+{
+    // Unary-binary tree shape counts (Motzkin numbers M(n-1)). The
+    // thesis Table 3.2 lists slightly different counts above 5 nodes
+    // (20 vs 21 at 6 nodes); see EXPERIMENTS.md for the discussion.
+    const std::uint64_t expected[] = {1, 1, 2, 4, 9, 21, 51, 127, 323, 835};
+    for (int n = 1; n <= 10; ++n)
+        EXPECT_EQ(treeCount(n), expected[n - 1]) << "n=" << n;
+}
+
+TEST(Enumerate, FourNodeTreesMatchFigure35)
+{
+    // Fig 3.5 lists the four parse trees with exactly four nodes.
+    std::set<std::string> shapes;
+    forEachTree(4, [&](const ParseTree &tree) {
+        EXPECT_EQ(tree.size(), 4);
+        shapes.insert(tree.toString());
+    });
+    EXPECT_EQ(shapes.size(), 4u);
+}
+
+TEST(Enumerate, EveryTreeHasRequestedSize)
+{
+    for (int n = 1; n <= 8; ++n) {
+        forEachTree(n, [&](const ParseTree &tree) {
+            ASSERT_EQ(tree.size(), n);
+            ASSERT_GE(tree.leafCount(), 1);
+        });
+    }
+}
+
+TEST(Enumerate, LevelOrderIsPermutationForAllTrees)
+{
+    for (int n = 1; n <= 8; ++n) {
+        forEachTree(n, [&](const ParseTree &tree) {
+            auto order = levelOrder(tree);
+            std::set<int> ids(order.begin(), order.end());
+            ASSERT_EQ(static_cast<int>(ids.size()), tree.size());
+        });
+    }
+}
+
+} // namespace

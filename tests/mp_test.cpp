@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the ring bus and the multiprocessor system: context
+ * creation, dynamic data-flow graph splicing via channels, kernel traps,
+ * and scheduling (thesis Chapters 5.6 and 6).
+ */
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/runtime.hpp"
+#include "mp/ring_bus.hpp"
+#include "mp/system.hpp"
+#include "support/diagnostics.hpp"
+
+namespace {
+
+using namespace qm;
+using namespace qm::isa;
+using namespace qm::mp;
+
+TEST(RingBus, LocalTransfersSkipTheRing)
+{
+    RingBus bus({4, 2, 4, 2});
+    EXPECT_EQ(bus.transfer(1, 1, 100), 102);
+}
+
+TEST(RingBus, RemoteTransferCrossesPartitions)
+{
+    // 4 PEs, 2 partitions: PEs 0,1 on partition 0; PEs 2,3 on 1.
+    RingBus bus({4, 2, 4, 2});
+    EXPECT_EQ(bus.partitionOf(0), 0);
+    EXPECT_EQ(bus.partitionOf(1), 0);
+    EXPECT_EQ(bus.partitionOf(2), 1);
+    EXPECT_EQ(bus.partitionOf(3), 1);
+    EXPECT_EQ(bus.partitionsCrossed(0, 1), 1);
+    EXPECT_EQ(bus.partitionsCrossed(0, 2), 2);
+    // 0 -> 1 stays on one partition: overhead 2 + 1 hop of 4.
+    EXPECT_EQ(bus.transfer(0, 1, 0), 6);
+}
+
+TEST(RingBus, ContentionSerializesSharedPartitions)
+{
+    RingBus bus({4, 2, 4, 2});
+    Cycle first = bus.transfer(0, 1, 0);
+    // Second message through the same partition at the same time waits.
+    Cycle second = bus.transfer(1, 0, 0);
+    EXPECT_GT(second, first);
+}
+
+TEST(RingBus, DisjointPartitionsProceedConcurrently)
+{
+    RingBus bus({4, 2, 4, 2});
+    Cycle a = bus.transfer(0, 1, 0);
+    Cycle b = bus.transfer(2, 3, 0);
+    EXPECT_EQ(a, b);  // no shared partition, no serialization
+}
+
+/** Boot assembly that exits immediately. */
+const char *kExitProgram =
+    "main:\n"
+    "  trap #0,#0\n";
+
+TEST(System, BootAndExit)
+{
+    ObjectCode code = assemble(kExitProgram);
+    SystemConfig config;
+    config.numPes = 1;
+    System system(code, config);
+    RunResult result = system.run("main");
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.contexts, 1u);
+    EXPECT_GT(result.cycles, 0);
+}
+
+TEST(System, RunIsSingleUse)
+{
+    ObjectCode code = assemble(kExitProgram);
+    System system(code, SystemConfig{});
+    system.run("main");
+    EXPECT_THROW(system.run("main"), PanicError);
+}
+
+/**
+ * Parent rforks a child, sends it two values on the child's in channel,
+ * and receives their sum from the child's out channel (in = id,
+ * out = id + 1). The classic graph-splice rendezvous of section 4.2.
+ */
+const char *kForkAddProgram =
+    "main:\n"
+    "  trap #1,@child :r17\n"   // rfork -> r17 = child in-channel
+    "  send r17,#30\n"
+    "  send r17,#12\n"
+    "  plus r17,#1 :r18\n"      // child's out channel
+    "  recv r18 :r19\n"
+    "  store #6291456,r19\n"    // data segment base
+    "  trap #0,#0\n"
+    "child:\n"
+    "  trap #3,#0 :r17\n"       // getin
+    "  trap #4,#0 :r18\n"       // getout
+    "  recv r17 :r0\n"
+    "  recv r17 :r1\n"
+    "  plus++ r0,r1 :r19\n"
+    "  send r18,r19\n"
+    "  trap #0,#0\n";
+
+TEST(System, ForkSendReceiveComputesAcrossContexts)
+{
+    for (int pes : {1, 2, 4}) {
+        ObjectCode code = assemble(kForkAddProgram);
+        SystemConfig config;
+        config.numPes = pes;
+        System system(code, config);
+        RunResult result = system.run("main");
+        ASSERT_TRUE(result.completed) << "pes=" << pes;
+        EXPECT_EQ(system.memory().readWord(kDataBase), 42u)
+            << "pes=" << pes;
+        EXPECT_EQ(result.contexts, 2u);
+        EXPECT_GE(result.rendezvous, 3u);
+    }
+}
+
+/**
+ * Fan-out: the parent forks N children; child k computes k*k and sends
+ * it back; the parent sums the results. Exercises round-robin placement
+ * across PEs and out-of-order rendezvous completion.
+ */
+const char *kFanOutProgram =
+    "main:\n"
+    "  plus #0,#0 :r20\n"        // sum
+    "  plus #0,#0 :r21\n"        // k
+    "  plus #6,#0 :r22\n"        // N = 6
+    "fork_loop:\n"
+    "  trap #1,@child :r17\n"
+    "  send r17,r21\n"           // give the child its index
+    "  plus r17,#1 :r23\n"
+    "  recv r23 :r24\n"          // collect k*k
+    "  plus r20,r24 :r20\n"
+    "  plus r21,#1 :r21\n"
+    "  lt r21,r22 :r25\n"
+    "  bne r25,@fork_loop\n"
+    "  store #6291456,r20\n"
+    "  trap #0,#0\n"
+    "child:\n"
+    "  trap #3,#0 :r17\n"
+    "  trap #4,#0 :r18\n"
+    "  recv r17 :r0\n"
+    "  mul r0,r0 :r19\n"
+    "  plus+ r0,#0 :dummy,dummy\n"  // consume the queue operand
+    "  send r18,r19\n"
+    "  trap #0,#0\n";
+
+TEST(System, FanOutAcrossPes)
+{
+    // 0+1+4+9+16+25 = 55 regardless of PE count.
+    for (int pes : {1, 2, 3, 8}) {
+        ObjectCode code = assemble(kFanOutProgram);
+        SystemConfig config;
+        config.numPes = pes;
+        System system(code, config);
+        RunResult result = system.run("main");
+        ASSERT_TRUE(result.completed) << "pes=" << pes;
+        EXPECT_EQ(system.memory().readWord(kDataBase), 55u)
+            << "pes=" << pes;
+        EXPECT_EQ(result.contexts, 7u);
+    }
+}
+
+TEST(System, IforkInheritsOutChannel)
+{
+    // main rforks head; head iforks tail; tail sends on its inherited
+    // out channel, which is head's out, so main receives tail's value.
+    const char *program =
+        "main:\n"
+        "  trap #1,@head :r17\n"
+        "  send r17,#5\n"
+        "  plus r17,#1 :r18\n"
+        "  recv r18 :r19\n"
+        "  store #6291456,r19\n"
+        "  trap #0,#0\n"
+        "head:\n"
+        "  trap #3,#0 :r17\n"
+        "  recv r17 :r0\n"
+        "  trap #2,@tail :r18\n"   // ifork: child out = head out
+        "  plus+ r0,#1 :r19\n"
+        "  send r18,r19\n"
+        "  trap #0,#0\n"
+        "tail:\n"
+        "  trap #3,#0 :r17\n"
+        "  trap #4,#0 :r18\n"
+        "  recv r17 :r0\n"
+        "  mul+ r0,#10 :r19\n"
+        "  send r18,r19\n"
+        "  trap #0,#0\n";
+    ObjectCode code = assemble(program);
+    SystemConfig config;
+    config.numPes = 2;
+    System system(code, config);
+    RunResult result = system.run("main");
+    ASSERT_TRUE(result.completed);
+    // (5+1)*10 = 60 lands back in main.
+    EXPECT_EQ(system.memory().readWord(kDataBase), 60u);
+}
+
+TEST(System, DeadlockIsDetectedAndReported)
+{
+    // A context that receives on a channel nobody sends to.
+    const char *program =
+        "main:\n"
+        "  trap #8,#0 :r17\n"   // fresh channel
+        "  recv r17 :r18\n"
+        "  trap #0,#0\n";
+    ObjectCode code = assemble(program);
+    System system(code, SystemConfig{});
+    EXPECT_THROW(system.run("main"), FatalError);
+}
+
+TEST(System, AllocReturnsDistinctRegions)
+{
+    const char *program =
+        "main:\n"
+        "  trap #5,#64 :r17\n"
+        "  trap #5,#64 :r18\n"
+        "  minus r18,r17 :r19\n"
+        "  store #6291456,r19\n"
+        "  trap #0,#0\n";
+    ObjectCode code = assemble(program);
+    System system(code, SystemConfig{});
+    system.run("main");
+    EXPECT_EQ(system.memory().readWord(kDataBase), 64u);
+}
+
+TEST(System, WaitBlocksUntilTime)
+{
+    const char *program =
+        "main:\n"
+        "  trap #7,#2000\n"    // wait until cycle 2000
+        "  trap #6,#0 :r17\n"  // now
+        "  store #6291456,r17\n"
+        "  trap #0,#0\n";
+    ObjectCode code = assemble(program);
+    System system(code, SystemConfig{});
+    RunResult result = system.run("main");
+    ASSERT_TRUE(result.completed);
+    EXPECT_GE(system.memory().readWord(kDataBase), 2000u);
+    EXPECT_GE(result.cycles, 2000);
+}
+
+TEST(System, MoreWorkersShortenElapsedTime)
+{
+    // Six independent compute-heavy children: wall-clock cycles with 4
+    // PEs must be well under the 1-PE time.
+    const char *program =
+        "main:\n"
+        "  plus #0,#0 :r21\n"
+        "fork_loop:\n"
+        "  trap #1,@worker :r17\n"
+        "  send r17,#1000\n"
+        "  plus r17,#1 :r23\n"
+        "  plus r21,#1 :r21\n"
+        "  lt r21,#6 :r25\n"
+        "  bne r25,@fork_loop\n"
+        "  trap #0,#0\n"
+        "worker:\n"
+        "  trap #3,#0 :r17\n"
+        "  recv r17 :r0\n"
+        "  plus+ r0,#0 :r18\n"
+        "spin:\n"
+        "  minus r18,#1 :r18\n"
+        "  bne r18,@spin\n"
+        "  trap #0,#0\n";
+
+    auto cycles_for = [&](int pes) {
+        ObjectCode code = assemble(program);
+        SystemConfig config;
+        config.numPes = pes;
+        System system(code, config);
+        RunResult result = system.run("main");
+        EXPECT_TRUE(result.completed);
+        return result.cycles;
+    };
+    Cycle one = cycles_for(1);
+    Cycle four = cycles_for(4);
+    EXPECT_LT(four * 2, one);  // at least 2x faster with 4 PEs
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the sim module: Amdahl models (Figs 6.6/6.7) and the
+ * experiment runner used by the Chapter 6 benches.
+ */
+#include <gtest/gtest.h>
+
+#include "programs/benchmarks.hpp"
+#include "sim/amdahl.hpp"
+#include "sim/experiment.hpp"
+#include "support/diagnostics.hpp"
+
+namespace {
+
+using namespace qm;
+using namespace qm::sim;
+
+TEST(Amdahl, ClassicLawBasics)
+{
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(0.93, 1), 1.0);
+    // f = 0.93 at 8 PEs: 1 / (0.07 + 0.93/8).
+    EXPECT_NEAR(amdahlSpeedup(0.93, 8), 5.369, 0.001);
+    // Fully parallel: linear.
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(1.0, 8), 8.0);
+    // Fully serial: flat.
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(0.0, 8), 1.0);
+}
+
+TEST(Amdahl, ClassicLawIsMonotone)
+{
+    double prev = 0.0;
+    for (int n = 1; n <= 64; ++n) {
+        double s = amdahlSpeedup(0.93, n);
+        EXPECT_GT(s, prev);
+        EXPECT_LE(s, n);  // never superlinear
+        prev = s;
+    }
+}
+
+TEST(Amdahl, ModifiedLawNormalizesAtOnePe)
+{
+    // S(1) = 1 by construction for any f, g.
+    for (double g : {0.0, 0.1, 0.3, 1.0})
+        EXPECT_NEAR(modifiedAmdahlSpeedup(0.63, g, 1), 1.0, 1e-12);
+}
+
+TEST(Amdahl, ModifiedLawExceedsClassicWithOverhead)
+{
+    // The overhead term amortizes, lifting the curve above classic
+    // Amdahl at the same f.
+    for (int n = 2; n <= 8; ++n)
+        EXPECT_GT(modifiedAmdahlSpeedup(0.63, 0.3, n),
+                  amdahlSpeedup(0.63, n));
+}
+
+TEST(Amdahl, RejectsBadParameters)
+{
+    EXPECT_THROW(amdahlSpeedup(-0.1, 4), FatalError);
+    EXPECT_THROW(amdahlSpeedup(1.1, 4), FatalError);
+    EXPECT_THROW(amdahlSpeedup(0.5, 0), FatalError);
+    EXPECT_THROW(modifiedAmdahlSpeedup(0.5, -1.0, 4), FatalError);
+}
+
+TEST(Experiment, SweepVerifiesAndReportsMonotoneCycles)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[1];  // fft
+    SpeedupSeries series =
+        runSpeedupSweep(bench.name, bench.source, bench.resultArray,
+                        bench.expected, {1, 2, 4, 8});
+    ASSERT_EQ(series.runs.size(), 4u);
+    for (const RunReport &run : series.runs) {
+        EXPECT_TRUE(run.verified) << run.pes << " PEs";
+        EXPECT_GT(run.cycles, 0);
+        EXPECT_GT(run.utilization, 0.0);
+        EXPECT_LE(run.utilization, 1.0);
+    }
+    // Throughput ratio is 1.0 at the baseline and grows.
+    EXPECT_DOUBLE_EQ(series.ratio(0), 1.0);
+    EXPECT_GT(series.ratio(3), series.ratio(0));
+    // Elapsed cycles shrink with more PEs.
+    EXPECT_LT(series.runs[3].cycles, series.runs[0].cycles);
+}
+
+TEST(Experiment, VerificationCatchesWrongExpectations)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    std::vector<std::int32_t> wrong = bench.expected;
+    wrong[0] += 1;
+    occam::CompiledProgram program =
+        occam::compileOccam(bench.source);
+    RunReport report =
+        runOnce(program, bench.resultArray, wrong, 2);
+    EXPECT_FALSE(report.verified);
+}
+
+TEST(Experiment, PlacementPoliciesAllComplete)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[1];
+    occam::CompiledProgram program =
+        occam::compileOccam(bench.source);
+    for (mp::Placement policy :
+         {mp::Placement::LeastLoaded, mp::Placement::RoundRobin,
+          mp::Placement::Local}) {
+        mp::SystemConfig config;
+        config.placement = policy;
+        RunReport report = runOnce(program, bench.resultArray,
+                                   bench.expected, 4, config);
+        EXPECT_TRUE(report.verified);
+    }
+}
+
+TEST(Experiment, BusPartitionCountAffectsOnlyTiming)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[1];
+    occam::CompiledProgram program =
+        occam::compileOccam(bench.source);
+    mp::Cycle previous = 0;
+    for (int partitions : {1, 2, 4, 8}) {
+        mp::SystemConfig config;
+        config.busPartitions = partitions;
+        RunReport report = runOnce(program, bench.resultArray,
+                                   bench.expected, 8, config);
+        EXPECT_TRUE(report.verified) << partitions << " partitions";
+        if (previous)
+            EXPECT_NEAR(static_cast<double>(report.cycles),
+                        static_cast<double>(previous),
+                        0.5 * static_cast<double>(previous));
+        previous = report.cycles;
+    }
+}
+
+TEST(Experiment, PageSizeSweepPreservesResults)
+{
+    // Thesis section 5.2: the queue page size trades maximum queue
+    // length against memory utilization. Compiled contexts fit in any
+    // page >= their footprint; results never change.
+    programs::Benchmark bench = programs::thesisBenchmarks()[1];
+    for (int words : {64, 128, 256}) {
+        occam::CompileOptions options;
+        options.pageWords = words;
+        occam::CompiledProgram program =
+            occam::compileOccam(bench.source, options);
+        mp::SystemConfig config;
+        config.pageWords = words;
+        RunReport report = runOnce(program, bench.resultArray,
+                                   bench.expected, 4, config);
+        EXPECT_TRUE(report.verified) << words << "-word pages";
+    }
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the support library (diagnostics, stats, tables, RNG).
+ */
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace qm;
+
+TEST(Diagnostics, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+    try {
+        panic("value=", 7);
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: value=7");
+    }
+}
+
+TEST(Diagnostics, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("bad input"), FatalError);
+}
+
+TEST(Diagnostics, ConditionalVariantsFireOnlyWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "no"));
+    EXPECT_NO_THROW(fatalIf(false, "no"));
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+TEST(Format, CatJoinsHeterogeneousValues)
+{
+    EXPECT_EQ(cat("a", 1, 'b', 2.5), "a1b2.5");
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+TEST(Stats, CountersAccumulate)
+{
+    StatSet stats;
+    stats.inc("instructions");
+    stats.inc("instructions", 9);
+    EXPECT_EQ(stats.counter("instructions"), 10u);
+    EXPECT_EQ(stats.counter("missing"), 0u);
+    EXPECT_TRUE(stats.hasCounter("instructions"));
+    EXPECT_FALSE(stats.hasCounter("missing"));
+}
+
+TEST(Stats, ScalarsOverwrite)
+{
+    StatSet stats;
+    stats.set("speedup", 1.5);
+    stats.set("speedup", 2.5);
+    EXPECT_DOUBLE_EQ(stats.scalar("speedup"), 2.5);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    StatSet stats;
+    stats.sample("queue_len", 4);
+    stats.sample("queue_len", 2);
+    stats.sample("queue_len", 6);
+    const Distribution &d = stats.distribution("queue_len");
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), 2);
+    EXPECT_DOUBLE_EQ(d.max(), 6);
+    EXPECT_DOUBLE_EQ(d.mean(), 4);
+}
+
+TEST(Stats, MergeAddsCounters)
+{
+    StatSet a, b;
+    a.inc("ops", 3);
+    b.inc("ops", 4);
+    b.inc("msgs", 1);
+    a.merge(b);
+    EXPECT_EQ(a.counter("ops"), 7u);
+    EXPECT_EQ(a.counter("msgs"), 1u);
+}
+
+TEST(Stats, RenderListsEverything)
+{
+    StatSet stats;
+    stats.inc("cycles", 100);
+    std::string text = stats.render();
+    EXPECT_NE(text.find("cycles 100"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"x", "10"});
+    table.addRow({"longer", "2"});
+    std::string text = table.render();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("longer"), std::string::npos);
+    // Each line has the same structure; the separator row exists.
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), PanicError);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    SplitMix64 a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+} // namespace
