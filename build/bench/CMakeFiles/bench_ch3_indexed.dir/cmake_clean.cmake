@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ch3_indexed.dir/bench_ch3_indexed.cpp.o"
+  "CMakeFiles/bench_ch3_indexed.dir/bench_ch3_indexed.cpp.o.d"
+  "bench_ch3_indexed"
+  "bench_ch3_indexed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ch3_indexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

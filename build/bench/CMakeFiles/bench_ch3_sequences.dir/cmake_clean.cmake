@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ch3_sequences.dir/bench_ch3_sequences.cpp.o"
+  "CMakeFiles/bench_ch3_sequences.dir/bench_ch3_sequences.cpp.o.d"
+  "bench_ch3_sequences"
+  "bench_ch3_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ch3_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ch4_inputseq.dir/bench_ch4_inputseq.cpp.o"
+  "CMakeFiles/bench_ch4_inputseq.dir/bench_ch4_inputseq.cpp.o.d"
+  "bench_ch4_inputseq"
+  "bench_ch4_inputseq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ch4_inputseq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

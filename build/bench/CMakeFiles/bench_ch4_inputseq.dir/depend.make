@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ch4_inputseq.
+# This may be replaced when dependencies are built.

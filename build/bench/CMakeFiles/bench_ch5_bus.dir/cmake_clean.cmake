@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ch5_bus.dir/bench_ch5_bus.cpp.o"
+  "CMakeFiles/bench_ch5_bus.dir/bench_ch5_bus.cpp.o.d"
+  "bench_ch5_bus"
+  "bench_ch5_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ch5_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

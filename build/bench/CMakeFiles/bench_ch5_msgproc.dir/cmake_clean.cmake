@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ch5_msgproc.dir/bench_ch5_msgproc.cpp.o"
+  "CMakeFiles/bench_ch5_msgproc.dir/bench_ch5_msgproc.cpp.o.d"
+  "bench_ch5_msgproc"
+  "bench_ch5_msgproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ch5_msgproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

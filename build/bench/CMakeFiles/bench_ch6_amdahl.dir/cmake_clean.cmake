@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ch6_amdahl.dir/bench_ch6_amdahl.cpp.o"
+  "CMakeFiles/bench_ch6_amdahl.dir/bench_ch6_amdahl.cpp.o.d"
+  "bench_ch6_amdahl"
+  "bench_ch6_amdahl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ch6_amdahl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

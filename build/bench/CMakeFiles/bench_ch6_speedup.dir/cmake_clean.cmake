@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ch6_speedup.dir/bench_ch6_speedup.cpp.o"
+  "CMakeFiles/bench_ch6_speedup.dir/bench_ch6_speedup.cpp.o.d"
+  "bench_ch6_speedup"
+  "bench_ch6_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ch6_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

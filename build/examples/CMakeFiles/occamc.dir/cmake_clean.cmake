@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occamc.dir/occamc.cpp.o"
+  "CMakeFiles/occamc.dir/occamc.cpp.o.d"
+  "occamc"
+  "occamc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occamc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

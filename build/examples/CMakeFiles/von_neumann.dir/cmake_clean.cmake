@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/von_neumann.dir/von_neumann.cpp.o"
+  "CMakeFiles/von_neumann.dir/von_neumann.cpp.o.d"
+  "von_neumann"
+  "von_neumann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/von_neumann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

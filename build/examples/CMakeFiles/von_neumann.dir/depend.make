@@ -1,0 +1,2 @@
+# Empty dependencies file for von_neumann.
+# This may be replaced when dependencies are built.

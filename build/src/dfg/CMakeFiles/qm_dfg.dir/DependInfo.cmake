@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/graph.cpp" "src/dfg/CMakeFiles/qm_dfg.dir/graph.cpp.o" "gcc" "src/dfg/CMakeFiles/qm_dfg.dir/graph.cpp.o.d"
+  "/root/repo/src/dfg/iqm.cpp" "src/dfg/CMakeFiles/qm_dfg.dir/iqm.cpp.o" "gcc" "src/dfg/CMakeFiles/qm_dfg.dir/iqm.cpp.o.d"
+  "/root/repo/src/dfg/scheduler.cpp" "src/dfg/CMakeFiles/qm_dfg.dir/scheduler.cpp.o" "gcc" "src/dfg/CMakeFiles/qm_dfg.dir/scheduler.cpp.o.d"
+  "/root/repo/src/dfg/sequencing.cpp" "src/dfg/CMakeFiles/qm_dfg.dir/sequencing.cpp.o" "gcc" "src/dfg/CMakeFiles/qm_dfg.dir/sequencing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/qm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_dfg.dir/graph.cpp.o"
+  "CMakeFiles/qm_dfg.dir/graph.cpp.o.d"
+  "CMakeFiles/qm_dfg.dir/iqm.cpp.o"
+  "CMakeFiles/qm_dfg.dir/iqm.cpp.o.d"
+  "CMakeFiles/qm_dfg.dir/scheduler.cpp.o"
+  "CMakeFiles/qm_dfg.dir/scheduler.cpp.o.d"
+  "CMakeFiles/qm_dfg.dir/sequencing.cpp.o"
+  "CMakeFiles/qm_dfg.dir/sequencing.cpp.o.d"
+  "libqm_dfg.a"
+  "libqm_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

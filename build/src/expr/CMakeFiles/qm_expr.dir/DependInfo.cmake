@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/conjugate.cpp" "src/expr/CMakeFiles/qm_expr.dir/conjugate.cpp.o" "gcc" "src/expr/CMakeFiles/qm_expr.dir/conjugate.cpp.o.d"
+  "/root/repo/src/expr/enumerate.cpp" "src/expr/CMakeFiles/qm_expr.dir/enumerate.cpp.o" "gcc" "src/expr/CMakeFiles/qm_expr.dir/enumerate.cpp.o.d"
+  "/root/repo/src/expr/eval.cpp" "src/expr/CMakeFiles/qm_expr.dir/eval.cpp.o" "gcc" "src/expr/CMakeFiles/qm_expr.dir/eval.cpp.o.d"
+  "/root/repo/src/expr/parse_tree.cpp" "src/expr/CMakeFiles/qm_expr.dir/parse_tree.cpp.o" "gcc" "src/expr/CMakeFiles/qm_expr.dir/parse_tree.cpp.o.d"
+  "/root/repo/src/expr/pipeline_model.cpp" "src/expr/CMakeFiles/qm_expr.dir/pipeline_model.cpp.o" "gcc" "src/expr/CMakeFiles/qm_expr.dir/pipeline_model.cpp.o.d"
+  "/root/repo/src/expr/traversal.cpp" "src/expr/CMakeFiles/qm_expr.dir/traversal.cpp.o" "gcc" "src/expr/CMakeFiles/qm_expr.dir/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/qm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

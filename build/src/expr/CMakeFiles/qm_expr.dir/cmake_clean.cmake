@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_expr.dir/conjugate.cpp.o"
+  "CMakeFiles/qm_expr.dir/conjugate.cpp.o.d"
+  "CMakeFiles/qm_expr.dir/enumerate.cpp.o"
+  "CMakeFiles/qm_expr.dir/enumerate.cpp.o.d"
+  "CMakeFiles/qm_expr.dir/eval.cpp.o"
+  "CMakeFiles/qm_expr.dir/eval.cpp.o.d"
+  "CMakeFiles/qm_expr.dir/parse_tree.cpp.o"
+  "CMakeFiles/qm_expr.dir/parse_tree.cpp.o.d"
+  "CMakeFiles/qm_expr.dir/pipeline_model.cpp.o"
+  "CMakeFiles/qm_expr.dir/pipeline_model.cpp.o.d"
+  "CMakeFiles/qm_expr.dir/traversal.cpp.o"
+  "CMakeFiles/qm_expr.dir/traversal.cpp.o.d"
+  "libqm_expr.a"
+  "libqm_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqm_expr.a"
+)

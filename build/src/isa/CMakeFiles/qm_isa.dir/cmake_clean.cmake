@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_isa.dir/assembler.cpp.o"
+  "CMakeFiles/qm_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/qm_isa.dir/instruction.cpp.o"
+  "CMakeFiles/qm_isa.dir/instruction.cpp.o.d"
+  "libqm_isa.a"
+  "libqm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/ring_bus.cpp" "src/mp/CMakeFiles/qm_mp.dir/ring_bus.cpp.o" "gcc" "src/mp/CMakeFiles/qm_mp.dir/ring_bus.cpp.o.d"
+  "/root/repo/src/mp/system.cpp" "src/mp/CMakeFiles/qm_mp.dir/system.cpp.o" "gcc" "src/mp/CMakeFiles/qm_mp.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/qm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/qm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/qm_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/qm_msg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

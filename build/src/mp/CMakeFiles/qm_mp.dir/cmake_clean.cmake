@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_mp.dir/ring_bus.cpp.o"
+  "CMakeFiles/qm_mp.dir/ring_bus.cpp.o.d"
+  "CMakeFiles/qm_mp.dir/system.cpp.o"
+  "CMakeFiles/qm_mp.dir/system.cpp.o.d"
+  "libqm_mp.a"
+  "libqm_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

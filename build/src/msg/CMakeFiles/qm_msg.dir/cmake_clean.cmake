@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_msg.dir/message_cache.cpp.o"
+  "CMakeFiles/qm_msg.dir/message_cache.cpp.o.d"
+  "libqm_msg.a"
+  "libqm_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/occam/ast.cpp" "src/occam/CMakeFiles/qm_occam.dir/ast.cpp.o" "gcc" "src/occam/CMakeFiles/qm_occam.dir/ast.cpp.o.d"
+  "/root/repo/src/occam/codegen.cpp" "src/occam/CMakeFiles/qm_occam.dir/codegen.cpp.o" "gcc" "src/occam/CMakeFiles/qm_occam.dir/codegen.cpp.o.d"
+  "/root/repo/src/occam/compiler.cpp" "src/occam/CMakeFiles/qm_occam.dir/compiler.cpp.o" "gcc" "src/occam/CMakeFiles/qm_occam.dir/compiler.cpp.o.d"
+  "/root/repo/src/occam/graph_builder.cpp" "src/occam/CMakeFiles/qm_occam.dir/graph_builder.cpp.o" "gcc" "src/occam/CMakeFiles/qm_occam.dir/graph_builder.cpp.o.d"
+  "/root/repo/src/occam/graph_interp.cpp" "src/occam/CMakeFiles/qm_occam.dir/graph_interp.cpp.o" "gcc" "src/occam/CMakeFiles/qm_occam.dir/graph_interp.cpp.o.d"
+  "/root/repo/src/occam/ift.cpp" "src/occam/CMakeFiles/qm_occam.dir/ift.cpp.o" "gcc" "src/occam/CMakeFiles/qm_occam.dir/ift.cpp.o.d"
+  "/root/repo/src/occam/lexer.cpp" "src/occam/CMakeFiles/qm_occam.dir/lexer.cpp.o" "gcc" "src/occam/CMakeFiles/qm_occam.dir/lexer.cpp.o.d"
+  "/root/repo/src/occam/parser.cpp" "src/occam/CMakeFiles/qm_occam.dir/parser.cpp.o" "gcc" "src/occam/CMakeFiles/qm_occam.dir/parser.cpp.o.d"
+  "/root/repo/src/occam/sema.cpp" "src/occam/CMakeFiles/qm_occam.dir/sema.cpp.o" "gcc" "src/occam/CMakeFiles/qm_occam.dir/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/qm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/qm_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/qm_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

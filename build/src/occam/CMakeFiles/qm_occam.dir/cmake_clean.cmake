@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_occam.dir/ast.cpp.o"
+  "CMakeFiles/qm_occam.dir/ast.cpp.o.d"
+  "CMakeFiles/qm_occam.dir/codegen.cpp.o"
+  "CMakeFiles/qm_occam.dir/codegen.cpp.o.d"
+  "CMakeFiles/qm_occam.dir/compiler.cpp.o"
+  "CMakeFiles/qm_occam.dir/compiler.cpp.o.d"
+  "CMakeFiles/qm_occam.dir/graph_builder.cpp.o"
+  "CMakeFiles/qm_occam.dir/graph_builder.cpp.o.d"
+  "CMakeFiles/qm_occam.dir/graph_interp.cpp.o"
+  "CMakeFiles/qm_occam.dir/graph_interp.cpp.o.d"
+  "CMakeFiles/qm_occam.dir/ift.cpp.o"
+  "CMakeFiles/qm_occam.dir/ift.cpp.o.d"
+  "CMakeFiles/qm_occam.dir/lexer.cpp.o"
+  "CMakeFiles/qm_occam.dir/lexer.cpp.o.d"
+  "CMakeFiles/qm_occam.dir/parser.cpp.o"
+  "CMakeFiles/qm_occam.dir/parser.cpp.o.d"
+  "CMakeFiles/qm_occam.dir/sema.cpp.o"
+  "CMakeFiles/qm_occam.dir/sema.cpp.o.d"
+  "libqm_occam.a"
+  "libqm_occam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_occam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

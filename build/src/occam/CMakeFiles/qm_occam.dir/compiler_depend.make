@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qm_occam.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_pe.dir/memory.cpp.o"
+  "CMakeFiles/qm_pe.dir/memory.cpp.o.d"
+  "CMakeFiles/qm_pe.dir/pe.cpp.o"
+  "CMakeFiles/qm_pe.dir/pe.cpp.o.d"
+  "libqm_pe.a"
+  "libqm_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_programs.dir/benchmarks.cpp.o"
+  "CMakeFiles/qm_programs.dir/benchmarks.cpp.o.d"
+  "libqm_programs.a"
+  "libqm_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_sim.dir/amdahl.cpp.o"
+  "CMakeFiles/qm_sim.dir/amdahl.cpp.o.d"
+  "CMakeFiles/qm_sim.dir/experiment.cpp.o"
+  "CMakeFiles/qm_sim.dir/experiment.cpp.o.d"
+  "libqm_sim.a"
+  "libqm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

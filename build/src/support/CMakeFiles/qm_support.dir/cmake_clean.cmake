@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qm_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/qm_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/qm_support.dir/stats.cpp.o"
+  "CMakeFiles/qm_support.dir/stats.cpp.o.d"
+  "CMakeFiles/qm_support.dir/table.cpp.o"
+  "CMakeFiles/qm_support.dir/table.cpp.o.d"
+  "libqm_support.a"
+  "libqm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfg_graph_test.dir/dfg_graph_test.cpp.o"
+  "CMakeFiles/dfg_graph_test.dir/dfg_graph_test.cpp.o.d"
+  "dfg_graph_test"
+  "dfg_graph_test.pdb"
+  "dfg_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfg_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

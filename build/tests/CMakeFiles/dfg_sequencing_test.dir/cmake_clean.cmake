@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfg_sequencing_test.dir/dfg_sequencing_test.cpp.o"
+  "CMakeFiles/dfg_sequencing_test.dir/dfg_sequencing_test.cpp.o.d"
+  "dfg_sequencing_test"
+  "dfg_sequencing_test.pdb"
+  "dfg_sequencing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfg_sequencing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_pipeline_test.dir/expr_pipeline_test.cpp.o"
+  "CMakeFiles/expr_pipeline_test.dir/expr_pipeline_test.cpp.o.d"
+  "expr_pipeline_test"
+  "expr_pipeline_test.pdb"
+  "expr_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

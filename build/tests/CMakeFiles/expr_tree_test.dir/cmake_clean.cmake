@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_tree_test.dir/expr_tree_test.cpp.o"
+  "CMakeFiles/expr_tree_test.dir/expr_tree_test.cpp.o.d"
+  "expr_tree_test"
+  "expr_tree_test.pdb"
+  "expr_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

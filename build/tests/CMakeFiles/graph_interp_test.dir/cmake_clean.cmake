@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_interp_test.dir/graph_interp_test.cpp.o"
+  "CMakeFiles/graph_interp_test.dir/graph_interp_test.cpp.o.d"
+  "graph_interp_test"
+  "graph_interp_test.pdb"
+  "graph_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occam_e2e_test.dir/occam_e2e_test.cpp.o"
+  "CMakeFiles/occam_e2e_test.dir/occam_e2e_test.cpp.o.d"
+  "occam_e2e_test"
+  "occam_e2e_test.pdb"
+  "occam_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occam_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occam_front_test.dir/occam_front_test.cpp.o"
+  "CMakeFiles/occam_front_test.dir/occam_front_test.cpp.o.d"
+  "occam_front_test"
+  "occam_front_test.pdb"
+  "occam_front_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occam_front_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
