@@ -10,8 +10,10 @@
  *   - actor-priority instruction scheduling (Fig 4.20 heuristic).
  */
 #include <iostream>
+#include <vector>
 
 #include "programs/benchmarks.hpp"
+#include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
@@ -43,13 +45,18 @@ main()
 
     TextTable table({"program", "baseline cycles", "live-value",
                      "input-seq", "priority-sched", "all off"});
+    std::vector<sim::SpeedupSeries> all;
     for (const programs::Benchmark &bench :
          programs::thesisBenchmarks()) {
         occam::CompileOptions all_on;
         sim::RunReport base = measure(bench, all_on, pes);
 
+        sim::SpeedupSeries series;
+        series.name = bench.name;
+        series.runs.push_back(base);
         auto factor = [&](occam::CompileOptions options) {
             sim::RunReport run = measure(bench, options, pes);
+            series.runs.push_back(run);
             if (!run.verified)
                 return std::string("BAD");
             return fixed(static_cast<double>(run.cycles) /
@@ -70,9 +77,14 @@ main()
         table.addRow({bench.name, std::to_string(base.cycles),
                       factor(no_live), factor(no_seq),
                       factor(no_prio), factor(none)});
+        all.push_back(series);
     }
     std::cout << table.render();
     std::cout << "\n(values > 1.0 mean the optimization saves cycles; "
-                 "all runs verified against reference results)\n";
+                 "all runs verified against reference results)\n"
+              << "(JSON runs order: all-on, no live-value, no "
+                 "input-seq, no priority-sched, all off)\n";
+    std::cout << "wrote " << sim::writeBenchJson("ch6_ablation", all)
+              << "\n";
     return 0;
 }

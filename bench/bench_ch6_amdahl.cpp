@@ -9,6 +9,7 @@
 
 #include "programs/benchmarks.hpp"
 #include "sim/amdahl.hpp"
+#include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
@@ -37,5 +38,7 @@ main()
                       fixed(measured.ratio(static_cast<size_t>(n - 1)),
                             3)});
     std::cout << table.render();
+    std::cout << "wrote "
+              << sim::writeBenchJson("ch6_amdahl", {measured}) << "\n";
     return 0;
 }

@@ -13,8 +13,10 @@
  * statistics are reported.
  */
 #include <iostream>
+#include <vector>
 
 #include "programs/benchmarks.hpp"
+#include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
@@ -23,6 +25,17 @@ using namespace qm;
 
 namespace {
 
+/** Fraction of total PE-cycles spent in @p part, as "12.3%". */
+std::string
+pct(mp::Cycle part, const sim::RunReport &run)
+{
+    double total =
+        static_cast<double>(run.cycles) * static_cast<double>(run.pes);
+    return total > 0 ? fixed(100.0 * static_cast<double>(part) / total,
+                             1) + "%"
+                     : "-";
+}
+
 void
 reportSeries(const sim::SpeedupSeries &series,
              const std::string &figure)
@@ -30,7 +43,7 @@ reportSeries(const sim::SpeedupSeries &series,
     std::cout << "=== " << series.name << " (" << figure << ") ===\n";
     TextTable table({"PEs", "cycles", "throughput ratio", "instrs",
                      "contexts", "rendezvous", "switches", "util",
-                     "ok"});
+                     "compute", "kernel", "blocked", "ok"});
     for (std::size_t i = 0; i < series.runs.size(); ++i) {
         const sim::RunReport &run = series.runs[i];
         table.addRow({std::to_string(run.pes),
@@ -41,6 +54,9 @@ reportSeries(const sim::SpeedupSeries &series,
                       std::to_string(run.rendezvous),
                       std::to_string(run.contextSwitches),
                       fixed(run.utilization, 3),
+                      pct(run.computeCycles, run),
+                      pct(run.kernelCycles, run),
+                      pct(run.blockedCycles, run),
                       run.verified ? "yes" : "NO"});
     }
     std::cout << table.render() << "\n";
@@ -57,12 +73,14 @@ main()
                  "(thesis Chapter 6)\n"
               << "Throughput ratio = cycles(1 PE) / cycles(N PEs)\n\n";
 
+    std::vector<sim::SpeedupSeries> all;
     for (const programs::Benchmark &bench :
          programs::thesisBenchmarks()) {
         sim::SpeedupSeries series = sim::runSpeedupSweep(
             bench.name, bench.source, bench.resultArray, bench.expected,
             pe_counts);
         reportSeries(series, bench.thesisFigure);
+        all.push_back(series);
     }
 
     // Fig 6.9: recursive vs non-recursive fan-out.
@@ -70,9 +88,14 @@ main()
         "binary fan-out (recursive)", programs::binaryFanRecursiveSource(),
         "v", programs::expectedBinaryFan(), pe_counts);
     reportSeries(recursive, "Fig 6.9 recursive");
+    all.push_back(recursive);
     sim::SpeedupSeries iterative = sim::runSpeedupSweep(
         "binary fan-out (iterative)", programs::binaryFanIterativeSource(),
         "v", programs::expectedBinaryFan(), pe_counts);
     reportSeries(iterative, "Fig 6.9 non-recursive");
+    all.push_back(iterative);
+
+    std::cout << "wrote " << sim::writeBenchJson("ch6_speedup", all)
+              << "\n";
     return 0;
 }

@@ -2,12 +2,15 @@
  * @file
  * occamc - the OCCAM queue-machine compiler driver (thesis Fig 4.21).
  *
- * Usage: occamc [--asm] [--dot] [--run] [--pes N] [--stats] file.occ
+ * Usage: occamc [--asm] [--dot] [--run] [--pes N] [--stats]
+ *               [--trace out.json] file.occ
  *
  * Compiles an OCCAM source file into queue-machine object code and, on
  * request, prints the generated assembly, dumps each context's data-flow
  * graph in Graphviz DOT form (the thesis draw/drawpic role), or runs the
  * program on the simulated multiprocessor and reports statistics.
+ * --trace records a cycle-level event trace of the run and writes it as
+ * Chrome trace_event JSON (open in chrome://tracing or Perfetto).
  */
 #include <fstream>
 #include <iostream>
@@ -16,6 +19,7 @@
 
 #include "mp/system.hpp"
 #include "occam/compiler.hpp"
+#include "trace/export.hpp"
 #include "occam/graph_interp.hpp"
 #include "occam/ift.hpp"
 #include "occam/parser.hpp"
@@ -26,7 +30,7 @@ int
 usage()
 {
     std::cerr << "usage: occamc [--asm] [--dot] [--run] [--interp] "
-                 "[--pes N] [--stats] file.occ\n";
+                 "[--pes N] [--stats] [--trace out.json] file.occ\n";
     return 2;
 }
 
@@ -38,7 +42,7 @@ main(int argc, char **argv)
     bool show_asm = false, show_dot = false, run = false,
          stats = false, interp_mode = false;
     int pes = 1;
-    std::string path;
+    std::string path, trace_path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--asm") {
@@ -53,6 +57,9 @@ main(int argc, char **argv)
             stats = true;
         } else if (arg == "--pes" && i + 1 < argc) {
             pes = std::stoi(argv[++i]);
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+            run = true;  // tracing implies running
         } else if (!arg.empty() && arg[0] != '-') {
             path = arg;
         } else {
@@ -85,6 +92,7 @@ main(int argc, char **argv)
         if (run) {
             qm::mp::SystemConfig config;
             config.numPes = pes;
+            config.traceConfig.enabled = !trace_path.empty();
             qm::mp::System system(program.object, config);
             qm::mp::RunResult result = system.run(program.mainLabel);
             std::cout << "completed=" << result.completed
@@ -92,6 +100,17 @@ main(int argc, char **argv)
                       << " instructions=" << result.instructions
                       << " contexts=" << result.contexts
                       << " rendezvous=" << result.rendezvous << "\n";
+            std::cout << "breakdown: compute=" << result.computeCycles
+                      << " kernel=" << result.kernelCycles
+                      << " blocked=" << result.blockedCycles
+                      << " bus=" << result.busCycles << "\n";
+            if (!trace_path.empty()) {
+                qm::trace::writeChromeTraceFile(trace_path,
+                                                system.tracer());
+                std::cout << "trace: "
+                          << system.tracer().events().size()
+                          << " events -> " << trace_path << "\n";
+            }
             for (const auto &[name, addr] : program.dataMap) {
                 std::cout << name << "[0..3] =";
                 for (int i = 0; i < 4; ++i)

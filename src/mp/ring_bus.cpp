@@ -67,6 +67,9 @@ RingBus::transfer(int src, int dst, Cycle now)
         free_at = t;
     }
     stats_.inc("bus.hop_count", static_cast<std::uint64_t>(hops));
+    stats_.inc("bus.transfer_cycles", static_cast<std::uint64_t>(t - now));
+    if (tracer_)
+        tracer_->busTransfer(now, t, src, dst, hops);
     return t;
 }
 

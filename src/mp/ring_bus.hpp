@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "support/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace qm::mp {
 
@@ -53,11 +54,15 @@ class RingBus
 
     const StatSet &stats() const { return stats_; }
 
+    /** Attach the system's event recorder (may be null). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
   private:
     RingBusConfig config_;
     /** Earliest free cycle per partition. */
     std::vector<Cycle> partitionFree;
     StatSet stats_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace qm::mp

@@ -56,6 +56,12 @@ struct System::PeSlot
     int index = 0;
     Cycle clock = 0;
     Cycle busyCycles = 0;
+    /** Kernel trap service cycles charged while stepping (breakdown). */
+    Cycle kernelCycles = 0;
+    /** Context load/save/roll-out and exit bookkeeping cycles. */
+    Cycle switchCycles = 0;
+    /** Start of the current context's uninterrupted run span. */
+    Cycle spanStart = 0;
     CtxId running = msg::kNoCtx;
     /** Ready contexts ordered by earliest runnable time. */
     struct Entry
@@ -100,18 +106,22 @@ struct System::PeSlot
 System::System(const isa::ObjectCode &code, SystemConfig config)
     : code_(code), config_(config),
       memory_(std::make_unique<pe::Memory>(config.memoryBytes)),
-      bus(config.busConfig()), cache(config.channelDepth)
+      bus(config.busConfig()), cache(config.channelDepth),
+      tracer_(config.traceConfig)
 {
     fatalIf(config_.numPes < 1, "system needs at least one PE");
     fatalIf(config_.pageWords < 32 || config_.pageWords > 256,
             "queue page words out of range");
 
+    bus.setTracer(&tracer_);
+    cache.setTracer(&tracer_);
     for (int i = 0; i < config_.numPes; ++i) {
         auto slot = std::make_unique<PeSlot>();
         slot->index = i;
         slot->host = std::make_unique<HostAdapter>(*this, i);
         slot->pe = std::make_unique<pe::ProcessingElement>(
             *memory_, code_, *slot->host, config_.peTiming);
+        slot->pe->attachTrace(&tracer_, i, &slot->clock);
         slots.push_back(std::move(slot));
     }
 
@@ -207,6 +217,7 @@ System::createContext(Word codeAddr, Word inChan, Word outChan,
     contexts.push_back(ctx);
     ++liveContexts;
     stats_.inc("sys.contexts_created");
+    tracer_.ctxCreate(now, ctx.homePe, ctx.id, forkingPe);
 
     slots[static_cast<size_t>(ctx.homePe)]->readyQ.push(
         {ctx.readyAt, ctx.id});
@@ -231,7 +242,7 @@ System::hostSend(int pe_idx, Word channel, Word value)
 {
     PeSlot &slot = *slots[static_cast<size_t>(pe_idx)];
     CtxId self = slot.running;
-    msg::ChannelOp op = cache.send(channel, self, value);
+    msg::ChannelOp op = cache.send(channel, self, value, slot.clock);
     if (traceEnabled())
         std::cerr << "[t=" << slot.clock << " pe" << pe_idx << " ctx"
                   << self << "] send ch" << channel << " val="
@@ -254,7 +265,7 @@ System::hostRecv(int pe_idx, Word channel, Word &value)
 {
     PeSlot &slot = *slots[static_cast<size_t>(pe_idx)];
     CtxId self = slot.running;
-    msg::ChannelOp op = cache.recv(channel, self);
+    msg::ChannelOp op = cache.recv(channel, self, slot.clock);
     if (traceEnabled())
         std::cerr << "[t=" << slot.clock << " pe" << pe_idx << " ctx"
                   << self << "] recv ch" << channel
@@ -280,6 +291,17 @@ TrapOutcome
 System::hostTrap(int pe_idx, Word number, Word argument)
 {
     PeSlot &slot = *slots[static_cast<size_t>(pe_idx)];
+    TrapOutcome outcome = trapService(slot, number, argument);
+    // Charged service cycles land in the PE's step time; book them
+    // separately so the run report can split kernel from compute.
+    if (outcome.status != HostStatus::Blocked)
+        slot.kernelCycles += outcome.kernelCycles;
+    return outcome;
+}
+
+TrapOutcome
+System::trapService(PeSlot &slot, Word number, Word argument)
+{
     Context &self = contexts[slot.running];
     TrapOutcome outcome;
     switch (number) {
@@ -289,7 +311,7 @@ System::hostTrap(int pe_idx, Word number, Word argument)
         return outcome;
       case isa::TrapRfork: {
         Word in = allocChannelPair();
-        createContext(argument, in, in + 1, pe_idx, slot.clock);
+        createContext(argument, in, in + 1, slot.index, slot.clock);
         outcome.result = in;
         outcome.kernelCycles = config_.forkCycles;
         stats_.inc("sys.rforks");
@@ -297,7 +319,8 @@ System::hostTrap(int pe_idx, Word number, Word argument)
       }
       case isa::TrapIfork: {
         Word in = allocChannelPair();
-        createContext(argument, in, self.outChan, pe_idx, slot.clock);
+        createContext(argument, in, self.outChan, slot.index,
+                      slot.clock);
         outcome.result = in;
         outcome.kernelCycles = config_.forkCycles;
         stats_.inc("sys.iforks");
@@ -360,24 +383,31 @@ System::dispatch(PeSlot &slot)
         slot.residentBlocked = msg::kNoCtx;
         ctx.status = CtxStatus::Running;
         slot.running = ctx.id;
+        slot.spanStart = slot.clock;
         stats_.inc("sys.resident_resumes");
+        tracer_.ctxDispatch(slot.clock, slot.index, ctx.id);
         return true;
     }
     if (slot.residentBlocked != msg::kNoCtx) {
         // Another context needs the PE: evict the resident one now,
         // paying the deferred save.
         Context &resident = contexts[slot.residentBlocked];
-        slot.clock += slot.pe->rollOut() + config_.contextSaveCycles;
+        Cycle cost = slot.pe->rollOut() + config_.contextSaveCycles;
+        slot.clock += cost;
+        slot.switchCycles += cost;
         resident.regs = slot.pe->saveContext();
         slot.residentBlocked = msg::kNoCtx;
         ++switches;
         stats_.inc("sys.evictions");
     }
     slot.clock += config_.contextLoadCycles;
+    slot.switchCycles += config_.contextLoadCycles;
     ctx.status = CtxStatus::Running;
     slot.running = ctx.id;
+    slot.spanStart = slot.clock;
     slot.pe->loadContext(ctx.regs);
     ++switches;
+    tracer_.ctxDispatch(slot.clock, slot.index, ctx.id);
     return true;
 }
 
@@ -385,16 +415,25 @@ void
 System::park(PeSlot &slot, CtxStatus status)
 {
     Context &ctx = contexts[slot.running];
-    slot.clock += slot.pe->rollOut() + config_.contextSaveCycles;
+    tracer_.peBusy(slot.spanStart, slot.clock, slot.index, ctx.id);
+    Cycle cost = slot.pe->rollOut() + config_.contextSaveCycles;
+    slot.clock += cost;
+    slot.switchCycles += cost;
     ctx.regs = slot.pe->saveContext();
     ctx.status = status;
     slot.running = msg::kNoCtx;
+    tracer_.ctxPark(slot.clock, slot.index, ctx.id,
+                    status == CtxStatus::BlockedTime
+                        ? trace::ParkReason::Timer
+                        : trace::ParkReason::Channel);
 }
 
 void
 System::finishContext(PeSlot &slot)
 {
     Context &ctx = contexts[slot.running];
+    tracer_.peBusy(slot.spanStart, slot.clock, slot.index, ctx.id);
+    tracer_.ctxFinish(slot.clock, slot.index, ctx.id);
     ctx.status = CtxStatus::Done;
     freeQueuePage(ctx.queuePage);
     slot.running = msg::kNoCtx;
@@ -430,8 +469,10 @@ System::run(const std::string &entry, Cycle max_cycles)
                   " live contexts, none runnable\n", dumpState());
         }
         if (best_time > max_cycles) {
+            // Timed out: report everything the run did do (the old
+            // path returned zeroed statistics, hiding all progress).
             result.completed = false;
-            result.cycles = best_time;
+            finalizeRun(result);
             return result;
         }
 
@@ -450,6 +491,7 @@ System::run(const std::string &entry, Cycle max_cycles)
                 continue;
             if (step.status == StepStatus::ContextEnd) {
                 slot.clock += config_.exitCycles;
+                slot.switchCycles += config_.exitCycles;
                 finishContext(slot);
             } else if (step.status == StepStatus::Blocked) {
                 if (slot.blockUntil) {
@@ -464,6 +506,10 @@ System::run(const std::string &entry, Cycle max_cycles)
                     // Nothing else to run: stay resident (lazy switch).
                     Context &ctx = contexts[slot.running];
                     ctx.status = CtxStatus::BlockedChannel;
+                    tracer_.peBusy(slot.spanStart, slot.clock,
+                                   slot.index, ctx.id);
+                    tracer_.ctxPark(slot.clock, slot.index, ctx.id,
+                                    trace::ParkReason::Resident);
                     slot.residentBlocked = slot.running;
                     slot.running = msg::kNoCtx;
                 } else {
@@ -478,14 +524,25 @@ System::run(const std::string &entry, Cycle max_cycles)
     }
 
     result.completed = true;
+    finalizeRun(result);
+    return result;
+}
+
+void
+System::finalizeRun(RunResult &result)
+{
     Cycle finish = 0;
     std::uint64_t instructions = 0;
-    double busy = 0.0;
+    Cycle busy_total = 0, kernel_total = 0, switch_total = 0;
     for (auto &slot : slots) {
         finish = std::max(finish, slot->clock);
         instructions += slot->pe->stats().counter("pe.instructions");
+        busy_total += slot->busyCycles;
+        kernel_total += slot->kernelCycles;
+        switch_total += slot->switchCycles;
         stats_.merge(slot->pe->stats());
     }
+    double busy = 0.0;
     for (auto &slot : slots)
         busy += finish > 0 ? static_cast<double>(slot->busyCycles) /
                                  static_cast<double>(finish)
@@ -496,10 +553,28 @@ System::run(const std::string &entry, Cycle max_cycles)
     result.rendezvous = cache.stats().counter("msg.rendezvous");
     result.contextSwitches = switches;
     result.utilization = busy / config_.numPes;
+
+    // Per-phase breakdown: every PE-cycle of the run is compute,
+    // kernel (trap service + context switching), or blocked/idle. Bus
+    // occupancy overlaps PE time and is reported as its own dimension.
+    result.computeCycles = busy_total - kernel_total;
+    result.kernelCycles = kernel_total + switch_total;
+    result.blockedCycles =
+        finish * config_.numPes - (busy_total + switch_total);
+    result.busCycles = static_cast<Cycle>(
+        bus.stats().counter("bus.transfer_cycles"));
+
     stats_.set("sys.cycles", static_cast<double>(finish));
     stats_.set("sys.utilization", result.utilization);
+    stats_.set("sys.cycles_compute",
+               static_cast<double>(result.computeCycles));
+    stats_.set("sys.cycles_kernel",
+               static_cast<double>(result.kernelCycles));
+    stats_.set("sys.cycles_blocked",
+               static_cast<double>(result.blockedCycles));
+    stats_.set("sys.cycles_bus", static_cast<double>(result.busCycles));
     stats_.merge(cache.stats());
-    return result;
+    stats_.merge(bus.stats());
 }
 
 std::string
@@ -520,6 +595,10 @@ System::dumpState() const
         }
         os << " in=" << ctx.inChan << " out=" << ctx.outChan << "\n";
     }
+    // With tracing on, the timeline tail shows what led up to a
+    // deadlock or timeout - by far the most useful part of the report.
+    if (tracer_.enabled())
+        os << tracer_.summary();
     return os.str();
 }
 

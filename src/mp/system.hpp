@@ -32,6 +32,7 @@
 #include "pe/memory.hpp"
 #include "pe/pe.hpp"
 #include "support/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace qm::mp {
 
@@ -82,6 +83,9 @@ struct SystemConfig
     }
 
     pe::PeTiming peTiming{};
+
+    /** Cycle-level event recording (off by default; see src/trace). */
+    trace::TraceConfig traceConfig{};
 };
 
 /** Context lifecycle states (thesis Fig 6.4). */
@@ -107,7 +111,7 @@ struct Context
     Cycle readyAt = 0;
 };
 
-/** Result of a complete program run. */
+/** Result of a complete (or timed-out) program run. */
 struct RunResult
 {
     bool completed = false;   ///< All contexts terminated.
@@ -117,6 +121,15 @@ struct RunResult
     std::uint64_t rendezvous = 0;    ///< Channel transfers completed.
     std::uint64_t contextSwitches = 0;
     double utilization = 0.0;        ///< Mean busy fraction over PEs.
+
+    // Where the cycles went, summed over PEs (see DESIGN.md
+    // "Observability"). computeCycles + kernelCycles + blockedCycles
+    // accounts for every PE-cycle of the run; busCycles measures ring
+    // occupancy, which overlaps PE execution.
+    Cycle computeCycles = 0;  ///< Instruction execution (user work).
+    Cycle kernelCycles = 0;   ///< Trap service + context switching.
+    Cycle blockedCycles = 0;  ///< PE idle (starved or all blocked).
+    Cycle busCycles = 0;      ///< Ring-bus transfer occupancy.
 };
 
 /** The whole simulated machine. */
@@ -142,6 +155,9 @@ class System
     /** Aggregate statistics from the last run. */
     const StatSet &stats() const { return stats_; }
 
+    /** The run's event recorder (empty unless tracing is enabled). */
+    const trace::Tracer &tracer() const { return tracer_; }
+
     /** Per-channel/context diagnostic dump (deadlock analysis). */
     std::string dumpState() const;
 
@@ -163,11 +179,21 @@ class System
     pe::HostStatus hostSend(int pe, Word channel, Word value);
     pe::HostStatus hostRecv(int pe, Word channel, Word &value);
     pe::TrapOutcome hostTrap(int pe, Word number, Word argument);
+    pe::TrapOutcome trapService(PeSlot &slot, Word number,
+                                Word argument);
 
     // --- Scheduling ------------------------------------------------------
     bool dispatch(PeSlot &slot);   ///< Load next ready context if idle.
     void park(PeSlot &slot, CtxStatus status);
     void finishContext(PeSlot &slot);
+
+    /**
+     * End-of-run bookkeeping shared by the normal and timeout exits:
+     * folds per-PE and message-cache statistics into stats_, computes
+     * finish time, utilization, and the compute/kernel/bus/blocked
+     * cycle breakdown. Everything except `completed` is filled in.
+     */
+    void finalizeRun(RunResult &result);
 
     const isa::ObjectCode &code_;
     SystemConfig config_;
@@ -186,6 +212,7 @@ class System
     std::uint64_t switches = 0;
 
     StatSet stats_;
+    trace::Tracer tracer_;
 };
 
 } // namespace qm::mp

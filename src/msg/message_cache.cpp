@@ -21,7 +21,8 @@ MessageCache::MessageCache(int capacity) : capacity_(capacity)
 }
 
 ChannelOp
-MessageCache::send(Word channel, CtxId ctx, Word value)
+MessageCache::send(Word channel, CtxId ctx, Word value,
+                   trace::Cycle /*now: rendezvous is stamped at recv*/)
 {
     ChannelEntry &entry = entries[channel];
     ChannelOp op;
@@ -41,7 +42,7 @@ MessageCache::send(Word channel, CtxId ctx, Word value)
 }
 
 ChannelOp
-MessageCache::recv(Word channel, CtxId ctx)
+MessageCache::recv(Word channel, CtxId ctx, trace::Cycle now)
 {
     ChannelEntry &entry = entries[channel];
     ChannelOp op;
@@ -55,6 +56,8 @@ MessageCache::recv(Word channel, CtxId ctx)
     op.value = entry.values.front();
     entry.values.pop_front();
     stats_.inc("msg.rendezvous");
+    if (tracer_)
+        tracer_->rendezvous(now, channel, ctx, *op.value);
     if (!entry.sendWaiters.empty()) {
         op.wakes.push_back(entry.sendWaiters.front());
         entry.sendWaiters.pop_front();

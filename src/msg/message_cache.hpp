@@ -33,6 +33,7 @@
 
 #include "isa/fields.hpp"
 #include "support/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace qm::msg {
 
@@ -86,16 +87,17 @@ class MessageCache
     /**
      * Present a send request from context @p ctx: deposit into the
      * FIFO (completed; wakes one parked receiver), or park when the
-     * FIFO is at capacity.
+     * FIFO is at capacity. @p now stamps trace events.
      */
-    ChannelOp send(Word channel, CtxId ctx, Word value);
+    ChannelOp send(Word channel, CtxId ctx, Word value,
+                   trace::Cycle now = 0);
 
     /**
      * Present a receive request from context @p ctx: take the oldest
      * value (completed; wakes one parked sender), or park when no
-     * value is available.
+     * value is available. @p now stamps trace events.
      */
-    ChannelOp recv(Word channel, CtxId ctx);
+    ChannelOp recv(Word channel, CtxId ctx, trace::Cycle now = 0);
 
     /** Current state of @p channel (Idle if never touched). */
     ChannelState state(Word channel) const;
@@ -111,10 +113,14 @@ class MessageCache
     StatSet &stats() { return stats_; }
     const StatSet &stats() const { return stats_; }
 
+    /** Attach the system's event recorder (may be null). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
   private:
     int capacity_;
     std::map<Word, ChannelEntry> entries;
     StatSet stats_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace qm::msg

@@ -388,6 +388,9 @@ ProcessingElement::step()
             return result;
         }
         cycles += outcome.kernelCycles;
+        if (tracer_)
+            tracer_->trapEnter(clock_ ? *clock_ : 0, peIndex_, number,
+                               outcome.kernelCycles);
         bumpQp(instr.qpInc);
         if (outcome.result) {
             writeDst(instr.dst1, *outcome.result);

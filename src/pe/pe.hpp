@@ -30,6 +30,7 @@
 #include "isa/instruction.hpp"
 #include "pe/memory.hpp"
 #include "support/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace qm::pe {
 
@@ -131,6 +132,20 @@ class ProcessingElement
     /** Replace the host (used when wiring PEs into the kernel). */
     void setHost(PeHost &host) { host_ = &host; }
 
+    /**
+     * Attach the system's event recorder. @p clock points at this PE's
+     * scheduling clock so trap entries carry absolute cycle stamps
+     * (the PE itself only counts per-step cycles).
+     */
+    void
+    attachTrace(trace::Tracer *tracer, int peIndex,
+                const trace::Cycle *clock)
+    {
+        tracer_ = tracer;
+        peIndex_ = peIndex;
+        clock_ = clock;
+    }
+
     /** Load a context's registers; presence bits start cleared. */
     void loadContext(const ContextState &state);
 
@@ -179,6 +194,11 @@ class ProcessingElement
     const isa::ObjectCode &code_;
     PeHost *host_;
     PeTiming timing_;
+
+    // Trace attachment (null/zero when the PE runs standalone).
+    trace::Tracer *tracer_ = nullptr;
+    int peIndex_ = -1;
+    const trace::Cycle *clock_ = nullptr;
 
     // Architectural state.
     Word pc_ = 0;

@@ -1,0 +1,58 @@
+#include "sim/bench_json.hpp"
+
+#include <fstream>
+
+#include "support/diagnostics.hpp"
+#include "support/json.hpp"
+
+namespace qm::sim {
+
+std::string
+writeBenchJson(const std::string &bench,
+               const std::vector<SpeedupSeries> &series,
+               const std::string &path)
+{
+    std::string out_path =
+        path.empty() ? "BENCH_" + bench + ".json" : path;
+    std::ofstream out(out_path);
+    fatalIf(!out, "cannot open bench report file: ", out_path);
+
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("bench").value(bench);
+    json.key("series").beginArray();
+    for (const SpeedupSeries &s : series) {
+        json.beginObject();
+        json.key("name").value(s.name);
+        json.key("runs").beginArray();
+        for (std::size_t i = 0; i < s.runs.size(); ++i) {
+            const RunReport &run = s.runs[i];
+            json.beginObject()
+                .key("pes").value(run.pes)
+                .key("completed").value(run.completed)
+                .key("verified").value(run.verified)
+                .key("cycles").value(run.cycles)
+                .key("instructions").value(run.instructions)
+                .key("contexts").value(run.contexts)
+                .key("rendezvous").value(run.rendezvous)
+                .key("context_switches").value(run.contextSwitches)
+                .key("utilization").value(run.utilization)
+                .key("compute_cycles").value(run.computeCycles)
+                .key("kernel_cycles").value(run.kernelCycles)
+                .key("blocked_cycles").value(run.blockedCycles)
+                .key("bus_cycles").value(run.busCycles);
+            if (run.cycles > 0 && !s.runs.empty() &&
+                s.runs.front().cycles > 0)
+                json.key("throughput_ratio").value(s.ratio(i));
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << "\n";
+    return out_path;
+}
+
+} // namespace qm::sim

@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include "support/diagnostics.hpp"
+#include "trace/export.hpp"
 
 namespace qm::sim {
 
@@ -8,6 +9,11 @@ double
 SpeedupSeries::ratio(std::size_t index) const
 {
     panicIf(runs.empty(), "empty speed-up series");
+    panicIf(index >= runs.size(), "speed-up index ", index,
+            " out of range (", runs.size(), " runs)");
+    panicIf(runs[index].cycles == 0,
+            "speed-up ratio against a zero-cycle run (index ", index,
+            "): run never executed or timed out before any work");
     double base = static_cast<double>(runs.front().cycles);
     return base / static_cast<double>(runs[index].cycles);
 }
@@ -25,12 +31,17 @@ runOnce(const occam::CompiledProgram &program,
 
     RunReport report;
     report.pes = pes;
+    report.completed = result.completed;
     report.cycles = result.cycles;
     report.instructions = result.instructions;
     report.contexts = result.contexts;
     report.rendezvous = result.rendezvous;
     report.contextSwitches = result.contextSwitches;
     report.utilization = result.utilization;
+    report.computeCycles = result.computeCycles;
+    report.kernelCycles = result.kernelCycles;
+    report.blockedCycles = result.blockedCycles;
+    report.busCycles = result.busCycles;
     report.verified = result.completed;
     if (report.verified && !expected.empty()) {
         isa::Addr base = program.arrayAddress(result_array);
@@ -43,6 +54,10 @@ runOnce(const occam::CompiledProgram &program,
             }
         }
     }
+    if (config.traceConfig.enabled &&
+        !config.traceConfig.chromeJsonPath.empty())
+        trace::writeChromeTraceFile(config.traceConfig.chromeJsonPath,
+                                    system.tracer());
     return report;
 }
 

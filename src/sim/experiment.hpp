@@ -21,13 +21,20 @@ namespace qm::sim {
 struct RunReport
 {
     int pes = 0;
-    bool verified = false;
+    bool completed = false;  ///< Run finished before the cycle limit.
+    bool verified = false;   ///< Completed AND produced the reference.
     mp::Cycle cycles = 0;
     std::uint64_t instructions = 0;
     std::uint64_t contexts = 0;
     std::uint64_t rendezvous = 0;
     std::uint64_t contextSwitches = 0;
     double utilization = 0.0;
+
+    // Per-phase cycle breakdown (see mp::RunResult).
+    mp::Cycle computeCycles = 0;
+    mp::Cycle kernelCycles = 0;
+    mp::Cycle blockedCycles = 0;
+    mp::Cycle busCycles = 0;
 };
 
 /** One benchmark swept over PE counts. */

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by the trace exporter and the
+ * machine-readable bench reports. Deliberately tiny: objects, arrays,
+ * strings (escaped), integers, and doubles, written to any ostream.
+ * The writer inserts commas automatically; callers just nest
+ * begin/end and key/value calls.
+ */
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "support/format.hpp"
+
+namespace qm {
+
+/** Escape @p text for use inside a JSON string literal. */
+inline std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                constexpr const char *hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xF];
+                out += hex[c & 0xF];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Comma-managing writer for nested JSON objects and arrays. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &
+    beginObject()
+    {
+        separate();
+        os_ << "{";
+        stack_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        stack_.pop_back();
+        os_ << "}";
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        separate();
+        os_ << "[";
+        stack_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        stack_.pop_back();
+        os_ << "]";
+        return *this;
+    }
+
+    /** Write an object key; the next value call supplies its value. */
+    JsonWriter &
+    key(std::string_view name)
+    {
+        separate();
+        os_ << '"' << jsonEscape(name) << "\":";
+        pendingValue_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::string_view text)
+    {
+        separate();
+        os_ << '"' << jsonEscape(text) << '"';
+        return *this;
+    }
+
+    JsonWriter &value(const char *text)
+    {
+        return value(std::string_view(text));
+    }
+
+    JsonWriter &
+    value(double number)
+    {
+        separate();
+        os_ << fixed(number, 6);
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool flag)
+    {
+        separate();
+        os_ << (flag ? "true" : "false");
+        return *this;
+    }
+
+    template <typename Int>
+        requires std::is_integral_v<Int>
+    JsonWriter &
+    value(Int number)
+    {
+        separate();
+        os_ << number;
+        return *this;
+    }
+
+  private:
+    /** Emit a comma between siblings; never before a pending value. */
+    void
+    separate()
+    {
+        if (pendingValue_) {
+            pendingValue_ = false;
+            return;
+        }
+        if (!stack_.empty()) {
+            if (stack_.back())
+                os_ << ",";
+            stack_.back() = true;
+        }
+    }
+
+    std::ostream &os_;
+    std::vector<bool> stack_;  ///< Per-level "wrote a sibling already".
+    bool pendingValue_ = false;
+};
+
+} // namespace qm

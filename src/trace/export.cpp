@@ -1,0 +1,202 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/format.hpp"
+#include "support/json.hpp"
+
+namespace qm::trace {
+
+namespace {
+
+/** Highest PE index seen anywhere in the stream, -1 when none. */
+int
+maxPeIndex(const Tracer &tracer)
+{
+    int max_pe = -1;
+    for (const Event &e : tracer.events()) {
+        if (e.pe > max_pe)
+            max_pe = e.pe;
+        if (e.kind == EventKind::BusTransfer)
+            max_pe = std::max(max_pe, static_cast<int>(e.a));
+        if (e.kind == EventKind::CtxCreate)
+            max_pe = std::max(max_pe, static_cast<int>(e.a));
+    }
+    return max_pe;
+}
+
+void
+metaProcess(JsonWriter &json, int pid, const std::string &name,
+            int sortIndex)
+{
+    json.beginObject()
+        .key("name").value("process_name")
+        .key("ph").value("M")
+        .key("pid").value(pid)
+        .key("args").beginObject().key("name").value(name).endObject()
+        .endObject();
+    json.beginObject()
+        .key("name").value("process_sort_index")
+        .key("ph").value("M")
+        .key("pid").value(pid)
+        .key("args").beginObject().key("sort_index").value(sortIndex)
+        .endObject()
+        .endObject();
+}
+
+void
+spanEvent(JsonWriter &json, const std::string &name,
+          const std::string &category, int pid, int tid, Cycle start,
+          Cycle dur)
+{
+    json.beginObject()
+        .key("name").value(name)
+        .key("cat").value(category)
+        .key("ph").value("X")
+        .key("ts").value(start)
+        .key("dur").value(dur < 1 ? 1 : dur)
+        .key("pid").value(pid)
+        .key("tid").value(tid);
+}
+
+void
+flowEvent(JsonWriter &json, const char *phase, CtxId ctx, int pid,
+          Cycle ts)
+{
+    json.beginObject()
+        .key("name").value(cat("ctx ", ctx))
+        .key("cat").value("lifecycle")
+        .key("ph").value(phase)
+        .key("id").value(ctx)
+        .key("ts").value(ts)
+        .key("pid").value(pid)
+        .key("tid").value(0);
+    // Flow steps bind to the enclosing slice; "e" makes the binding
+    // explicit at the event's own timestamp.
+    if (phase[0] == 't' || phase[0] == 'f')
+        json.key("bp").value("e");
+    json.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &tracer)
+{
+    JsonWriter json(os);
+    int num_pes = maxPeIndex(tracer) + 1;
+    int bus_pid = num_pes;
+    int chan_pid = num_pes + 1;
+
+    json.beginObject();
+    json.key("displayTimeUnit").value("ms");
+    json.key("traceEvents").beginArray();
+
+    for (int pe = 0; pe < num_pes; ++pe)
+        metaProcess(json, pe, cat("PE ", pe), pe);
+    if (tracer.countOf(EventKind::BusTransfer) > 0)
+        metaProcess(json, bus_pid, "ring bus", num_pes);
+    if (tracer.countOf(EventKind::Rendezvous) > 0)
+        metaProcess(json, chan_pid, "channels", num_pes + 1);
+
+    for (const Event &e : tracer.events()) {
+        switch (e.kind) {
+          case EventKind::PeBusy:
+            spanEvent(json, cat("ctx ", e.ctx), "run", e.pe, 0, e.at,
+                      e.end - e.at);
+            json.key("args").beginObject()
+                .key("ctx").value(e.ctx)
+                .endObject()
+                .endObject();
+            break;
+          case EventKind::TrapEnter:
+            spanEvent(json, cat("trap #", e.a), "kernel", e.pe, 0, e.at,
+                      static_cast<Cycle>(e.b));
+            json.key("args").beginObject()
+                .key("trap").value(e.a)
+                .key("service_cycles").value(e.b)
+                .endObject()
+                .endObject();
+            break;
+          case EventKind::BusTransfer:
+            spanEvent(json,
+                      cat("pe", e.pe, " -> pe", e.a), "bus", bus_pid,
+                      e.pe, e.at, e.end - e.at);
+            json.key("args").beginObject()
+                .key("hops").value(e.b)
+                .endObject()
+                .endObject();
+            break;
+          case EventKind::Rendezvous:
+            json.beginObject()
+                .key("name").value(cat("ch ", e.a))
+                .key("cat").value("channel")
+                .key("ph").value("i")
+                .key("s").value("p")
+                .key("ts").value(e.at)
+                .key("pid").value(chan_pid)
+                .key("tid").value(static_cast<std::int64_t>(e.a))
+                .key("args").beginObject()
+                .key("receiver").value(e.ctx)
+                .key("value").value(
+                    static_cast<std::int64_t>(
+                        static_cast<std::int32_t>(e.b)))
+                .endObject()
+                .endObject();
+            break;
+          case EventKind::CtxCreate:
+            flowEvent(json, "s", e.ctx,
+                      static_cast<int>(e.a), e.at);
+            break;
+          case EventKind::CtxDispatch:
+            flowEvent(json, "t", e.ctx, e.pe, e.at);
+            break;
+          case EventKind::CtxFinish:
+            flowEvent(json, "f", e.ctx, e.pe, e.at);
+            break;
+          case EventKind::CtxPark:
+            json.beginObject()
+                .key("name").value(
+                    cat("park (",
+                        toString(static_cast<ParkReason>(e.a)), ")"))
+                .key("cat").value("lifecycle")
+                .key("ph").value("i")
+                .key("s").value("t")
+                .key("ts").value(e.at)
+                .key("pid").value(e.pe)
+                .key("tid").value(0)
+                .key("args").beginObject()
+                .key("ctx").value(e.ctx)
+                .endObject()
+                .endObject();
+            break;
+        }
+    }
+
+    json.endArray();
+    if (tracer.dropped() > 0)
+        json.key("qmDroppedEvents").value(tracer.dropped());
+    json.endObject();
+    os << "\n";
+}
+
+std::string
+chromeTraceJson(const Tracer &tracer)
+{
+    std::ostringstream os;
+    writeChromeTrace(os, tracer);
+    return os.str();
+}
+
+void
+writeChromeTraceFile(const std::string &path, const Tracer &tracer)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open trace output file: ", path);
+    writeChromeTrace(out, tracer);
+}
+
+} // namespace qm::trace

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Trace exporters: Chrome trace_event JSON (loadable in
+ * chrome://tracing or https://ui.perfetto.dev) and file helpers.
+ *
+ * Mapping: each PE is one trace "process" (pid = PE index) whose row
+ * shows the context busy spans and kernel trap slices executed there;
+ * the ring bus is an extra process (pid = number of PEs) with one
+ * thread per source PE; channel rendezvous land on a "channels"
+ * process. Context lifecycles are flow events (s/t/f) threaded through
+ * create -> dispatch -> finish, so a forked context's migration across
+ * PEs draws as an arrow. Timestamps are simulated cycles, presented as
+ * microseconds (the trace viewer's native unit).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace qm::trace {
+
+/** Render the whole event stream as Chrome trace_event JSON. */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer);
+
+/** Convenience: render to a string (tests, small traces). */
+std::string chromeTraceJson(const Tracer &tracer);
+
+/**
+ * Write the Chrome trace JSON to @p path.
+ * Throws FatalError when the file cannot be opened.
+ */
+void writeChromeTraceFile(const std::string &path, const Tracer &tracer);
+
+} // namespace qm::trace

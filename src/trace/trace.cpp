@@ -1,0 +1,133 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace qm::trace {
+
+Tracer::Tracer(const TraceConfig &config)
+    : enabled_(config.enabled), maxEvents_(config.maxEvents)
+{
+    if (enabled_)
+        events_.reserve(std::min<std::size_t>(maxEvents_, 1u << 16));
+}
+
+void
+Tracer::push(const Event &event)
+{
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(event);
+    ++kindCounts_[static_cast<std::size_t>(event.kind)];
+}
+
+const char *
+toString(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::CtxCreate: return "ctx-create";
+      case EventKind::CtxDispatch: return "ctx-dispatch";
+      case EventKind::CtxPark: return "ctx-park";
+      case EventKind::CtxFinish: return "ctx-finish";
+      case EventKind::Rendezvous: return "rendezvous";
+      case EventKind::BusTransfer: return "bus-transfer";
+      case EventKind::TrapEnter: return "trap";
+      case EventKind::PeBusy: return "pe-busy";
+    }
+    return "?";
+}
+
+const char *
+toString(ParkReason reason)
+{
+    switch (reason) {
+      case ParkReason::Channel: return "channel";
+      case ParkReason::Timer: return "timer";
+      case ParkReason::Resident: return "resident";
+    }
+    return "?";
+}
+
+namespace {
+
+void
+renderEvent(std::ostream &os, const Event &e)
+{
+    os << "t=" << e.at;
+    if (e.pe >= 0)
+        os << " pe" << e.pe;
+    if (e.ctx != kNoCtx)
+        os << " ctx" << e.ctx;
+    os << " " << toString(e.kind);
+    switch (e.kind) {
+      case EventKind::CtxCreate:
+        os << " from-pe" << e.a;
+        break;
+      case EventKind::CtxPark:
+        os << " (" << toString(static_cast<ParkReason>(e.a)) << ")";
+        break;
+      case EventKind::Rendezvous:
+        os << " ch" << e.a << " val="
+           << static_cast<std::int64_t>(static_cast<std::int32_t>(e.b));
+        break;
+      case EventKind::BusTransfer:
+        os << " ->pe" << e.a << " hops=" << e.b << " arrives=" << e.end;
+        break;
+      case EventKind::TrapEnter:
+        os << " #" << e.a << " service=" << e.b;
+        break;
+      case EventKind::PeBusy:
+        os << " until=" << e.end;
+        break;
+      default:
+        break;
+    }
+    os << "\n";
+}
+
+} // namespace
+
+std::string
+Tracer::summary(std::size_t tailEvents) const
+{
+    std::ostringstream os;
+    os << "trace: " << events_.size() << " events";
+    if (dropped_ > 0)
+        os << " (+" << dropped_ << " dropped at cap)";
+    os << "\n";
+    for (int k = 0; k < kEventKinds; ++k) {
+        auto kind = static_cast<EventKind>(k);
+        if (countOf(kind) > 0)
+            os << "  " << toString(kind) << ": " << countOf(kind)
+               << "\n";
+    }
+
+    // Per-PE busy time from completed spans.
+    std::map<int, Cycle> busy;
+    std::map<int, std::size_t> spans;
+    for (const Event &e : events_) {
+        if (e.kind != EventKind::PeBusy)
+            continue;
+        busy[e.pe] += e.end - e.at;
+        ++spans[e.pe];
+    }
+    for (const auto &[pe, cycles] : busy)
+        os << "  pe" << pe << ": busy " << cycles << " cycles over "
+           << spans[pe] << " spans\n";
+
+    if (!events_.empty() && tailEvents > 0) {
+        std::size_t first =
+            events_.size() > tailEvents ? events_.size() - tailEvents : 0;
+        os << "  last " << (events_.size() - first) << " events:\n";
+        for (std::size_t i = first; i < events_.size(); ++i) {
+            os << "    ";
+            renderEvent(os, events_[i]);
+        }
+    }
+    return os.str();
+}
+
+} // namespace qm::trace

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "isa/assembler.hpp"
 #include "isa/runtime.hpp"
 #include "mp/ring_bus.hpp"
@@ -281,6 +283,97 @@ TEST(System, MoreWorkersShortenElapsedTime)
     Cycle one = cycles_for(1);
     Cycle four = cycles_for(4);
     EXPECT_LT(four * 2, one);  // at least 2x faster with 4 PEs
+}
+
+TEST(System, TimeoutStillReportsProgress)
+{
+    // Six spinning workers cannot finish in 500 cycles; the run must
+    // time out but still report the work it did (the old timeout path
+    // returned zeroed instruction/utilization statistics).
+    const char *program =
+        "main:\n"
+        "  plus #100000,#0 :r18\n"
+        "spin:\n"
+        "  minus r18,#1 :r18\n"
+        "  bne r18,@spin\n"
+        "  trap #0,#0\n";
+    ObjectCode code = assemble(program);
+    SystemConfig config;
+    config.numPes = 2;
+    System system(code, config);
+    RunResult result = system.run("main", /*max_cycles=*/500);
+    EXPECT_FALSE(result.completed);
+    EXPECT_GT(result.instructions, 0u);
+    EXPECT_GT(result.cycles, 0);
+    EXPECT_LE(result.cycles, 600);  // close to the limit, not past it
+    EXPECT_GT(result.utilization, 0.0);
+    EXPECT_EQ(result.contexts, 1u);
+    // Stats are finalized too: merged PE counters and the breakdown.
+    EXPECT_GT(system.stats().counter("pe.instructions"), 0u);
+    EXPECT_GT(result.computeCycles, 0);
+}
+
+TEST(System, CycleBreakdownAccountsForEveryPeCycle)
+{
+    for (int pes : {1, 4}) {
+        ObjectCode code = assemble(kFanOutProgram);
+        SystemConfig config;
+        config.numPes = pes;
+        System system(code, config);
+        RunResult result = system.run("main");
+        ASSERT_TRUE(result.completed);
+        EXPECT_EQ(result.computeCycles + result.kernelCycles +
+                      result.blockedCycles,
+                  result.cycles * pes)
+            << "pes=" << pes;
+        EXPECT_GT(result.computeCycles, 0);
+        EXPECT_GT(result.kernelCycles, 0);
+    }
+}
+
+TEST(System, TraceEventCountsMatchStatCounters)
+{
+    ObjectCode code = assemble(kFanOutProgram);
+    SystemConfig config;
+    config.numPes = 4;
+    config.traceConfig.enabled = true;
+    System system(code, config);
+    RunResult result = system.run("main");
+    ASSERT_TRUE(result.completed);
+
+    const trace::Tracer &tracer = system.tracer();
+    using trace::EventKind;
+    EXPECT_EQ(tracer.countOf(EventKind::CtxCreate),
+              system.stats().counter("sys.contexts_created"));
+    EXPECT_EQ(tracer.countOf(EventKind::CtxFinish),
+              system.stats().counter("sys.contexts_finished"));
+    EXPECT_EQ(tracer.countOf(EventKind::Rendezvous),
+              system.stats().counter("msg.rendezvous"));
+    EXPECT_EQ(tracer.countOf(EventKind::BusTransfer),
+              system.stats().counter("bus.remote_transfers"));
+    EXPECT_EQ(tracer.countOf(EventKind::TrapEnter),
+              system.stats().counter("pe.traps"));
+    EXPECT_EQ(tracer.dropped(), 0u);
+
+    // Busy spans never overlap per PE and sum to the busy time that
+    // utilization is computed from.
+    std::map<int, Cycle> last_end;
+    for (const trace::Event &e : tracer.events()) {
+        if (e.kind != EventKind::PeBusy)
+            continue;
+        EXPECT_GE(e.at, last_end[e.pe]);
+        EXPECT_GE(e.end, e.at);
+        last_end[e.pe] = e.end;
+    }
+}
+
+TEST(System, TracingDisabledRecordsNothing)
+{
+    ObjectCode code = assemble(kForkAddProgram);
+    System system(code, SystemConfig{});
+    system.run("main");
+    EXPECT_FALSE(system.tracer().enabled());
+    EXPECT_TRUE(system.tracer().events().empty());
 }
 
 } // namespace

@@ -81,6 +81,43 @@ TEST(Experiment, SweepVerifiesAndReportsMonotoneCycles)
     EXPECT_LT(series.runs[3].cycles, series.runs[0].cycles);
 }
 
+TEST(Experiment, RatioPanicsOnOutOfRangeIndex)
+{
+    SpeedupSeries series;
+    EXPECT_THROW(series.ratio(0), PanicError);  // empty series
+    RunReport run;
+    run.cycles = 100;
+    series.runs.push_back(run);
+    EXPECT_DOUBLE_EQ(series.ratio(0), 1.0);
+    EXPECT_THROW(series.ratio(1), PanicError);  // past the end
+    EXPECT_THROW(series.ratio(100), PanicError);
+}
+
+TEST(Experiment, RatioPanicsOnZeroCycleRun)
+{
+    SpeedupSeries series;
+    RunReport base;
+    base.cycles = 100;
+    series.runs.push_back(base);
+    RunReport timed_out;  // cycles == 0: run did no work
+    series.runs.push_back(timed_out);
+    EXPECT_THROW(series.ratio(1), PanicError);
+}
+
+TEST(Experiment, ReportCarriesCycleBreakdown)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[1];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    RunReport report =
+        runOnce(program, bench.resultArray, bench.expected, 4);
+    ASSERT_TRUE(report.verified);
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(report.computeCycles + report.kernelCycles +
+                  report.blockedCycles,
+              report.cycles * report.pes);
+    EXPECT_GT(report.computeCycles, 0);
+}
+
 TEST(Experiment, VerificationCatchesWrongExpectations)
 {
     programs::Benchmark bench = programs::thesisBenchmarks()[0];

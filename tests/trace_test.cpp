@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the cycle-level trace layer: the flag-gated recorder, the
+ * event cap, the plain-text summary, and the Chrome trace_event JSON
+ * exporter.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/json.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace qm;
+using namespace qm::trace;
+
+TraceConfig
+enabledConfig()
+{
+    TraceConfig config;
+    config.enabled = true;
+    return config;
+}
+
+TEST(Tracer, DisabledByDefaultAndRecordsNothing)
+{
+    Tracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+    tracer.ctxCreate(0, 0, 1, 0);
+    tracer.rendezvous(5, 2, 1, 42);
+    tracer.peBusy(0, 10, 0, 1);
+    EXPECT_TRUE(tracer.events().empty());
+    EXPECT_EQ(tracer.countOf(EventKind::CtxCreate), 0u);
+}
+
+TEST(Tracer, RecordsTypedEventsWithCycleStamps)
+{
+    Tracer tracer(enabledConfig());
+    tracer.ctxCreate(7, /*homePe=*/1, /*ctx=*/3, /*forkingPe=*/0);
+    tracer.ctxDispatch(9, 1, 3);
+    tracer.trapEnter(12, 1, /*trap=*/1, /*serviceCycles=*/12);
+    tracer.busTransfer(14, 20, 0, 1, 1);
+    tracer.rendezvous(21, /*channel=*/4, /*receiver=*/3, /*value=*/99);
+    tracer.ctxPark(25, 1, 3, ParkReason::Channel);
+    tracer.peBusy(9, 25, 1, 3);
+    tracer.ctxFinish(30, 1, 3);
+
+    ASSERT_EQ(tracer.events().size(), 8u);
+    EXPECT_EQ(tracer.countOf(EventKind::CtxCreate), 1u);
+    EXPECT_EQ(tracer.countOf(EventKind::PeBusy), 1u);
+    const Event &create = tracer.events().front();
+    EXPECT_EQ(create.kind, EventKind::CtxCreate);
+    EXPECT_EQ(create.at, 7);
+    EXPECT_EQ(create.pe, 1);
+    EXPECT_EQ(create.ctx, 3u);
+    EXPECT_EQ(create.a, 0u);  // forking PE
+}
+
+TEST(Tracer, EventCapDropsInsteadOfGrowing)
+{
+    TraceConfig config;
+    config.enabled = true;
+    config.maxEvents = 4;
+    Tracer tracer(config);
+    for (int i = 0; i < 10; ++i)
+        tracer.ctxDispatch(i, 0, 0);
+    EXPECT_EQ(tracer.events().size(), 4u);
+    EXPECT_EQ(tracer.dropped(), 6u);
+    EXPECT_EQ(tracer.countOf(EventKind::CtxDispatch), 4u);
+}
+
+TEST(Tracer, SummaryListsKindsAndBusyTime)
+{
+    Tracer tracer(enabledConfig());
+    tracer.peBusy(0, 10, 0, 1);
+    tracer.peBusy(12, 20, 0, 2);
+    tracer.ctxPark(25, 0, 2, ParkReason::Timer);
+    std::string summary = tracer.summary();
+    EXPECT_NE(summary.find("pe-busy: 2"), std::string::npos);
+    EXPECT_NE(summary.find("ctx-park: 1"), std::string::npos);
+    EXPECT_NE(summary.find("busy 18 cycles over 2 spans"),
+              std::string::npos);
+    EXPECT_NE(summary.find("(timer)"), std::string::npos);
+}
+
+TEST(ChromeExport, EmitsTraceEventsArrayWithProcessMetadata)
+{
+    Tracer tracer(enabledConfig());
+    tracer.ctxCreate(0, 0, 0, 0);
+    tracer.ctxDispatch(2, 0, 0);
+    tracer.peBusy(2, 40, 0, 0);
+    tracer.trapEnter(10, 0, 1, 12);
+    tracer.busTransfer(12, 18, 0, 1, 1);
+    tracer.rendezvous(20, 2, 0, 7);
+    tracer.ctxFinish(40, 0, 0);
+
+    std::string json = chromeTraceJson(tracer);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"PE 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"ring bus\""), std::string::npos);
+    EXPECT_NE(json.find("\"channels\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    // Flow events thread the context lifecycle.
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+
+    // Structurally balanced (cheap well-formedness check; the mp_test
+    // integration is cross-checked against a real JSON parser in CI
+    // via the bench reports).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(JsonWriter, EscapesAndNestsCorrectly)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject()
+        .key("name").value("a\"b\\c\nd")
+        .key("list").beginArray().value(1).value(2.5).value(true)
+        .endArray()
+        .key("empty").beginObject().endObject()
+        .endObject();
+    EXPECT_EQ(os.str(),
+              "{\"name\":\"a\\\"b\\\\c\\nd\","
+              "\"list\":[1,2.500000,true],"
+              "\"empty\":{}}");
+}
+
+} // namespace
