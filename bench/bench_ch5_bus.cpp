@@ -8,10 +8,15 @@
  * This bench sweeps the partition count at 8 PEs for the most
  * communication-heavy benchmark and reports elapsed cycles together
  * with bus contention, showing the concurrency the partitioning buys.
+ * The partition runs are independent simulations of one compiled
+ * program, fanned across worker threads (--jobs).
  */
 #include <iostream>
+#include <vector>
 
+#include "bench_cli.hpp"
 #include "programs/benchmarks.hpp"
+#include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
@@ -19,25 +24,39 @@
 using namespace qm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = benchcli::parseJobsArgs(argc, argv, "bench_ch5_bus");
+    if (jobs < 0)
+        return 2;
     const int pes = 8;
+    const std::vector<int> partition_counts = {1, 2, 4, 8};
     programs::Benchmark bench = programs::thesisBenchmarks()[3];
     occam::CompiledProgram program =
         occam::compileOccam(bench.source);
 
+    std::vector<sim::RunSpec> specs;
+    for (int partitions : partition_counts) {
+        sim::RunSpec spec;
+        spec.program = &program;
+        spec.resultArray = bench.resultArray;
+        spec.expected = bench.expected;
+        spec.pes = pes;
+        spec.config.busPartitions = partitions;
+        specs.push_back(std::move(spec));
+    }
+    std::vector<sim::RunReport> reports = sim::runAll(specs, jobs);
+
     std::cout << "Ring-bus partition sweep (Fig 5.18 axis): "
               << bench.name << " at " << pes << " PEs\n\n";
     TextTable table({"partitions", "cycles", "vs 1 partition", "ok"});
-    mp::Cycle base = 0;
-    for (int partitions : {1, 2, 4, 8}) {
-        mp::SystemConfig config;
-        config.busPartitions = partitions;
-        sim::RunReport report = sim::runOnce(
-            program, bench.resultArray, bench.expected, pes, config);
-        if (base == 0)
-            base = report.cycles;
-        table.addRow({std::to_string(partitions),
+    mp::Cycle base = reports.front().cycles;
+    sim::SpeedupSeries series;
+    series.name = bench.name;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const sim::RunReport &report = reports[i];
+        series.runs.push_back(report);
+        table.addRow({std::to_string(partition_counts[i]),
                       std::to_string(report.cycles),
                       fixed(static_cast<double>(base) /
                                 static_cast<double>(report.cycles),
@@ -50,5 +69,7 @@ main()
                  "concurrency; at this message rate latency dominates, "
                  "matching the thesis choice of FEW partitions: 2 for "
                  "4 PEs in Fig 5.18)\n";
+    std::cout << "wrote " << sim::writeBenchJson("ch5_bus", {series})
+              << "\n";
     return 0;
 }

@@ -8,10 +8,17 @@
  *   - live-value analysis (only live values cross context splices),
  *   - pi_I input sequencing of splice transfers,
  *   - actor-priority instruction scheduling (Fig 4.20 heuristic).
+ *
+ * All (benchmark x option-set) cells are independent simulations, so
+ * they are compiled up front and fanned across worker threads
+ * (--jobs); the table and JSON are assembled from the ordered reports
+ * and identical for any job count.
  */
+#include <deque>
 #include <iostream>
 #include <vector>
 
+#include "bench_cli.hpp"
 #include "programs/benchmarks.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
@@ -20,63 +27,76 @@
 
 using namespace qm;
 
-namespace {
-
-sim::RunReport
-measure(const programs::Benchmark &bench,
-        const occam::CompileOptions &options, int pes)
-{
-    occam::CompiledProgram program =
-        occam::compileOccam(bench.source, options);
-    return sim::runOnce(program, bench.resultArray, bench.expected,
-                        pes);
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = benchcli::parseJobsArgs(argc, argv, "bench_ch6_ablation");
+    if (jobs < 0)
+        return 2;
     const int pes = 4;
     std::cout << "Table 6.6: compiler optimization speed-up factors "
                  "(4 PEs)\n"
                  "factor = cycles with the optimization disabled / "
                  "cycles with all optimizations on\n\n";
 
+    // The five option sets per benchmark, in JSON run order.
+    occam::CompileOptions all_on;
+    occam::CompileOptions no_live = all_on;
+    no_live.liveAnalysis = false;
+    occam::CompileOptions no_seq = all_on;
+    no_seq.inputSequencing = false;
+    occam::CompileOptions no_prio = all_on;
+    no_prio.priorityScheduling = false;
+    occam::CompileOptions none = all_on;
+    none.liveAnalysis = false;
+    none.inputSequencing = false;
+    none.priorityScheduling = false;
+    const std::vector<occam::CompileOptions> variants = {
+        all_on, no_live, no_seq, no_prio, none};
+
+    // Compile every (benchmark, option-set) cell once, then run the
+    // whole grid through the parallel experiment runner. The deque
+    // keeps compiled programs at stable addresses for the specs.
+    std::vector<programs::Benchmark> benches =
+        programs::thesisBenchmarks();
+    std::deque<occam::CompiledProgram> compiled;
+    std::vector<sim::RunSpec> specs;
+    for (const programs::Benchmark &bench : benches) {
+        for (const occam::CompileOptions &options : variants) {
+            compiled.push_back(occam::compileOccam(bench.source,
+                                                   options));
+            sim::RunSpec spec;
+            spec.program = &compiled.back();
+            spec.resultArray = bench.resultArray;
+            spec.expected = bench.expected;
+            spec.pes = pes;
+            specs.push_back(std::move(spec));
+        }
+    }
+    std::vector<sim::RunReport> reports = sim::runAll(specs, jobs);
+
     TextTable table({"program", "baseline cycles", "live-value",
                      "input-seq", "priority-sched", "all off"});
     std::vector<sim::SpeedupSeries> all;
-    for (const programs::Benchmark &bench :
-         programs::thesisBenchmarks()) {
-        occam::CompileOptions all_on;
-        sim::RunReport base = measure(bench, all_on, pes);
-
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const sim::RunReport &base = reports[b * variants.size()];
         sim::SpeedupSeries series;
-        series.name = bench.name;
-        series.runs.push_back(base);
-        auto factor = [&](occam::CompileOptions options) {
-            sim::RunReport run = measure(bench, options, pes);
+        series.name = benches[b].name;
+        std::vector<std::string> row = {benches[b].name,
+                                        std::to_string(base.cycles)};
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            const sim::RunReport &run = reports[b * variants.size() + v];
             series.runs.push_back(run);
-            if (!run.verified)
-                return std::string("BAD");
-            return fixed(static_cast<double>(run.cycles) /
-                             static_cast<double>(base.cycles),
-                         3);
-        };
-        occam::CompileOptions no_live = all_on;
-        no_live.liveAnalysis = false;
-        occam::CompileOptions no_seq = all_on;
-        no_seq.inputSequencing = false;
-        occam::CompileOptions no_prio = all_on;
-        no_prio.priorityScheduling = false;
-        occam::CompileOptions none = all_on;
-        none.liveAnalysis = false;
-        none.inputSequencing = false;
-        none.priorityScheduling = false;
-
-        table.addRow({bench.name, std::to_string(base.cycles),
-                      factor(no_live), factor(no_seq),
-                      factor(no_prio), factor(none)});
+            if (v == 0)
+                continue;  // the baseline column is raw cycles
+            row.push_back(!run.verified
+                              ? std::string("BAD")
+                              : fixed(static_cast<double>(run.cycles) /
+                                          static_cast<double>(
+                                              base.cycles),
+                                      3));
+        }
+        table.addRow(row);
         all.push_back(series);
     }
     std::cout << table.render();

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_cli.hpp"
 #include "programs/benchmarks.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
@@ -65,8 +66,11 @@ reportSeries(const sim::SpeedupSeries &series,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = benchcli::parseJobsArgs(argc, argv, "bench_ch6_speedup");
+    if (jobs < 0)
+        return 2;
     const std::vector<int> pe_counts = {1, 2, 3, 4, 5, 6, 7, 8};
 
     std::cout << "Queue-machine multiprocessor simulation study "
@@ -78,7 +82,7 @@ main()
          programs::thesisBenchmarks()) {
         sim::SpeedupSeries series = sim::runSpeedupSweep(
             bench.name, bench.source, bench.resultArray, bench.expected,
-            pe_counts);
+            pe_counts, {}, {}, jobs);
         reportSeries(series, bench.thesisFigure);
         all.push_back(series);
     }
@@ -86,12 +90,12 @@ main()
     // Fig 6.9: recursive vs non-recursive fan-out.
     sim::SpeedupSeries recursive = sim::runSpeedupSweep(
         "binary fan-out (recursive)", programs::binaryFanRecursiveSource(),
-        "v", programs::expectedBinaryFan(), pe_counts);
+        "v", programs::expectedBinaryFan(), pe_counts, {}, {}, jobs);
     reportSeries(recursive, "Fig 6.9 recursive");
     all.push_back(recursive);
     sim::SpeedupSeries iterative = sim::runSpeedupSweep(
         "binary fan-out (iterative)", programs::binaryFanIterativeSource(),
-        "v", programs::expectedBinaryFan(), pe_counts);
+        "v", programs::expectedBinaryFan(), pe_counts, {}, {}, jobs);
     reportSeries(iterative, "Fig 6.9 non-recursive");
     all.push_back(iterative);
 

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Command line shared by the sweep benches (ch5 bus, ch6 speedup, ch6
+ * ablation): `--jobs N` fans the independent simulations of a sweep
+ * over N worker threads. The default (0) uses all hardware threads;
+ * `--jobs 1` reproduces the historical serial run exactly. Reports in
+ * either mode are identical - parallelism only changes wall-clock.
+ */
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "support/cli.hpp"
+
+namespace qm::benchcli {
+
+/**
+ * Parse argv for `--jobs N`. Returns the job count (0 = all cores),
+ * or -1 after printing a usage error for unknown or malformed
+ * arguments.
+ */
+inline int
+parseJobsArgs(int argc, char **argv, const char *bench_name)
+{
+    int jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            try {
+                jobs = parsePositiveIntArg(argv[++i], "--jobs",
+                                           /*max=*/1024);
+            } catch (const FatalError &e) {
+                std::cerr << bench_name << ": " << e.what() << "\n";
+                return -1;
+            }
+        } else {
+            std::cerr << "usage: " << bench_name << " [--jobs N]\n";
+            return -1;
+        }
+    }
+    return jobs;
+}
+
+} // namespace qm::benchcli

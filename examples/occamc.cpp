@@ -19,6 +19,7 @@
 
 #include "mp/system.hpp"
 #include "occam/compiler.hpp"
+#include "support/cli.hpp"
 #include "trace/export.hpp"
 #include "occam/graph_interp.hpp"
 #include "occam/ift.hpp"
@@ -56,7 +57,15 @@ main(int argc, char **argv)
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--pes" && i + 1 < argc) {
-            pes = std::stoi(argv[++i]);
+            // stoi would throw an uncaught std::invalid_argument on
+            // "--pes foo"; validate and report a usage error instead.
+            try {
+                pes = qm::parsePositiveIntArg(argv[++i], "--pes",
+                                              /*max=*/4096);
+            } catch (const qm::FatalError &e) {
+                std::cerr << "occamc: " << e.what() << "\n";
+                return usage();
+            }
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
             run = true;  // tracing implies running

@@ -487,8 +487,16 @@ System::run(const std::string &entry, Cycle max_cycles)
             StepResult step = slot.pe->step();
             slot.clock += step.cycles;
             slot.busyCycles += slot.clock - before;
-            if (step.status == StepStatus::Executed)
+            if (step.status == StepStatus::Executed) {
+                // Stop as soon as this PE crosses the cycle budget
+                // instead of finishing the batch: the overshoot is
+                // bounded by one instruction, not 16. The outer loop
+                // observes the exhausted clock and times out once no
+                // PE below the budget can act.
+                if (slot.clock > max_cycles)
+                    break;
                 continue;
+            }
             if (step.status == StepStatus::ContextEnd) {
                 slot.clock += config_.exitCycles;
                 slot.switchCycles += config_.exitCycles;

@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include "support/diagnostics.hpp"
+#include "support/thread_pool.hpp"
 #include "trace/export.hpp"
 
 namespace qm::sim {
@@ -61,20 +62,50 @@ runOnce(const occam::CompiledProgram &program,
     return report;
 }
 
+std::vector<RunReport>
+runAll(const std::vector<RunSpec> &specs, int jobs)
+{
+    unsigned workers = jobs < 1 ? ThreadPool::defaultWorkers()
+                                : static_cast<unsigned>(jobs);
+    if (workers > 1)
+        for (const RunSpec &spec : specs)
+            fatalIf(spec.config.traceConfig.enabled &&
+                        !spec.config.traceConfig.chromeJsonPath.empty(),
+                    "per-run Chrome trace files race under a parallel "
+                    "sweep; run with jobs=1 to trace");
+    std::vector<RunReport> reports(specs.size());
+    parallelFor(specs.size(), workers, [&](std::size_t i) {
+        const RunSpec &spec = specs[i];
+        panicIf(spec.program == nullptr, "RunSpec without a program");
+        reports[i] = runOnce(*spec.program, spec.resultArray,
+                             spec.expected, spec.pes, spec.config);
+    });
+    return reports;
+}
+
 SpeedupSeries
 runSpeedupSweep(const std::string &name, const std::string &source,
                 const std::string &result_array,
                 const std::vector<std::int32_t> &expected,
                 const std::vector<int> &pe_counts,
                 const occam::CompileOptions &options,
-                const mp::SystemConfig &base_config)
+                const mp::SystemConfig &base_config, int jobs)
 {
     occam::CompiledProgram program = occam::compileOccam(source, options);
+    std::vector<RunSpec> specs;
+    specs.reserve(pe_counts.size());
+    for (int pes : pe_counts) {
+        RunSpec spec;
+        spec.program = &program;
+        spec.resultArray = result_array;
+        spec.expected = expected;
+        spec.pes = pes;
+        spec.config = base_config;
+        specs.push_back(std::move(spec));
+    }
     SpeedupSeries series;
     series.name = name;
-    for (int pes : pe_counts)
-        series.runs.push_back(
-            runOnce(program, result_array, expected, pes, base_config));
+    series.runs = runAll(specs, jobs);
     return series;
 }
 

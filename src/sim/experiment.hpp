@@ -48,8 +48,39 @@ struct SpeedupSeries
 };
 
 /**
+ * One simulation to execute: a compiled program (shared read-only
+ * across runs; the pointee must outlive runAll), the verification
+ * reference, and the machine configuration. Each executed spec gets
+ * its own mp::System - and with it its own Memory, Tracer, RingBus,
+ * MessageCache, and StatSet - so specs are fully isolated from each
+ * other and safe to run on concurrent threads.
+ */
+struct RunSpec
+{
+    const occam::CompiledProgram *program = nullptr;
+    std::string resultArray;
+    std::vector<std::int32_t> expected;
+    int pes = 1;
+    mp::SystemConfig config{};
+};
+
+/**
+ * Execute every spec across @p jobs worker threads and return the
+ * reports in spec order. The sweep grid is a set of independent
+ * simulations, so the reports are identical for any job count:
+ * jobs <= 1 runs inline on the calling thread (the historical serial
+ * behavior), jobs == 0 uses all hardware threads. Per-run Chrome
+ * trace files are refused when running parallel (the specs of one
+ * sweep share an output path and would race on it).
+ */
+std::vector<RunReport> runAll(const std::vector<RunSpec> &specs,
+                              int jobs = 1);
+
+/**
  * Compile @p source once per configuration and run it at every PE
  * count in @p pe_counts, checking @p expected in @p result_array.
+ * The independent runs are fanned over @p jobs threads (see runAll);
+ * the resulting series is identical for any job count.
  */
 SpeedupSeries
 runSpeedupSweep(const std::string &name, const std::string &source,
@@ -57,7 +88,8 @@ runSpeedupSweep(const std::string &name, const std::string &source,
                 const std::vector<std::int32_t> &expected,
                 const std::vector<int> &pe_counts,
                 const occam::CompileOptions &options = {},
-                const mp::SystemConfig &base_config = {});
+                const mp::SystemConfig &base_config = {},
+                int jobs = 1);
 
 /** Single run helper used by the sweep and the ablation bench. */
 RunReport runOnce(const occam::CompiledProgram &program,

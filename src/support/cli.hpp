@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tiny command-line parsing helpers shared by occamc and the bench
+ * drivers. std::stoi on user input throws std::invalid_argument /
+ * std::out_of_range, which surfaces as an uncaught-exception crash in a
+ * CLI; these helpers validate and report through the usual FatalError
+ * channel instead.
+ */
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace qm {
+
+/**
+ * Parse @p text as a base-10 integer in [@p min, @p max]. Throws
+ * FatalError naming @p flag when the text is not a number, has
+ * trailing garbage, or is out of range.
+ */
+inline long
+parseIntArg(const std::string &text, const std::string &flag,
+            long min, long max)
+{
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    errno = 0;
+    long value = std::strtol(begin, &end, 10);
+    fatalIf(end == begin || *end != '\0',
+            flag, " expects an integer, got '", text, "'");
+    fatalIf(errno == ERANGE || value < min || value > max,
+            flag, " must be in [", min, ", ", max, "], got '", text,
+            "'");
+    return value;
+}
+
+/** Parse a strictly positive integer argument (e.g. --pes, --jobs). */
+inline int
+parsePositiveIntArg(const std::string &text, const std::string &flag,
+                    long max = 1 << 20)
+{
+    return static_cast<int>(parseIntArg(text, flag, 1, max));
+}
+
+} // namespace qm

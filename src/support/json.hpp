@@ -8,6 +8,7 @@
  */
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -113,7 +114,12 @@ class JsonWriter
     value(double number)
     {
         separate();
-        os_ << fixed(number, 6);
+        // JSON has no nan/inf literals; streaming them as bare tokens
+        // (what operator<< produces) makes the whole document invalid.
+        if (std::isfinite(number))
+            os_ << fixed(number, 6);
+        else
+            os_ << "null";
         return *this;
     }
 

@@ -313,6 +313,35 @@ TEST(System, TimeoutStillReportsProgress)
     EXPECT_GT(result.computeCycles, 0);
 }
 
+TEST(System, TimeoutOvershootIsBoundedByOneStep)
+{
+    // Regression: the budget used to be checked only between
+    // dispatches, so the 16-step inner batch could run a PE well past
+    // max_cycles (tens of cycles for cheap instructions, more for
+    // expensive ones). The check now fires inside the batch, bounding
+    // the overshoot by a single instruction plus end-of-run
+    // bookkeeping.
+    const char *program =
+        "main:\n"
+        "  plus #100000,#0 :r18\n"
+        "spin:\n"
+        "  minus r18,#1 :r18\n"
+        "  bne r18,@spin\n"
+        "  trap #0,#0\n";
+    ObjectCode code = assemble(program);
+    for (Cycle budget : {500, 777, 1000}) {
+        SystemConfig config;
+        System system(code, config);
+        RunResult result = system.run("main", budget);
+        EXPECT_FALSE(result.completed);
+        EXPECT_GT(result.cycles, 0);
+        // Slack: the instruction that crosses the budget (<= a few
+        // cycles for this program) - far below the up-to-16-step
+        // batch overshoot of the old code.
+        EXPECT_LE(result.cycles, budget + 8) << "budget " << budget;
+    }
+}
+
 TEST(System, CycleBreakdownAccountsForEveryPeCycle)
 {
     for (int pes : {1, 4}) {

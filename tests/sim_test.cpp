@@ -166,6 +166,91 @@ TEST(Experiment, BusPartitionCountAffectsOnlyTiming)
     }
 }
 
+/** Every RunReport field, for exact cross-job-count comparison. */
+void
+expectSameReport(const RunReport &a, const RunReport &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.pes, b.pes) << what;
+    EXPECT_EQ(a.completed, b.completed) << what;
+    EXPECT_EQ(a.verified, b.verified) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.contexts, b.contexts) << what;
+    EXPECT_EQ(a.rendezvous, b.rendezvous) << what;
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches) << what;
+    EXPECT_EQ(a.utilization, b.utilization) << what;
+    EXPECT_EQ(a.computeCycles, b.computeCycles) << what;
+    EXPECT_EQ(a.kernelCycles, b.kernelCycles) << what;
+    EXPECT_EQ(a.blockedCycles, b.blockedCycles) << what;
+    EXPECT_EQ(a.busCycles, b.busCycles) << what;
+}
+
+TEST(Experiment, ParallelSweepIsDeterministic)
+{
+    // The acceptance bar for the parallel runner: the matmul sweep
+    // must produce the same series - every per-run counter included -
+    // under serial (--jobs 1) and parallel (--jobs 4) execution.
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    const std::vector<int> pes = {1, 2, 4};
+    SpeedupSeries serial =
+        runSpeedupSweep(bench.name, bench.source, bench.resultArray,
+                        bench.expected, pes, {}, {}, /*jobs=*/1);
+    SpeedupSeries parallel =
+        runSpeedupSweep(bench.name, bench.source, bench.resultArray,
+                        bench.expected, pes, {}, {}, /*jobs=*/4);
+    ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+        expectSameReport(serial.runs[i], parallel.runs[i],
+                         "run " + std::to_string(i));
+        EXPECT_TRUE(serial.runs[i].verified);
+    }
+}
+
+TEST(Experiment, RunAllKeepsSpecOrder)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    std::vector<RunSpec> specs;
+    for (int pes : {4, 1, 2}) {  // deliberately not sorted
+        RunSpec spec;
+        spec.program = &program;
+        spec.resultArray = bench.resultArray;
+        spec.expected = bench.expected;
+        spec.pes = pes;
+        specs.push_back(std::move(spec));
+    }
+    std::vector<RunReport> reports = runAll(specs, /*jobs=*/3);
+    ASSERT_EQ(reports.size(), 3u);
+    EXPECT_EQ(reports[0].pes, 4);
+    EXPECT_EQ(reports[1].pes, 1);
+    EXPECT_EQ(reports[2].pes, 2);
+    for (const RunReport &report : reports)
+        EXPECT_TRUE(report.verified);
+}
+
+TEST(Experiment, RunAllRejectsSpecWithoutProgram)
+{
+    std::vector<RunSpec> specs(1);
+    EXPECT_THROW(runAll(specs, 1), PanicError);
+}
+
+TEST(Experiment, RunAllRefusesParallelTraceFiles)
+{
+    // Sweep specs share one Chrome trace path; writing it from
+    // concurrent runs would race. Serial runs keep working.
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    RunSpec spec;
+    spec.program = &program;
+    spec.resultArray = bench.resultArray;
+    spec.expected = bench.expected;
+    spec.pes = 2;
+    spec.config.traceConfig.enabled = true;
+    spec.config.traceConfig.chromeJsonPath = "sweep_trace.json";
+    EXPECT_THROW(runAll({spec, spec}, /*jobs=*/2), FatalError);
+}
+
 TEST(Experiment, PageSizeSweepPreservesResults)
 {
     // Thesis section 5.2: the queue page size trades maximum queue

@@ -1,10 +1,17 @@
 /**
  * @file
- * Unit tests for the support library (diagnostics, stats, tables, RNG).
+ * Unit tests for the support library (diagnostics, stats, tables, RNG,
+ * JSON writer, CLI parsing).
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/cli.hpp"
 #include "support/diagnostics.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -109,6 +116,64 @@ TEST(Table, RejectsRaggedRows)
 {
     TextTable table({"a", "b"});
     EXPECT_THROW(table.addRow({"only-one"}), PanicError);
+}
+
+TEST(Json, WritesNestedStructure)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject()
+        .key("name").value("bench")
+        .key("ok").value(true)
+        .key("runs").beginArray()
+        .value(1).value(2)
+        .endArray()
+        .endObject();
+    EXPECT_EQ(os.str(), "{\"name\":\"bench\",\"ok\":true,"
+                        "\"runs\":[1,2]}");
+}
+
+TEST(Json, FiniteDoublesKeepFixedPrecision)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.value(2.5);
+    EXPECT_EQ(os.str(), "2.500000");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    // Regression: nan/inf used to stream as bare `nan`/`inf` tokens,
+    // which no JSON parser accepts - one timed-out ratio invalidated
+    // the whole BENCH_*.json document.
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginArray()
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .value(std::numeric_limits<double>::infinity())
+        .value(-std::numeric_limits<double>::infinity())
+        .value(1.0)
+        .endArray();
+    EXPECT_EQ(os.str(), "[null,null,null,1.000000]");
+}
+
+TEST(Cli, ParsesIntegersInRange)
+{
+    EXPECT_EQ(parseIntArg("42", "--n", 1, 100), 42);
+    EXPECT_EQ(parseIntArg("-3", "--n", -10, 10), -3);
+    EXPECT_EQ(parsePositiveIntArg("8", "--jobs"), 8);
+}
+
+TEST(Cli, RejectsMalformedOrOutOfRangeArguments)
+{
+    EXPECT_THROW(parseIntArg("foo", "--n", 1, 100), FatalError);
+    EXPECT_THROW(parseIntArg("", "--n", 1, 100), FatalError);
+    EXPECT_THROW(parseIntArg("12x", "--n", 1, 100), FatalError);
+    EXPECT_THROW(parseIntArg("101", "--n", 1, 100), FatalError);
+    EXPECT_THROW(parsePositiveIntArg("0", "--pes"), FatalError);
+    EXPECT_THROW(parsePositiveIntArg("-4", "--pes"), FatalError);
+    EXPECT_THROW(parsePositiveIntArg("99999999999999999999", "--pes"),
+                 FatalError);
 }
 
 TEST(Rng, DeterministicAcrossInstances)
