@@ -26,8 +26,9 @@ using namespace qm;
 int
 main(int argc, char **argv)
 {
-    int jobs = benchcli::parseJobsArgs(argc, argv, "bench_ch5_bus");
-    if (jobs < 0)
+    benchcli::BenchArgs args =
+        benchcli::parseBenchArgs(argc, argv, "bench_ch5_bus");
+    if (!args.ok)
         return 2;
     const int pes = 8;
     const std::vector<int> partition_counts = {1, 2, 4, 8};
@@ -43,12 +44,17 @@ main(int argc, char **argv)
         spec.expected = bench.expected;
         spec.pes = pes;
         spec.config.busPartitions = partitions;
+        spec.config.faultPlan = args.faults;
         specs.push_back(std::move(spec));
     }
-    std::vector<sim::RunReport> reports = sim::runAll(specs, jobs);
+    std::vector<sim::RunReport> reports = sim::runAll(specs, args.jobs);
 
     std::cout << "Ring-bus partition sweep (Fig 5.18 axis): "
-              << bench.name << " at " << pes << " PEs\n\n";
+              << bench.name << " at " << pes << " PEs\n";
+    if (args.faults.enabled())
+        std::cout << "fault injection: " << fault::toString(args.faults)
+                  << "\n";
+    std::cout << "\n";
     TextTable table({"partitions", "cycles", "vs 1 partition", "ok"});
     mp::Cycle base = reports.front().cycles;
     sim::SpeedupSeries series;
@@ -56,15 +62,23 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < reports.size(); ++i) {
         const sim::RunReport &report = reports[i];
         series.runs.push_back(report);
+        bool has_ratio = base > 0 && report.cycles > 0;
         table.addRow({std::to_string(partition_counts[i]),
                       std::to_string(report.cycles),
-                      fixed(static_cast<double>(base) /
-                                static_cast<double>(report.cycles),
-                            3),
+                      has_ratio
+                          ? fixed(static_cast<double>(base) /
+                                      static_cast<double>(report.cycles),
+                                  3)
+                          : "-",
                       report.verified ? "yes" : "NO"});
     }
-    std::cout << table.render()
-              << "\n(partitioning trades per-message latency - each "
+    std::cout << table.render();
+    for (const sim::RunReport &report : reports)
+        if (!report.failureReason.empty())
+            std::cout << "  partitions="
+                      << partition_counts[&report - reports.data()]
+                      << " failed: " << report.failureReason << "\n";
+    std::cout << "\n(partitioning trades per-message latency - each "
                  "segment crossed adds hop cycles - against segment "
                  "concurrency; at this message rate latency dominates, "
                  "matching the thesis choice of FEW partitions: 2 for "

@@ -30,14 +30,19 @@ using namespace qm;
 int
 main(int argc, char **argv)
 {
-    int jobs = benchcli::parseJobsArgs(argc, argv, "bench_ch6_ablation");
-    if (jobs < 0)
+    benchcli::BenchArgs args =
+        benchcli::parseBenchArgs(argc, argv, "bench_ch6_ablation");
+    if (!args.ok)
         return 2;
     const int pes = 4;
     std::cout << "Table 6.6: compiler optimization speed-up factors "
                  "(4 PEs)\n"
                  "factor = cycles with the optimization disabled / "
-                 "cycles with all optimizations on\n\n";
+                 "cycles with all optimizations on\n";
+    if (args.faults.enabled())
+        std::cout << "fault injection: " << fault::toString(args.faults)
+                  << "\n";
+    std::cout << "\n";
 
     // The five option sets per benchmark, in JSON run order.
     occam::CompileOptions all_on;
@@ -70,10 +75,11 @@ main(int argc, char **argv)
             spec.resultArray = bench.resultArray;
             spec.expected = bench.expected;
             spec.pes = pes;
+            spec.config.faultPlan = args.faults;
             specs.push_back(std::move(spec));
         }
     }
-    std::vector<sim::RunReport> reports = sim::runAll(specs, jobs);
+    std::vector<sim::RunReport> reports = sim::runAll(specs, args.jobs);
 
     TextTable table({"program", "baseline cycles", "live-value",
                      "input-seq", "priority-sched", "all off"});
@@ -89,7 +95,7 @@ main(int argc, char **argv)
             series.runs.push_back(run);
             if (v == 0)
                 continue;  // the baseline column is raw cycles
-            row.push_back(!run.verified
+            row.push_back(!run.verified || base.cycles == 0
                               ? std::string("BAD")
                               : fixed(static_cast<double>(run.cycles) /
                                           static_cast<double>(

@@ -47,9 +47,11 @@ reportSeries(const sim::SpeedupSeries &series,
                      "compute", "kernel", "blocked", "ok"});
     for (std::size_t i = 0; i < series.runs.size(); ++i) {
         const sim::RunReport &run = series.runs[i];
+        bool has_ratio =
+            run.cycles > 0 && series.runs.front().cycles > 0;
         table.addRow({std::to_string(run.pes),
                       std::to_string(run.cycles),
-                      fixed(series.ratio(i), 3),
+                      has_ratio ? fixed(series.ratio(i), 3) : "-",
                       std::to_string(run.instructions),
                       std::to_string(run.contexts),
                       std::to_string(run.rendezvous),
@@ -60,7 +62,12 @@ reportSeries(const sim::SpeedupSeries &series,
                       pct(run.blockedCycles, run),
                       run.verified ? "yes" : "NO"});
     }
-    std::cout << table.render() << "\n";
+    std::cout << table.render();
+    for (const sim::RunReport &run : series.runs)
+        if (!run.failureReason.empty())
+            std::cout << "  PEs=" << run.pes
+                      << " failed: " << run.failureReason << "\n";
+    std::cout << "\n";
 }
 
 } // namespace
@@ -68,21 +75,28 @@ reportSeries(const sim::SpeedupSeries &series,
 int
 main(int argc, char **argv)
 {
-    int jobs = benchcli::parseJobsArgs(argc, argv, "bench_ch6_speedup");
-    if (jobs < 0)
+    benchcli::BenchArgs args =
+        benchcli::parseBenchArgs(argc, argv, "bench_ch6_speedup");
+    if (!args.ok)
         return 2;
+    mp::SystemConfig base_config;
+    base_config.faultPlan = args.faults;
     const std::vector<int> pe_counts = {1, 2, 3, 4, 5, 6, 7, 8};
 
     std::cout << "Queue-machine multiprocessor simulation study "
                  "(thesis Chapter 6)\n"
-              << "Throughput ratio = cycles(1 PE) / cycles(N PEs)\n\n";
+              << "Throughput ratio = cycles(1 PE) / cycles(N PEs)\n";
+    if (args.faults.enabled())
+        std::cout << "fault injection: "
+                  << fault::toString(args.faults) << "\n";
+    std::cout << "\n";
 
     std::vector<sim::SpeedupSeries> all;
     for (const programs::Benchmark &bench :
          programs::thesisBenchmarks()) {
         sim::SpeedupSeries series = sim::runSpeedupSweep(
             bench.name, bench.source, bench.resultArray, bench.expected,
-            pe_counts, {}, {}, jobs);
+            pe_counts, {}, base_config, args.jobs);
         reportSeries(series, bench.thesisFigure);
         all.push_back(series);
     }
@@ -90,12 +104,14 @@ main(int argc, char **argv)
     // Fig 6.9: recursive vs non-recursive fan-out.
     sim::SpeedupSeries recursive = sim::runSpeedupSweep(
         "binary fan-out (recursive)", programs::binaryFanRecursiveSource(),
-        "v", programs::expectedBinaryFan(), pe_counts, {}, {}, jobs);
+        "v", programs::expectedBinaryFan(), pe_counts, {}, base_config,
+        args.jobs);
     reportSeries(recursive, "Fig 6.9 recursive");
     all.push_back(recursive);
     sim::SpeedupSeries iterative = sim::runSpeedupSweep(
         "binary fan-out (iterative)", programs::binaryFanIterativeSource(),
-        "v", programs::expectedBinaryFan(), pe_counts, {}, {}, jobs);
+        "v", programs::expectedBinaryFan(), pe_counts, {}, base_config,
+        args.jobs);
     reportSeries(iterative, "Fig 6.9 non-recursive");
     all.push_back(iterative);
 

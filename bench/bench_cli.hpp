@@ -5,41 +5,63 @@
  * over N worker threads. The default (0) uses all hardware threads;
  * `--jobs 1` reproduces the historical serial run exactly. Reports in
  * either mode are identical - parallelism only changes wall-clock.
+ * `--faults SPEC` (see fault::parseFaultPlan) runs the whole sweep
+ * under seeded fault injection; the fault schedule depends only on
+ * the spec, never on `--jobs`.
  */
 #pragma once
 
 #include <iostream>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "support/cli.hpp"
 
 namespace qm::benchcli {
 
-/**
- * Parse argv for `--jobs N`. Returns the job count (0 = all cores),
- * or -1 after printing a usage error for unknown or malformed
- * arguments.
- */
-inline int
-parseJobsArgs(int argc, char **argv, const char *bench_name)
+/** Parsed sweep-bench command line. */
+struct BenchArgs
 {
-    int jobs = 0;
+    bool ok = true;  ///< False after a usage error (exit 2).
+    int jobs = 0;    ///< 0 = all hardware threads.
+    fault::FaultPlan faults{};  ///< Disabled unless --faults given.
+};
+
+/**
+ * Parse argv for `[--jobs N] [--faults SPEC]`. On malformed or
+ * unknown arguments prints a usage error and returns ok=false.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, const char *bench_name)
+{
+    BenchArgs args;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc) {
             try {
-                jobs = parsePositiveIntArg(argv[++i], "--jobs",
-                                           /*max=*/1024);
+                args.jobs = parsePositiveIntArg(argv[++i], "--jobs",
+                                                /*max=*/1024);
             } catch (const FatalError &e) {
                 std::cerr << bench_name << ": " << e.what() << "\n";
-                return -1;
+                args.ok = false;
+                return args;
+            }
+        } else if (arg == "--faults" && i + 1 < argc) {
+            try {
+                args.faults = fault::parseFaultPlan(argv[++i]);
+            } catch (const FatalError &e) {
+                std::cerr << bench_name << ": " << e.what() << "\n";
+                args.ok = false;
+                return args;
             }
         } else {
-            std::cerr << "usage: " << bench_name << " [--jobs N]\n";
-            return -1;
+            std::cerr << "usage: " << bench_name
+                      << " [--jobs N] [--faults SPEC]\n";
+            args.ok = false;
+            return args;
         }
     }
-    return jobs;
+    return args;
 }
 
 } // namespace qm::benchcli

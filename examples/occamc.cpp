@@ -3,7 +3,7 @@
  * occamc - the OCCAM queue-machine compiler driver (thesis Fig 4.21).
  *
  * Usage: occamc [--asm] [--dot] [--run] [--pes N] [--stats]
- *               [--trace out.json] file.occ
+ *               [--trace out.json] [--faults SPEC] file.occ
  *
  * Compiles an OCCAM source file into queue-machine object code and, on
  * request, prints the generated assembly, dumps each context's data-flow
@@ -11,12 +11,15 @@
  * program on the simulated multiprocessor and reports statistics.
  * --trace records a cycle-level event trace of the run and writes it as
  * Chrome trace_event JSON (open in chrome://tracing or Perfetto).
+ * --faults runs under seeded fault injection (see fault::parseFaultPlan
+ * for the spec grammar, e.g. "seed=42,rate=0.05,kinds=drop+delay").
  */
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "mp/system.hpp"
 #include "occam/compiler.hpp"
 #include "support/cli.hpp"
@@ -31,7 +34,8 @@ int
 usage()
 {
     std::cerr << "usage: occamc [--asm] [--dot] [--run] [--interp] "
-                 "[--pes N] [--stats] [--trace out.json] file.occ\n";
+                 "[--pes N] [--stats] [--trace out.json] "
+                 "[--faults SPEC] file.occ\n";
     return 2;
 }
 
@@ -43,6 +47,7 @@ main(int argc, char **argv)
     bool show_asm = false, show_dot = false, run = false,
          stats = false, interp_mode = false;
     int pes = 1;
+    qm::fault::FaultPlan faults;
     std::string path, trace_path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -69,6 +74,14 @@ main(int argc, char **argv)
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
             run = true;  // tracing implies running
+        } else if (arg == "--faults" && i + 1 < argc) {
+            try {
+                faults = qm::fault::parseFaultPlan(argv[++i]);
+            } catch (const qm::FatalError &e) {
+                std::cerr << "occamc: " << e.what() << "\n";
+                return usage();
+            }
+            run = true;  // fault injection implies running
         } else if (!arg.empty() && arg[0] != '-') {
             path = arg;
         } else {
@@ -102,6 +115,10 @@ main(int argc, char **argv)
             qm::mp::SystemConfig config;
             config.numPes = pes;
             config.traceConfig.enabled = !trace_path.empty();
+            config.faultPlan = faults;
+            if (faults.enabled())
+                std::cout << "fault injection: "
+                          << qm::fault::toString(faults) << "\n";
             qm::mp::System system(program.object, config);
             qm::mp::RunResult result = system.run(program.mainLabel);
             std::cout << "completed=" << result.completed
@@ -109,6 +126,15 @@ main(int argc, char **argv)
                       << " instructions=" << result.instructions
                       << " contexts=" << result.contexts
                       << " rendezvous=" << result.rendezvous << "\n";
+            if (faults.enabled())
+                std::cout << "faults: injected="
+                          << result.faultsInjected
+                          << " recoveries=" << result.faultRecoveries
+                          << " watchdog=" << result.watchdogTripped
+                          << "\n";
+            if (!result.failureReason.empty())
+                std::cout << "failure: " << result.failureReason
+                          << "\n";
             std::cout << "breakdown: compute=" << result.computeCycles
                       << " kernel=" << result.kernelCycles
                       << " blocked=" << result.blockedCycles

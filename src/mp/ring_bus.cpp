@@ -73,4 +73,74 @@ RingBus::transfer(int src, int dst, Cycle now)
     return t;
 }
 
+BusDelivery
+RingBus::deliver(int src, int dst, Cycle now)
+{
+    BusDelivery delivery;
+    // Intra-PE messages never ride the ring, so bus faults only apply
+    // to remote transfers.
+    if (!faults_ || src == dst) {
+        delivery.at = transfer(src, dst, now);
+        return delivery;
+    }
+
+    Cycle depart = now;
+    for (int attempt = 0;; ++attempt) {
+        Cycle at = transfer(src, dst, depart);
+        delivery.attempts = attempt + 1;
+        if (!faults_->fire(fault::kBusDrop)) {
+            delivery.at = at;
+            break;
+        }
+        stats_.inc("fault.bus_drop");
+        if (tracer_)
+            tracer_->faultInject(at, src, fault::kBusDrop,
+                                 static_cast<std::uint64_t>(dst));
+        if (attempt >= faults_->plan().maxRetries) {
+            // Retry budget exhausted: the message is lost. The caller
+            // (kernel) leaves the receiver unwoken; the System
+            // watchdog converts any resulting livelock into a clean
+            // structured failure.
+            stats_.inc("fault.bus_lost");
+            delivery.delivered = false;
+            delivery.at = at;
+            return delivery;
+        }
+        // Exponential backoff, exponent clamped against shift overflow.
+        Cycle backoff = faults_->plan().retryBackoff
+                        << std::min(attempt, 16);
+        stats_.inc("fault.bus_retry");
+        stats_.inc("fault.bus_backoff_cycles",
+                   static_cast<std::uint64_t>(backoff));
+        if (tracer_)
+            tracer_->faultRecover(at + backoff, src, fault::kBusDrop,
+                                  static_cast<std::uint64_t>(attempt +
+                                                             1));
+        depart = at + backoff;
+    }
+
+    if (faults_->fire(fault::kBusDelay)) {
+        Cycle extra = faults_->delayCycles();
+        stats_.inc("fault.bus_delay");
+        stats_.inc("fault.bus_delay_cycles",
+                   static_cast<std::uint64_t>(extra));
+        if (tracer_)
+            tracer_->faultInject(delivery.at, src, fault::kBusDelay,
+                                 static_cast<std::uint64_t>(extra));
+        delivery.at += extra;
+    }
+
+    if (faults_->fire(fault::kBusDup)) {
+        // The duplicate occupies the ring like any other transfer;
+        // delivery must be idempotent, so it only perturbs timing.
+        stats_.inc("fault.bus_dup");
+        delivery.duplicated = true;
+        delivery.duplicateAt = transfer(src, dst, delivery.at);
+        if (tracer_)
+            tracer_->faultInject(delivery.at, src, fault::kBusDup,
+                                 static_cast<std::uint64_t>(dst));
+    }
+    return delivery;
+}
+
 } // namespace qm::mp

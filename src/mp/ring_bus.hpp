@@ -14,12 +14,27 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "support/stats.hpp"
 #include "trace/trace.hpp"
 
 namespace qm::mp {
 
 using Cycle = std::int64_t;
+
+/**
+ * Outcome of one kernel-level message delivery over the ring
+ * (RingBus::deliver). Without fault injection every delivery succeeds
+ * on the first attempt with no duplicate.
+ */
+struct BusDelivery
+{
+    bool delivered = true;  ///< False: dropped beyond the retry bound.
+    Cycle at = 0;           ///< Delivery time (last attempt if lost).
+    int attempts = 1;       ///< Transfer attempts charged to the ring.
+    bool duplicated = false;///< A second copy also arrives...
+    Cycle duplicateAt = 0;  ///< ...at this time.
+};
 
 /** Ring-bus configuration. */
 struct RingBusConfig
@@ -52,10 +67,26 @@ class RingBus
      */
     Cycle transfer(int src, int dst, Cycle now);
 
+    /**
+     * Kernel-level delivery of one message: a transfer() plus the
+     * fault model. With an injector attached, a remote transfer may be
+     * dropped (retried with exponential backoff up to the plan's retry
+     * bound, then reported undelivered), delayed by a bounded extra
+     * latency, or duplicated (the copy rides the ring again). Without
+     * an injector this is exactly transfer().
+     */
+    BusDelivery deliver(int src, int dst, Cycle now);
+
     const StatSet &stats() const { return stats_; }
 
     /** Attach the system's event recorder (may be null). */
     void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
+    /** Attach the system's fault injector (may be null). */
+    void setFaultInjector(fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
 
   private:
     RingBusConfig config_;
@@ -63,6 +94,7 @@ class RingBus
     std::vector<Cycle> partitionFree;
     StatSet stats_;
     trace::Tracer *tracer_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
 };
 
 } // namespace qm::mp

@@ -113,8 +113,14 @@ System::System(const isa::ObjectCode &code, SystemConfig config)
     fatalIf(config_.pageWords < 32 || config_.pageWords > 256,
             "queue page words out of range");
 
+    if (config_.faultPlan.enabled())
+        faults_ = std::make_unique<fault::FaultInjector>(
+            config_.faultPlan);
+
     bus.setTracer(&tracer_);
     cache.setTracer(&tracer_);
+    bus.setFaultInjector(faults_.get());
+    cache.setFaultInjector(faults_.get());
     for (int i = 0; i < config_.numPes; ++i) {
         auto slot = std::make_unique<PeSlot>();
         slot->index = i;
@@ -122,6 +128,7 @@ System::System(const isa::ObjectCode &code, SystemConfig config)
         slot->pe = std::make_unique<pe::ProcessingElement>(
             *memory_, code_, *slot->host, config_.peTiming);
         slot->pe->attachTrace(&tracer_, i, &slot->clock);
+        slot->pe->setFaultInjector(faults_.get());
         slots.push_back(std::move(slot));
     }
 
@@ -211,16 +218,31 @@ System::createContext(Word codeAddr, Word inChan, Word outChan,
     ctx.regs.pom = pe::pomForPageWords(config_.pageWords);
     ctx.status = CtxStatus::Ready;
     // Shipping the context descriptor to a remote PE rides the bus.
-    ctx.readyAt = ctx.homePe == forkingPe
-                      ? now
-                      : bus.transfer(forkingPe, ctx.homePe, now);
+    BusDelivery shipped;
+    shipped.at = now;
+    if (ctx.homePe != forkingPe)
+        shipped = bus.deliver(forkingPe, ctx.homePe, now);
+    ctx.readyAt = shipped.at;
     contexts.push_back(ctx);
     ++liveContexts;
     stats_.inc("sys.contexts_created");
     tracer_.ctxCreate(now, ctx.homePe, ctx.id, forkingPe);
 
-    slots[static_cast<size_t>(ctx.homePe)]->readyQ.push(
-        {ctx.readyAt, ctx.id});
+    if (shipped.delivered) {
+        slots[static_cast<size_t>(ctx.homePe)]->readyQ.push(
+            {ctx.readyAt, ctx.id});
+        if (shipped.duplicated)
+            // Duplicate descriptor delivery: a second ready-queue
+            // entry for the same context, skipped as stale once the
+            // first one dispatches (idempotent delivery).
+            slots[static_cast<size_t>(ctx.homePe)]->readyQ.push(
+                {shipped.duplicateAt, ctx.id});
+    } else {
+        // The descriptor was lost beyond the retry bound: the context
+        // exists but can never start. The watchdog/starvation exit
+        // reports the resulting stall as a clean failure.
+        stats_.inc("fault.ctx_ship_lost");
+    }
     return ctx.id;
 }
 
@@ -251,9 +273,13 @@ System::hostSend(int pe_idx, Word channel, Word value)
     if (op.completed) {
         for (CtxId peer_id : op.wakes) {
             Context &peer = contexts[peer_id];
-            Cycle delivery =
-                bus.transfer(pe_idx, peer.homePe, slot.clock);
-            wakeContext(peer_id, delivery);
+            BusDelivery wake =
+                bus.deliver(pe_idx, peer.homePe, slot.clock);
+            if (!wake.delivered)
+                continue;  // lost wake; watchdog reports the stall
+            wakeContext(peer_id, wake.at);
+            if (wake.duplicated)
+                wakeContext(peer_id, wake.duplicateAt);
         }
         return HostStatus::Done;
     }
@@ -276,11 +302,24 @@ System::hostRecv(int pe_idx, Word channel, Word &value)
                   << "\n";
     if (op.completed) {
         value = *op.value;
+        if (op.corrupted && pendingFailure_.empty())
+            // Checksum mismatch: the token was corrupted in the cache.
+            // Detection is the recovery this fabric offers (there is
+            // no redundant copy to restore from), so the run ends with
+            // a structured failure instead of silently computing on a
+            // flipped bit.
+            pendingFailure_ =
+                cat("message corruption detected on channel ", channel,
+                    " (checksum mismatch at cycle ", slot.clock, ")");
         for (CtxId peer_id : op.wakes) {
             Context &peer = contexts[peer_id];
-            Cycle notify =
-                bus.transfer(pe_idx, peer.homePe, slot.clock);
-            wakeContext(peer_id, notify);
+            BusDelivery notify =
+                bus.deliver(pe_idx, peer.homePe, slot.clock);
+            if (!notify.delivered)
+                continue;  // lost wake; watchdog reports the stall
+            wakeContext(peer_id, notify.at);
+            if (notify.duplicated)
+                wakeContext(peer_id, notify.duplicateAt);
         }
         return HostStatus::Done;
     }
@@ -451,7 +490,17 @@ System::run(const std::string &entry, Cycle max_cycles)
     createContext(entry_addr, in, in + 1, /*forkingPe=*/0, /*now=*/0);
 
     RunResult result;
+    // Watchdog bound: explicit, or 1M cycles automatically when fault
+    // injection is active (fault-free runs keep the historical
+    // behavior exactly).
+    const Cycle watchdog =
+        config_.watchdogCycles > 0 ? config_.watchdogCycles
+        : faults_                  ? 1'000'000
+                                   : 0;
+    Cycle lastProgress = 0;
     while (liveContexts > 0) {
+        if (!pendingFailure_.empty())
+            return failRun(pendingFailure_, /*watchdog=*/false);
         // Pick the PE able to act soonest.
         PeSlot *best = nullptr;
         Cycle best_time = 0;
@@ -463,8 +512,17 @@ System::run(const std::string &entry, Cycle max_cycles)
             }
         }
         if (!best) {
-            // Everyone starved: genuine deadlock (blocked channels with
-            // no partner) since TrapWait wakes re-queue themselves.
+            // Everyone starved: no context can ever run again. Under
+            // fault injection this is an expected degraded outcome (a
+            // message was lost beyond the retry bound), reported as a
+            // clean failure; without faults it is a genuine deadlock
+            // in the program, still a hard error.
+            if (faults_)
+                return failRun(
+                    cat("deadlock: ", liveContexts,
+                        " live contexts, none runnable (message lost "
+                        "beyond the retry bound?)"),
+                    /*watchdog=*/true);
             fatal("deadlock: ", liveContexts,
                   " live contexts, none runnable\n", dumpState());
         }
@@ -472,9 +530,17 @@ System::run(const std::string &entry, Cycle max_cycles)
             // Timed out: report everything the run did do (the old
             // path returned zeroed statistics, hiding all progress).
             result.completed = false;
+            result.failureReason =
+                cat("cycle limit reached (", max_cycles, ")");
             finalizeRun(result);
             return result;
         }
+        if (watchdog > 0 && best_time - lastProgress > watchdog)
+            return failRun(
+                cat("watchdog: no instruction retired in ", watchdog,
+                    " cycles (last progress at cycle ", lastProgress,
+                    ")"),
+                /*watchdog=*/true);
 
         PeSlot &slot = *best;
         if (!dispatch(slot))
@@ -487,6 +553,8 @@ System::run(const std::string &entry, Cycle max_cycles)
             StepResult step = slot.pe->step();
             slot.clock += step.cycles;
             slot.busyCycles += slot.clock - before;
+            if (step.status != StepStatus::Blocked)
+                lastProgress = std::max(lastProgress, slot.clock);
             if (step.status == StepStatus::Executed) {
                 // Stop as soon as this PE crosses the cycle budget
                 // instead of finishing the batch: the overshoot is
@@ -555,6 +623,8 @@ System::finalizeRun(RunResult &result)
         busy += finish > 0 ? static_cast<double>(slot->busyCycles) /
                                  static_cast<double>(finish)
                            : 0.0;
+    stats_.merge(cache.stats());
+    stats_.merge(bus.stats());
     result.cycles = finish;
     result.instructions = instructions;
     result.contexts = stats_.counter("sys.contexts_created");
@@ -565,12 +635,21 @@ System::finalizeRun(RunResult &result)
     // Per-phase breakdown: every PE-cycle of the run is compute,
     // kernel (trap service + context switching), or blocked/idle. Bus
     // occupancy overlaps PE time and is reported as its own dimension.
-    result.computeCycles = busy_total - kernel_total;
+    // Injected stall cycles inflate busyCycles without doing user
+    // work, so they move from compute to blocked.
+    Cycle stall_total =
+        static_cast<Cycle>(stats_.counter("fault.pe_stall_cycles"));
+    result.computeCycles = busy_total - kernel_total - stall_total;
     result.kernelCycles = kernel_total + switch_total;
-    result.blockedCycles =
-        finish * config_.numPes - (busy_total + switch_total);
+    result.blockedCycles = finish * config_.numPes -
+                           (busy_total + switch_total) + stall_total;
     result.busCycles = static_cast<Cycle>(
-        bus.stats().counter("bus.transfer_cycles"));
+        stats_.counter("bus.transfer_cycles"));
+    result.faultsInjected = faults_ ? faults_->injected() : 0;
+    result.faultRecoveries =
+        static_cast<std::uint64_t>(stats_.counter("fault.bus_retry")) +
+        static_cast<std::uint64_t>(
+            stats_.counter("fault.corrupt_detected"));
 
     stats_.set("sys.cycles", static_cast<double>(finish));
     stats_.set("sys.utilization", result.utilization);
@@ -581,8 +660,17 @@ System::finalizeRun(RunResult &result)
     stats_.set("sys.cycles_blocked",
                static_cast<double>(result.blockedCycles));
     stats_.set("sys.cycles_bus", static_cast<double>(result.busCycles));
-    stats_.merge(cache.stats());
-    stats_.merge(bus.stats());
+}
+
+RunResult
+System::failRun(const std::string &reason, bool watchdog)
+{
+    RunResult result;
+    result.completed = false;
+    result.watchdogTripped = watchdog;
+    result.failureReason = reason;
+    finalizeRun(result);
+    return result;
 }
 
 std::string

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "isa/assembler.hpp"
 #include "isa/runtime.hpp"
 #include "mp/ring_bus.hpp"
@@ -86,6 +87,18 @@ struct SystemConfig
 
     /** Cycle-level event recording (off by default; see src/trace). */
     trace::TraceConfig traceConfig{};
+
+    /** Seeded fault injection (off by default; see src/fault). */
+    fault::FaultPlan faultPlan{};
+
+    /**
+     * Watchdog: if no instruction retires for this many simulated
+     * cycles, the run ends with a structured failure report instead of
+     * hanging or dying on a deadlock panic. 0 = automatic: enabled
+     * (with a 1M-cycle bound) exactly when fault injection is active,
+     * so fault-free runs behave byte-identically to before.
+     */
+    Cycle watchdogCycles = 0;
 };
 
 /** Context lifecycle states (thesis Fig 6.4). */
@@ -128,8 +141,17 @@ struct RunResult
     // occupancy, which overlaps PE execution.
     Cycle computeCycles = 0;  ///< Instruction execution (user work).
     Cycle kernelCycles = 0;   ///< Trap service + context switching.
-    Cycle blockedCycles = 0;  ///< PE idle (starved or all blocked).
+    Cycle blockedCycles = 0;  ///< PE idle (starved, blocked, stalled).
     Cycle busCycles = 0;      ///< Ring-bus transfer occupancy.
+
+    // Degraded-run reporting (see src/fault). A run that cannot make
+    // progress (lost message, detected corruption, livelock) ends
+    // cleanly with completed=false and a human-readable reason instead
+    // of hanging or throwing.
+    bool watchdogTripped = false;    ///< Watchdog/starvation ended the run.
+    std::string failureReason;       ///< Empty on a completed run.
+    std::uint64_t faultsInjected = 0;   ///< Faults fired this run.
+    std::uint64_t faultRecoveries = 0;  ///< Retries + detections.
 };
 
 /** The whole simulated machine. */
@@ -195,11 +217,21 @@ class System
      */
     void finalizeRun(RunResult &result);
 
+    /**
+     * Fill in the end-of-run failure fields shared by the watchdog,
+     * starvation, and corruption exits, then finalize.
+     */
+    RunResult failRun(const std::string &reason, bool watchdog);
+
     const isa::ObjectCode &code_;
     SystemConfig config_;
     std::unique_ptr<pe::Memory> memory_;
     RingBus bus;
     msg::MessageCache cache;
+    /** Present exactly when config_.faultPlan is enabled. */
+    std::unique_ptr<fault::FaultInjector> faults_;
+    /** Sticky mid-run failure (e.g. detected token corruption). */
+    std::string pendingFailure_;
 
     std::vector<std::unique_ptr<PeSlot>> slots;
     std::vector<Context> contexts;

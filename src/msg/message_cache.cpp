@@ -15,6 +15,14 @@ toString(ChannelState state)
     panic("unreachable channel state");
 }
 
+std::uint8_t
+tokenChecksum(Word value)
+{
+    Word folded = value ^ (value >> 16);
+    folded ^= folded >> 8;
+    return static_cast<std::uint8_t>(folded & 0xFF);
+}
+
 MessageCache::MessageCache(int capacity) : capacity_(capacity)
 {
     fatalIf(capacity < 1, "message cache capacity must be >= 1");
@@ -22,7 +30,7 @@ MessageCache::MessageCache(int capacity) : capacity_(capacity)
 
 ChannelOp
 MessageCache::send(Word channel, CtxId ctx, Word value,
-                   trace::Cycle /*now: rendezvous is stamped at recv*/)
+                   trace::Cycle now)
 {
     ChannelEntry &entry = entries[channel];
     ChannelOp op;
@@ -32,7 +40,17 @@ MessageCache::send(Word channel, CtxId ctx, Word value,
         op.blocked = true;
         return op;
     }
-    entry.values.push_back(value);
+    entry.values.push_back({value, tokenChecksum(value)});
+    if (faults_ && faults_->fire(fault::kCacheCorrupt)) {
+        // Flip one bit of the slot just written, keeping the send-time
+        // checksum: the receive side detects the mismatch.
+        entry.values.back().value =
+            faults_->corruptWord(entry.values.back().value);
+        stats_.inc("fault.cache_corrupt");
+        if (tracer_)
+            tracer_->faultInject(now, -1, fault::kCacheCorrupt,
+                                 channel);
+    }
     op.completed = true;
     if (!entry.recvWaiters.empty()) {
         op.wakes.push_back(entry.recvWaiters.front());
@@ -52,9 +70,17 @@ MessageCache::recv(Word channel, CtxId ctx, trace::Cycle now)
         op.blocked = true;
         return op;
     }
-    op.completed = true;
-    op.value = entry.values.front();
+    Token token = entry.values.front();
     entry.values.pop_front();
+    op.completed = true;
+    op.value = token.value;
+    if (faults_ && tokenChecksum(token.value) != token.sum) {
+        op.corrupted = true;
+        stats_.inc("fault.corrupt_detected");
+        if (tracer_)
+            tracer_->faultRecover(now, -1, fault::kCacheCorrupt,
+                                  channel);
+    }
     stats_.inc("msg.rendezvous");
     if (tracer_)
         tracer_->rendezvous(now, channel, ctx, *op.value);

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "isa/fields.hpp"
 #include "support/stats.hpp"
 #include "trace/trace.hpp"
@@ -58,15 +59,30 @@ struct ChannelOp
 {
     bool completed = false;       ///< Request retired this attempt.
     bool blocked = false;         ///< Requester must park and retry.
+    /** Checksum mismatch on the received token (fault detection). */
+    bool corrupted = false;
     std::optional<Word> value;    ///< Received value (receive only).
     /** Contexts to make ready (woken peers / queued waiters). */
     std::vector<CtxId> wakes;
 };
 
+/**
+ * One in-flight token: the value plus the checksum stamped at send
+ * time, so cache-slot corruption is detectable at receive time.
+ */
+struct Token
+{
+    Word value = 0;
+    std::uint8_t sum = 0;
+};
+
+/** XOR-folded byte checksum; detects any single-bit flip. */
+std::uint8_t tokenChecksum(Word value);
+
 /** One channel's protocol entry (Fig 5.15 format). */
 struct ChannelEntry
 {
-    std::deque<Word> values;       ///< In-flight tokens, oldest first.
+    std::deque<Token> values;      ///< In-flight tokens, oldest first.
     std::deque<CtxId> sendWaiters; ///< Parked senders (FIFO full).
     std::deque<CtxId> recvWaiters; ///< Parked receivers (FIFO empty).
 };
@@ -116,11 +132,23 @@ class MessageCache
     /** Attach the system's event recorder (may be null). */
     void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Attach the system's fault injector (may be null). With cache
+     * corruption enabled, a send may flip one bit of the token it just
+     * deposited; the mismatch against the send-time checksum is
+     * reported by the receiving recv() via ChannelOp::corrupted.
+     */
+    void setFaultInjector(fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
   private:
     int capacity_;
     std::map<Word, ChannelEntry> entries;
     StatSet stats_;
     trace::Tracer *tracer_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
 };
 
 } // namespace qm::msg

@@ -264,6 +264,22 @@ ProcessingElement::aluResult(Opcode op, Word a, Word b)
 StepResult
 ProcessingElement::step()
 {
+    if (faults_ && faults_->fire(fault::kPeStall)) {
+        // Transient stall: cycles pass, no instruction retires, no
+        // architectural state changes. The next step() re-attempts the
+        // same instruction.
+        long stall = static_cast<long>(faults_->stallCycles());
+        stats_.inc("fault.pe_stall");
+        stats_.inc("fault.pe_stall_cycles",
+                   static_cast<std::uint64_t>(stall));
+        if (tracer_)
+            tracer_->faultInject(clock_ ? *clock_ : 0, peIndex_,
+                                 fault::kPeStall,
+                                 static_cast<std::uint64_t>(stall));
+        StepResult stalled;
+        stalled.cycles = stall;
+        return stalled;
+    }
     panicIf(static_cast<std::size_t>(pc_) >= code_.words.size(),
             "PC out of code bounds: ", pc_);
     std::size_t index = pc_;

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "fault/fault.hpp"
 #include "isa/assembler.hpp"
 #include "isa/instruction.hpp"
 #include "pe/memory.hpp"
@@ -146,6 +147,17 @@ class ProcessingElement
         clock_ = clock;
     }
 
+    /**
+     * Attach the system's fault injector (may be null). With PE stalls
+     * enabled, step() may charge stall cycles without retiring an
+     * instruction (a transient hardware hiccup); the stall lands in
+     * the run report's blocked-cycle bucket.
+     */
+    void setFaultInjector(fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
     /** Load a context's registers; presence bits start cleared. */
     void loadContext(const ContextState &state);
 
@@ -199,6 +211,7 @@ class ProcessingElement
     trace::Tracer *tracer_ = nullptr;
     int peIndex_ = -1;
     const trace::Cycle *clock_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
 
     // Architectural state.
     Word pc_ = 0;

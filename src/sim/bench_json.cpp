@@ -41,6 +41,16 @@ writeBenchJson(const std::string &bench,
                 .key("kernel_cycles").value(run.kernelCycles)
                 .key("blocked_cycles").value(run.blockedCycles)
                 .key("bus_cycles").value(run.busCycles);
+            // Fault/failure fields appear only when set, so fault-free
+            // reports stay byte-identical to the historical format.
+            if (run.watchdogTripped)
+                json.key("watchdog_tripped").value(true);
+            if (!run.failureReason.empty())
+                json.key("failure_reason").value(run.failureReason);
+            if (run.faultsInjected > 0)
+                json.key("faults_injected").value(run.faultsInjected);
+            if (run.faultRecoveries > 0)
+                json.key("fault_recoveries").value(run.faultRecoveries);
             if (run.cycles > 0 && !s.runs.empty() &&
                 s.runs.front().cycles > 0)
                 json.key("throughput_ratio").value(s.ratio(i));

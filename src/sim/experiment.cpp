@@ -28,10 +28,21 @@ runOnce(const occam::CompiledProgram &program,
     mp::SystemConfig config = base_config;
     config.numPes = pes;
     mp::System system(program.object, config);
-    mp::RunResult result = system.run(program.mainLabel);
 
     RunReport report;
     report.pes = pes;
+    mp::RunResult result;
+    try {
+        result = system.run(program.mainLabel);
+    } catch (const FatalError &e) {
+        // A run that dies (e.g. kernel deadlock panic) still yields a
+        // report row: the sweep survives and records the failure.
+        report.failureReason = cat("fatal: ", e.what());
+        return report;
+    } catch (const PanicError &e) {
+        report.failureReason = cat("panic: ", e.what());
+        return report;
+    }
     report.completed = result.completed;
     report.cycles = result.cycles;
     report.instructions = result.instructions;
@@ -43,6 +54,10 @@ runOnce(const occam::CompiledProgram &program,
     report.kernelCycles = result.kernelCycles;
     report.blockedCycles = result.blockedCycles;
     report.busCycles = result.busCycles;
+    report.watchdogTripped = result.watchdogTripped;
+    report.failureReason = result.failureReason;
+    report.faultsInjected = result.faultsInjected;
+    report.faultRecoveries = result.faultRecoveries;
     report.verified = result.completed;
     if (report.verified && !expected.empty()) {
         isa::Addr base = program.arrayAddress(result_array);

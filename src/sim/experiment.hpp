@@ -35,6 +35,15 @@ struct RunReport
     mp::Cycle kernelCycles = 0;
     mp::Cycle blockedCycles = 0;
     mp::Cycle busCycles = 0;
+
+    // Degraded-run reporting (see src/fault): a run that fails -
+    // watchdog, lost message, detected corruption, or even a kernel
+    // panic - still yields a report row instead of aborting the whole
+    // sweep. All-default on a healthy fault-free run.
+    bool watchdogTripped = false;
+    std::string failureReason;  ///< Empty unless the run failed.
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultRecoveries = 0;
 };
 
 /** One benchmark swept over PE counts. */

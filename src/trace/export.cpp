@@ -157,6 +157,25 @@ writeChromeTrace(std::ostream &os, const Tracer &tracer)
           case EventKind::CtxFinish:
             flowEvent(json, "f", e.ctx, e.pe, e.at);
             break;
+          case EventKind::FaultInject:
+          case EventKind::FaultRecover:
+            json.beginObject()
+                .key("name").value(
+                    cat(e.kind == EventKind::FaultInject
+                            ? "fault kind-bit "
+                            : "recover kind-bit ",
+                        e.a))
+                .key("cat").value("fault")
+                .key("ph").value("i")
+                .key("s").value("t")
+                .key("ts").value(e.at)
+                .key("pid").value(e.pe < 0 ? 0 : e.pe)
+                .key("tid").value(0)
+                .key("args").beginObject()
+                .key("info").value(e.b)
+                .endObject()
+                .endObject();
+            break;
           case EventKind::CtxPark:
             json.beginObject()
                 .key("name").value(

@@ -36,6 +36,8 @@ toString(EventKind kind)
       case EventKind::BusTransfer: return "bus-transfer";
       case EventKind::TrapEnter: return "trap";
       case EventKind::PeBusy: return "pe-busy";
+      case EventKind::FaultInject: return "fault-inject";
+      case EventKind::FaultRecover: return "fault-recover";
     }
     return "?";
 }
@@ -81,6 +83,10 @@ renderEvent(std::ostream &os, const Event &e)
         break;
       case EventKind::PeBusy:
         os << " until=" << e.end;
+        break;
+      case EventKind::FaultInject:
+      case EventKind::FaultRecover:
+        os << " kind-bit=" << e.a << " info=" << e.b;
         break;
       default:
         break;

@@ -45,9 +45,11 @@ enum class EventKind : std::uint8_t
     BusTransfer, ///< Remote ring-bus message (a = dst PE, b = hops).
     TrapEnter,   ///< Kernel trap serviced (a = trap number, b = cycles).
     PeBusy,      ///< One context's uninterrupted run span on a PE.
+    FaultInject, ///< Injected fault (a = fault-kind bit, b = payload).
+    FaultRecover,///< Recovery action (a = fault-kind bit, b = payload).
 };
 
-constexpr int kEventKinds = 8;
+constexpr int kEventKinds = 10;
 
 /** Why a context left its PE (payload of CtxPark). */
 enum class ParkReason : std::uint8_t
@@ -158,6 +160,34 @@ class Tracer
         if (enabled_)
             push({EventKind::PeBusy, static_cast<std::int16_t>(pe), ctx,
                   start, end, 0, 0});
+    }
+
+    /**
+     * An injected fault (src/fault). @p kindBit is the fault::FaultKind
+     * bit; @p payload is kind-specific (destination PE for bus faults,
+     * delay/stall cycles, corrupted channel id).
+     */
+    void
+    faultInject(Cycle at, int pe, std::uint64_t kindBit,
+                std::uint64_t payload)
+    {
+        if (enabled_)
+            push({EventKind::FaultInject, static_cast<std::int16_t>(pe),
+                  kNoCtx, at, 0, kindBit, payload});
+    }
+
+    /**
+     * A recovery action for an injected fault: a bus retry (@p payload
+     * = attempt number) or a checksum-detected corruption (@p payload
+     * = channel id).
+     */
+    void
+    faultRecover(Cycle at, int pe, std::uint64_t kindBit,
+                 std::uint64_t payload)
+    {
+        if (enabled_)
+            push({EventKind::FaultRecover, static_cast<std::int16_t>(pe),
+                  kNoCtx, at, 0, kindBit, payload});
     }
 
     // --- Inspection ------------------------------------------------------

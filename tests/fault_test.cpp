@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for the fault-injection layer (src/fault) and its wiring
+ * through the bus, message cache, PEs, kernel, and experiment runner:
+ * plan parsing, schedule determinism, and the chaos suite that runs
+ * every Chapter 6 benchmark degraded and demands either a verified
+ * result or a clean structured failure - never a hang or a crash.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "isa/assembler.hpp"
+#include "mp/system.hpp"
+#include "occam/compiler.hpp"
+#include "programs/benchmarks.hpp"
+#include "sim/experiment.hpp"
+#include "support/diagnostics.hpp"
+
+namespace {
+
+using namespace qm;
+using namespace qm::fault;
+
+// ---------------------------------------------------------------------
+// FaultPlan parsing
+
+TEST(FaultPlanParse, DefaultsAreValuePreserving)
+{
+    FaultPlan plan = parseFaultPlan("seed=5");
+    EXPECT_EQ(plan.seed, 5u);
+    EXPECT_DOUBLE_EQ(plan.rate, 0.01);
+    EXPECT_EQ(plan.kinds, kDefaultKinds);
+    EXPECT_EQ(plan.maxRetries, 4);
+    EXPECT_EQ(plan.retryBackoff, 8);
+    EXPECT_EQ(plan.maxDelay, 64);
+    EXPECT_EQ(plan.maxStall, 32);
+    EXPECT_TRUE(plan.enabled());
+    // Corruption is opt-in: the default mask must not include it.
+    EXPECT_EQ(plan.kinds & kCacheCorrupt, 0u);
+}
+
+TEST(FaultPlanParse, FullSpecRoundTripsThroughToString)
+{
+    const std::string spec =
+        "seed=42,rate=0.05,kinds=drop+dup+delay+corrupt+stall,"
+        "retries=6,backoff=16,delay=128,stall=48";
+    FaultPlan plan = parseFaultPlan(spec);
+    EXPECT_EQ(plan.seed, 42u);
+    EXPECT_DOUBLE_EQ(plan.rate, 0.05);
+    EXPECT_EQ(plan.kinds, kAllKinds);
+    EXPECT_EQ(plan.maxRetries, 6);
+    EXPECT_EQ(plan.retryBackoff, 16);
+    EXPECT_EQ(plan.maxDelay, 128);
+    EXPECT_EQ(plan.maxStall, 48);
+
+    FaultPlan again = parseFaultPlan(toString(plan));
+    EXPECT_EQ(again.seed, plan.seed);
+    EXPECT_DOUBLE_EQ(again.rate, plan.rate);
+    EXPECT_EQ(again.kinds, plan.kinds);
+    EXPECT_EQ(again.maxRetries, plan.maxRetries);
+    EXPECT_EQ(again.retryBackoff, plan.retryBackoff);
+    EXPECT_EQ(again.maxDelay, plan.maxDelay);
+    EXPECT_EQ(again.maxStall, plan.maxStall);
+}
+
+TEST(FaultPlanParse, KindsAllEnablesEverything)
+{
+    EXPECT_EQ(parseFaultPlan("kinds=all").kinds, kAllKinds);
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(parseFaultPlan("bogus=1"), FatalError);
+    EXPECT_THROW(parseFaultPlan("kinds=gamma-ray"), FatalError);
+    EXPECT_THROW(parseFaultPlan("kinds="), FatalError);
+    EXPECT_THROW(parseFaultPlan("rate=0"), FatalError);
+    EXPECT_THROW(parseFaultPlan("rate=1.5"), FatalError);
+    EXPECT_THROW(parseFaultPlan("rate=-0.1"), FatalError);
+    EXPECT_THROW(parseFaultPlan("rate=abc"), FatalError);
+    EXPECT_THROW(parseFaultPlan("seed=-3"), FatalError);
+    EXPECT_THROW(parseFaultPlan("seed=notanumber"), FatalError);
+    EXPECT_THROW(parseFaultPlan("retries=-1"), FatalError);
+    EXPECT_THROW(parseFaultPlan("backoff=0"), FatalError);
+    EXPECT_THROW(parseFaultPlan("seed"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Injector determinism
+
+TEST(FaultInjector, SameSeedDrawsIdenticalSchedule)
+{
+    FaultPlan plan = parseFaultPlan("seed=99,rate=0.25,kinds=all");
+    FaultInjector a(plan), b(plan);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.fire(kBusDrop), b.fire(kBusDrop));
+        EXPECT_EQ(a.fire(kCacheCorrupt), b.fire(kCacheCorrupt));
+        EXPECT_EQ(a.delayCycles(), b.delayCycles());
+        EXPECT_EQ(a.stallCycles(), b.stallCycles());
+        EXPECT_EQ(a.corruptWord(0xDEADBEEFu), b.corruptWord(0xDEADBEEFu));
+    }
+    EXPECT_EQ(a.injected(), b.injected());
+    EXPECT_EQ(a.injectedOf(kBusDrop), b.injectedOf(kBusDrop));
+}
+
+TEST(FaultInjector, MaskedKindNeverFires)
+{
+    FaultPlan plan = parseFaultPlan("seed=1,rate=1.0,kinds=drop");
+    FaultInjector injector(plan);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(injector.fire(kBusDrop));
+        EXPECT_FALSE(injector.fire(kPeStall));
+        EXPECT_FALSE(injector.fire(kCacheCorrupt));
+    }
+    EXPECT_EQ(injector.injectedOf(kBusDrop), 100u);
+    EXPECT_EQ(injector.injectedOf(kPeStall), 0u);
+}
+
+TEST(FaultInjector, KindStreamsAreIndependent)
+{
+    // Masking stall on/off must not shift the drop stream: each kind
+    // draws from its own generator.
+    FaultPlan drop_only = parseFaultPlan("seed=7,rate=0.5,kinds=drop");
+    FaultPlan both = parseFaultPlan("seed=7,rate=0.5,kinds=drop+stall");
+    FaultInjector a(drop_only), b(both);
+    for (int i = 0; i < 500; ++i) {
+        b.fire(kPeStall);  // extra traffic on the stall stream
+        EXPECT_EQ(a.fire(kBusDrop), b.fire(kBusDrop)) << "draw " << i;
+    }
+}
+
+TEST(FaultInjector, CorruptWordFlipsExactlyOneBit)
+{
+    FaultPlan plan = parseFaultPlan("seed=3,rate=1.0,kinds=corrupt");
+    FaultInjector injector(plan);
+    for (int i = 0; i < 200; ++i) {
+        std::uint32_t value = 0x12345678u + static_cast<std::uint32_t>(i);
+        std::uint32_t corrupted = injector.corruptWord(value);
+        EXPECT_NE(corrupted, value);
+        EXPECT_EQ(__builtin_popcount(corrupted ^ value), 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// System-level fixtures
+
+/** Parent rforks a child, sends two values, receives the sum (the
+ *  mp_test rendezvous fixture). Multi-PE runs ship the child and its
+ *  messages across the ring bus, exercising the fault path. */
+const char *kForkAddProgram =
+    "main:\n"
+    "  trap #1,@child :r17\n"
+    "  send r17,#30\n"
+    "  send r17,#12\n"
+    "  plus r17,#1 :r18\n"
+    "  recv r18 :r19\n"
+    "  store #6291456,r19\n"
+    "  trap #0,#0\n"
+    "child:\n"
+    "  trap #3,#0 :r17\n"
+    "  trap #4,#0 :r18\n"
+    "  recv r17 :r0\n"
+    "  recv r17 :r1\n"
+    "  plus++ r0,r1 :r19\n"
+    "  send r18,r19\n"
+    "  trap #0,#0\n";
+
+mp::RunResult
+runForkAdd(const fault::FaultPlan &plan, int pes,
+           bool trace = false, mp::System **system_out = nullptr)
+{
+    static isa::ObjectCode code = isa::assemble(kForkAddProgram);
+    mp::SystemConfig config;
+    config.numPes = pes;
+    config.faultPlan = plan;
+    config.traceConfig.enabled = trace;
+    static std::unique_ptr<mp::System> keep;
+    keep = std::make_unique<mp::System>(code, config);
+    if (system_out)
+        *system_out = keep.get();
+    return keep->run("main");
+}
+
+TEST(FaultSystem, WatchdogConvertsCertainLossIntoCleanFailure)
+{
+    // Every remote transfer drops, beyond the retry bound: the child
+    // context is lost in shipment and the parent starves. Without
+    // faults this would be a fatal deadlock; with them it must be a
+    // structured failure.
+    FaultPlan plan = parseFaultPlan("seed=11,rate=1.0,kinds=drop");
+    mp::RunResult result = runForkAdd(plan, 2);
+    EXPECT_FALSE(result.completed);
+    EXPECT_TRUE(result.watchdogTripped);
+    EXPECT_FALSE(result.failureReason.empty());
+    EXPECT_GE(result.faultsInjected, 1u);
+    EXPECT_GE(result.faultRecoveries, 1u);  // the bounded retries
+}
+
+TEST(FaultSystem, CorruptionIsDetectedAndReported)
+{
+    // Every token in the message cache is corrupted after its checksum
+    // is recorded; the first receive must detect the mismatch and end
+    // the run cleanly (detect-and-fail: there is no redundant copy).
+    FaultPlan plan = parseFaultPlan("seed=2,rate=1.0,kinds=corrupt");
+    mp::RunResult result = runForkAdd(plan, 1);
+    EXPECT_FALSE(result.completed);
+    EXPECT_FALSE(result.watchdogTripped);
+    EXPECT_NE(result.failureReason.find("corruption"),
+              std::string::npos)
+        << result.failureReason;
+    EXPECT_GE(result.faultsInjected, 1u);
+}
+
+TEST(FaultSystem, LocalRunsAreImmuneToBusFaults)
+{
+    // Bus faults only touch remote transfers; a 1-PE run has none, so
+    // even rate=1.0 drop must complete and produce 42.
+    FaultPlan plan = parseFaultPlan("seed=4,rate=1.0,kinds=drop");
+    mp::System *system = nullptr;
+    mp::RunResult result = runForkAdd(plan, 1, false, &system);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(system->memory().readWord(mp::kDataBase), 42u);
+}
+
+TEST(FaultSystem, ValuePreservingFaultsStillComputeTheSum)
+{
+    // Duplication, delay, and stalls perturb timing but never values:
+    // when the run completes the answer must be exact.
+    FaultPlan plan =
+        parseFaultPlan("seed=21,rate=0.2,kinds=dup+delay+stall");
+    mp::System *system = nullptr;
+    mp::RunResult result = runForkAdd(plan, 4, false, &system);
+    ASSERT_TRUE(result.completed) << result.failureReason;
+    EXPECT_EQ(system->memory().readWord(mp::kDataBase), 42u);
+    EXPECT_GE(result.faultsInjected, 1u);
+}
+
+TEST(FaultSystem, TraceRecordsInjectionsAndRecoveries)
+{
+    FaultPlan plan = parseFaultPlan("seed=11,rate=1.0,kinds=drop");
+    mp::System *system = nullptr;
+    mp::RunResult result = runForkAdd(plan, 2, /*trace=*/true, &system);
+    EXPECT_FALSE(result.completed);
+    std::string summary = system->tracer().summary();
+    EXPECT_NE(summary.find("fault-inject"), std::string::npos)
+        << summary;
+    EXPECT_NE(summary.find("fault-recover"), std::string::npos)
+        << summary;
+    // The event stream carries the machine-readable schedule too.
+    std::uint64_t injects = 0, recoveries = 0;
+    for (const trace::Event &e : system->tracer().events()) {
+        if (e.kind == trace::EventKind::FaultInject)
+            ++injects;
+        if (e.kind == trace::EventKind::FaultRecover)
+            ++recoveries;
+    }
+    EXPECT_GE(injects, result.faultsInjected);
+    EXPECT_GE(recoveries, 1u);
+}
+
+TEST(FaultSystem, SameSeedReplaysTheIdenticalTrace)
+{
+    FaultPlan plan =
+        parseFaultPlan("seed=33,rate=0.3,kinds=drop+dup+delay+stall");
+    std::vector<trace::Event> first;
+    mp::RunResult r1, r2;
+    {
+        mp::System *system = nullptr;
+        r1 = runForkAdd(plan, 4, /*trace=*/true, &system);
+        first = system->tracer().events();
+    }
+    mp::System *system = nullptr;
+    r2 = runForkAdd(plan, 4, /*trace=*/true, &system);
+    const std::vector<trace::Event> &second = system->tracer().events();
+
+    EXPECT_EQ(r1.completed, r2.completed);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.instructions, r2.instructions);
+    EXPECT_EQ(r1.faultsInjected, r2.faultsInjected);
+    EXPECT_EQ(r1.faultRecoveries, r2.faultRecoveries);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].kind, second[i].kind) << "event " << i;
+        EXPECT_EQ(first[i].pe, second[i].pe) << "event " << i;
+        EXPECT_EQ(first[i].ctx, second[i].ctx) << "event " << i;
+        EXPECT_EQ(first[i].at, second[i].at) << "event " << i;
+        EXPECT_EQ(first[i].a, second[i].a) << "event " << i;
+        EXPECT_EQ(first[i].b, second[i].b) << "event " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Experiment-runner integration and the chaos suite
+
+void
+expectReportsEqual(const sim::RunReport &a, const sim::RunReport &b,
+                   const std::string &label)
+{
+    EXPECT_EQ(a.completed, b.completed) << label;
+    EXPECT_EQ(a.verified, b.verified) << label;
+    EXPECT_EQ(a.cycles, b.cycles) << label;
+    EXPECT_EQ(a.instructions, b.instructions) << label;
+    EXPECT_EQ(a.contexts, b.contexts) << label;
+    EXPECT_EQ(a.rendezvous, b.rendezvous) << label;
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches) << label;
+    EXPECT_EQ(a.computeCycles, b.computeCycles) << label;
+    EXPECT_EQ(a.kernelCycles, b.kernelCycles) << label;
+    EXPECT_EQ(a.blockedCycles, b.blockedCycles) << label;
+    EXPECT_EQ(a.busCycles, b.busCycles) << label;
+    EXPECT_EQ(a.watchdogTripped, b.watchdogTripped) << label;
+    EXPECT_EQ(a.failureReason, b.failureReason) << label;
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected) << label;
+    EXPECT_EQ(a.faultRecoveries, b.faultRecoveries) << label;
+}
+
+TEST(FaultChaos, ScheduleIsIndependentOfJobCount)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    mp::SystemConfig config;
+    config.faultPlan =
+        parseFaultPlan("seed=5,rate=0.05,kinds=drop+delay+stall");
+    std::vector<sim::RunSpec> specs;
+    for (int pes : {1, 2, 4}) {
+        sim::RunSpec spec;
+        spec.program = &program;
+        spec.resultArray = bench.resultArray;
+        spec.expected = bench.expected;
+        spec.pes = pes;
+        spec.config = config;
+        specs.push_back(std::move(spec));
+    }
+    std::vector<sim::RunReport> serial = sim::runAll(specs, 1);
+    std::vector<sim::RunReport> parallel = sim::runAll(specs, 3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectReportsEqual(serial[i], parallel[i],
+                           "pes=" + std::to_string(serial[i].pes));
+}
+
+TEST(FaultChaos, DisabledPlanIsByteIdenticalToBaseline)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    sim::RunReport baseline =
+        sim::runOnce(program, bench.resultArray, bench.expected, 4, {});
+    mp::SystemConfig zero_rate;
+    zero_rate.faultPlan.seed = 123;  // rate stays 0: disabled
+    sim::RunReport with_plan = sim::runOnce(
+        program, bench.resultArray, bench.expected, 4, zero_rate);
+    expectReportsEqual(baseline, with_plan, "disabled plan");
+    EXPECT_TRUE(baseline.verified);
+    EXPECT_EQ(baseline.faultsInjected, 0u);
+}
+
+TEST(FaultChaos, RunAllSurvivesFailingRuns)
+{
+    // pes=1 is immune to bus drops (all transfers local); pes=4 at
+    // rate=1.0 drop must fail cleanly. The sweep reports both rows
+    // instead of dying on the failure.
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    mp::SystemConfig config;
+    config.faultPlan = parseFaultPlan("seed=9,rate=1.0,kinds=drop");
+    config.watchdogCycles = 100'000;
+    std::vector<sim::RunSpec> specs;
+    for (int pes : {1, 4}) {
+        sim::RunSpec spec;
+        spec.program = &program;
+        spec.resultArray = bench.resultArray;
+        spec.expected = bench.expected;
+        spec.pes = pes;
+        spec.config = config;
+        specs.push_back(std::move(spec));
+    }
+    std::vector<sim::RunReport> reports = sim::runAll(specs, 1);
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_TRUE(reports[0].verified) << reports[0].failureReason;
+    EXPECT_FALSE(reports[1].completed);
+    EXPECT_FALSE(reports[1].verified);
+    EXPECT_FALSE(reports[1].failureReason.empty());
+}
+
+TEST(FaultChaos, EveryBenchmarkCompletesCorrectOrFailsCleanly)
+{
+    // The soak property: under value-preserving faults every Chapter 6
+    // benchmark either produces the exact reference result or ends in
+    // a structured failure - never a wrong answer, hang, or crash.
+    mp::SystemConfig config;
+    config.faultPlan =
+        parseFaultPlan("seed=1234,rate=0.05,kinds=drop+dup+delay+stall");
+    config.watchdogCycles = 500'000;
+    for (const programs::Benchmark &bench :
+         programs::thesisBenchmarks()) {
+        occam::CompiledProgram program =
+            occam::compileOccam(bench.source);
+        sim::RunReport report = sim::runOnce(
+            program, bench.resultArray, bench.expected, 4, config);
+        if (report.completed) {
+            EXPECT_TRUE(report.verified)
+                << bench.name
+                << ": faulty run completed with a WRONG result";
+        } else {
+            EXPECT_FALSE(report.failureReason.empty()) << bench.name;
+        }
+    }
+}
+
+} // namespace

@@ -7,11 +7,21 @@
  * the cycle-level multiprocessor compute identical observable memory.
  * Every divergence this has caught was a real compiler or simulator
  * bug, so the corpus is kept deterministic (seeded) and broad.
+ *
+ * A second corpus re-runs the same programs under seeded fault
+ * injection (src/fault): value-preserving faults must never change
+ * the observable result - a run either agrees with the abstract
+ * interpreter exactly or fails with a structured reason.
+ *
+ * Set QM_FUZZ_ITERS to widen both corpora (the nightly chaos CI job
+ * runs a multiple of the default).
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "mp/system.hpp"
 #include "occam/codegen.hpp"
 #include "occam/graph_interp.hpp"
@@ -171,6 +181,21 @@ class ProgramGen
     int fresh = 0;
 };
 
+/**
+ * Corpus width: @p fallback by default, overridable with the
+ * QM_FUZZ_ITERS environment variable (used by the nightly chaos CI
+ * job to soak far wider than a developer checkout).
+ */
+int
+fuzzIters(int fallback)
+{
+    const char *env = std::getenv("QM_FUZZ_ITERS");
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    int iters = std::atoi(env);
+    return iters > 0 ? iters : fallback;
+}
+
 class FuzzDifferentialTest : public ::testing::TestWithParam<int>
 {
 };
@@ -213,6 +238,65 @@ TEST_P(FuzzDifferentialTest, ExecutorsAgree)
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, FuzzDifferentialTest,
-                         ::testing::Range(0, 80));
+                         ::testing::Range(0, fuzzIters(80)));
+
+class FuzzFaultDifferentialTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzFaultDifferentialTest, FaultyRunAgreesOrFailsCleanly)
+{
+    ProgramGen gen(0xF00D + static_cast<std::uint64_t>(GetParam()) *
+                               0x9E37);
+    std::string source = gen.generate();
+    SCOPED_TRACE(source);
+
+    Program ast = parse(source);
+    SymbolTable table = analyze(ast);
+    Ift ift = Ift::build(ast, table);
+    ContextProgram contexts = buildContextGraphs(ast, table, ift);
+
+    isa::Addr base = 0;
+    for (const auto &[sym, addr] : contexts.dataAddress)
+        if (table.symbol(sym).name == "res")
+            base = addr;
+    ASSERT_NE(base, 0u);
+
+    GraphInterpreter interp(contexts);
+    ASSERT_TRUE(interp.run().completed);
+
+    isa::ObjectCode object = isa::assemble(generateAssembly(contexts));
+    mp::SystemConfig config;
+    config.numPes = 1 + GetParam() % 4;
+    // Value-preserving fault mix seeded from the corpus index: the
+    // schedule differs per program but stays reproducible.
+    fault::FaultPlan plan;
+    plan.seed = 0xFA117 + static_cast<std::uint64_t>(GetParam());
+    plan.rate = 0.03;
+    plan.kinds = fault::kBusDrop | fault::kBusDelay | fault::kPeStall;
+    config.faultPlan = plan;
+    config.watchdogCycles = 200'000;
+    mp::System system(object, config);
+    mp::RunResult result = system.run(contexts.mainLabel);
+
+    if (!result.completed) {
+        // A lost message beyond the retry bound is an acceptable
+        // degraded outcome, but it must be reported, never a hang, a
+        // crash, or a silent wrong answer.
+        EXPECT_FALSE(result.failureReason.empty());
+        return;
+    }
+    for (int i = 0; i < 8; ++i) {
+        auto abstract = static_cast<std::int32_t>(
+            interp.readWord(base + static_cast<isa::Addr>(i) * 4));
+        auto machine = static_cast<std::int32_t>(
+            system.memory().readWord(base +
+                                     static_cast<isa::Addr>(i) * 4));
+        ASSERT_EQ(abstract, machine) << "res[" << i << "]";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultCorpus, FuzzFaultDifferentialTest,
+                         ::testing::Range(0, fuzzIters(40)));
 
 } // namespace
