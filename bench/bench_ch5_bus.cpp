@@ -45,6 +45,7 @@ main(int argc, char **argv)
         spec.pes = pes;
         spec.config.busPartitions = partitions;
         spec.config.faultPlan = args.faults;
+        spec.config.recovery = args.recovery;
         specs.push_back(std::move(spec));
     }
     std::vector<sim::RunReport> reports = sim::runAll(specs, args.jobs);
@@ -54,6 +55,13 @@ main(int argc, char **argv)
     if (args.faults.enabled())
         std::cout << "fault injection: " << fault::toString(args.faults)
                   << "\n";
+    if (args.recovery.enabled) {
+        std::cout << "recovery: enabled";
+        if (args.recovery.checkpointEvery > 0)
+            std::cout << " (checkpoint every "
+                      << args.recovery.checkpointEvery << " cycles)";
+        std::cout << "\n";
+    }
     std::cout << "\n";
     TextTable table({"partitions", "cycles", "vs 1 partition", "ok"});
     mp::Cycle base = reports.front().cycles;
@@ -78,6 +86,12 @@ main(int argc, char **argv)
             std::cout << "  partitions="
                       << partition_counts[&report - reports.data()]
                       << " failed: " << report.failureReason << "\n";
+    for (const sim::RunReport &report : reports)
+        if (report.recovered)
+            std::cout << "  partitions="
+                      << partition_counts[&report - reports.data()]
+                      << " recovered after " << report.replays
+                      << " checkpoint replay(s)\n";
     std::cout << "\n(partitioning trades per-message latency - each "
                  "segment crossed adds hop cycles - against segment "
                  "concurrency; at this message rate latency dominates, "

@@ -42,6 +42,13 @@ main(int argc, char **argv)
     if (args.faults.enabled())
         std::cout << "fault injection: " << fault::toString(args.faults)
                   << "\n";
+    if (args.recovery.enabled) {
+        std::cout << "recovery: enabled";
+        if (args.recovery.checkpointEvery > 0)
+            std::cout << " (checkpoint every "
+                      << args.recovery.checkpointEvery << " cycles)";
+        std::cout << "\n";
+    }
     std::cout << "\n";
 
     // The five option sets per benchmark, in JSON run order.
@@ -76,6 +83,7 @@ main(int argc, char **argv)
             spec.expected = bench.expected;
             spec.pes = pes;
             spec.config.faultPlan = args.faults;
+            spec.config.recovery = args.recovery;
             specs.push_back(std::move(spec));
         }
     }
@@ -106,6 +114,12 @@ main(int argc, char **argv)
         all.push_back(series);
     }
     std::cout << table.render();
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        if (reports[i].recovered)
+            std::cout << "  " << benches[i / variants.size()].name
+                      << " variant " << i % variants.size()
+                      << " recovered after " << reports[i].replays
+                      << " checkpoint replay(s)\n";
     std::cout << "\n(values > 1.0 mean the optimization saves cycles; "
                  "all runs verified against reference results)\n"
               << "(JSON runs order: all-on, no live-value, no "

@@ -67,6 +67,10 @@ reportSeries(const sim::SpeedupSeries &series,
         if (!run.failureReason.empty())
             std::cout << "  PEs=" << run.pes
                       << " failed: " << run.failureReason << "\n";
+    for (const sim::RunReport &run : series.runs)
+        if (run.recovered)
+            std::cout << "  PEs=" << run.pes << " recovered after "
+                      << run.replays << " checkpoint replay(s)\n";
     std::cout << "\n";
 }
 
@@ -81,6 +85,7 @@ main(int argc, char **argv)
         return 2;
     mp::SystemConfig base_config;
     base_config.faultPlan = args.faults;
+    base_config.recovery = args.recovery;
     const std::vector<int> pe_counts = {1, 2, 3, 4, 5, 6, 7, 8};
 
     std::cout << "Queue-machine multiprocessor simulation study "
@@ -89,6 +94,13 @@ main(int argc, char **argv)
     if (args.faults.enabled())
         std::cout << "fault injection: "
                   << fault::toString(args.faults) << "\n";
+    if (args.recovery.enabled) {
+        std::cout << "recovery: enabled";
+        if (args.recovery.checkpointEvery > 0)
+            std::cout << " (checkpoint every "
+                      << args.recovery.checkpointEvery << " cycles)";
+        std::cout << "\n";
+    }
     std::cout << "\n";
 
     std::vector<sim::SpeedupSeries> all;

@@ -8,6 +8,11 @@
  * `--faults SPEC` (see fault::parseFaultPlan) runs the whole sweep
  * under seeded fault injection; the fault schedule depends only on
  * the spec, never on `--jobs`.
+ * `--recover` enables the recovery layer (end-to-end retransmission,
+ * heal, dedup, fail-stop re-dispatch, bounded checkpoint replay) and
+ * `--checkpoint-every N` adds periodic snapshots on top of the boot
+ * one. Recovered runs, like faulty ones, are identical for any
+ * `--jobs` value.
  */
 #pragma once
 
@@ -24,12 +29,15 @@ struct BenchArgs
 {
     bool ok = true;  ///< False after a usage error (exit 2).
     int jobs = 0;    ///< 0 = all hardware threads.
-    fault::FaultPlan faults{};  ///< Disabled unless --faults given.
+    fault::FaultPlan faults{};      ///< Disabled unless --faults given.
+    fault::RecoveryPlan recovery{}; ///< Disabled unless --recover given.
 };
 
 /**
- * Parse argv for `[--jobs N] [--faults SPEC]`. On malformed or
- * unknown arguments prints a usage error and returns ok=false.
+ * Parse argv for
+ * `[--jobs N] [--faults SPEC] [--recover] [--checkpoint-every N]`.
+ * On malformed or unknown arguments prints a usage error and returns
+ * ok=false.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, const char *bench_name)
@@ -54,9 +62,23 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
                 args.ok = false;
                 return args;
             }
+        } else if (arg == "--recover") {
+            args.recovery.enabled = true;
+        } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+            try {
+                args.recovery.checkpointEvery = parsePositiveIntArg(
+                    argv[++i], "--checkpoint-every",
+                    /*max=*/1'000'000'000);
+                args.recovery.enabled = true;
+            } catch (const FatalError &e) {
+                std::cerr << bench_name << ": " << e.what() << "\n";
+                args.ok = false;
+                return args;
+            }
         } else {
             std::cerr << "usage: " << bench_name
-                      << " [--jobs N] [--faults SPEC]\n";
+                      << " [--jobs N] [--faults SPEC] [--recover] "
+                         "[--checkpoint-every N]\n";
             args.ok = false;
             return args;
         }

@@ -3,7 +3,8 @@
  * occamc - the OCCAM queue-machine compiler driver (thesis Fig 4.21).
  *
  * Usage: occamc [--asm] [--dot] [--run] [--pes N] [--stats]
- *               [--trace out.json] [--faults SPEC] file.occ
+ *               [--trace out.json] [--faults SPEC] [--recover]
+ *               [--checkpoint-every N] file.occ
  *
  * Compiles an OCCAM source file into queue-machine object code and, on
  * request, prints the generated assembly, dumps each context's data-flow
@@ -13,6 +14,10 @@
  * Chrome trace_event JSON (open in chrome://tracing or Perfetto).
  * --faults runs under seeded fault injection (see fault::parseFaultPlan
  * for the spec grammar, e.g. "seed=42,rate=0.05,kinds=drop+delay").
+ * --recover enables the recovery layer on top of the fault plan
+ * (end-to-end retransmission, checksum heal, dedup, fail-stop
+ * re-dispatch, and bounded replay from the last checkpoint);
+ * --checkpoint-every N adds periodic snapshots on top of the boot one.
  */
 #include <fstream>
 #include <iostream>
@@ -35,7 +40,8 @@ usage()
 {
     std::cerr << "usage: occamc [--asm] [--dot] [--run] [--interp] "
                  "[--pes N] [--stats] [--trace out.json] "
-                 "[--faults SPEC] file.occ\n";
+                 "[--faults SPEC] [--recover] [--checkpoint-every N] "
+                 "file.occ\n";
     return 2;
 }
 
@@ -48,6 +54,7 @@ main(int argc, char **argv)
          stats = false, interp_mode = false;
     int pes = 1;
     qm::fault::FaultPlan faults;
+    qm::fault::RecoveryPlan recovery;
     std::string path, trace_path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -82,6 +89,20 @@ main(int argc, char **argv)
                 return usage();
             }
             run = true;  // fault injection implies running
+        } else if (arg == "--recover") {
+            recovery.enabled = true;
+            run = true;  // recovery implies running
+        } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+            try {
+                recovery.checkpointEvery = qm::parsePositiveIntArg(
+                    argv[++i], "--checkpoint-every",
+                    /*max=*/1'000'000'000);
+            } catch (const qm::FatalError &e) {
+                std::cerr << "occamc: " << e.what() << "\n";
+                return usage();
+            }
+            recovery.enabled = true;
+            run = true;
         } else if (!arg.empty() && arg[0] != '-') {
             path = arg;
         } else {
@@ -116,11 +137,27 @@ main(int argc, char **argv)
             config.numPes = pes;
             config.traceConfig.enabled = !trace_path.empty();
             config.faultPlan = faults;
+            config.recovery = recovery;
             if (faults.enabled())
                 std::cout << "fault injection: "
                           << qm::fault::toString(faults) << "\n";
+            if (recovery.enabled) {
+                std::cout << "recovery: enabled";
+                if (recovery.checkpointEvery > 0)
+                    std::cout << " (checkpoint every "
+                              << recovery.checkpointEvery << " cycles)";
+                std::cout << "\n";
+            }
             qm::mp::System system(program.object, config);
             qm::mp::RunResult result = system.run(program.mainLabel);
+            int replays = 0;
+            while (!result.completed && recovery.enabled &&
+                   system.replayable() && system.canRestore() &&
+                   replays < recovery.maxReplays) {
+                system.restore();
+                ++replays;
+                result = system.resume();
+            }
             std::cout << "completed=" << result.completed
                       << " cycles=" << result.cycles
                       << " instructions=" << result.instructions
@@ -131,6 +168,12 @@ main(int argc, char **argv)
                           << result.faultsInjected
                           << " recoveries=" << result.faultRecoveries
                           << " watchdog=" << result.watchdogTripped
+                          << "\n";
+            if (replays > 0)
+                std::cout << "recovery: " << replays
+                          << " checkpoint replay(s), "
+                          << (result.completed ? "run recovered"
+                                               : "run still failed")
                           << "\n";
             if (!result.failureReason.empty())
                 std::cout << "failure: " << result.failureReason

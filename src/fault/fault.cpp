@@ -37,10 +37,13 @@ kindMaskOf(const std::string &term)
         return kCacheCorrupt;
     if (term == "stall")
         return kPeStall;
+    if (term == "pekill")
+        return kPeKill;
     if (term == "all")
         return kAllKinds;
     fatal("--faults: unknown fault kind '", term,
-          "' (expected drop, dup, delay, corrupt, stall, or all)");
+          "' (expected drop, dup, delay, corrupt, stall, pekill, or "
+          "all)");
 }
 
 std::vector<std::string>
@@ -83,6 +86,7 @@ toString(FaultKind kind)
       case kBusDelay: return "delay";
       case kCacheCorrupt: return "corrupt";
       case kPeStall: return "stall";
+      case kPeKill: return "pekill";
     }
     return "?";
 }
@@ -129,12 +133,24 @@ parseFaultPlan(const std::string &spec)
         } else if (key == "stall") {
             plan.maxStall =
                 parseIntArg(value, "--faults stall", 1, 1 << 20);
+        } else if (key == "killat") {
+            plan.killAt =
+                parseIntArg(value, "--faults killat", 1, 1 << 30);
+        } else if (key == "killpe") {
+            plan.killPe = static_cast<int>(
+                parseIntArg(value, "--faults killpe", 0, 4095));
         } else {
             fatal("--faults: unknown key '", key,
                   "' (expected seed, rate, kinds, retries, backoff, "
-                  "delay, or stall)");
+                  "delay, stall, killat, or killpe)");
         }
     }
+    // The fail-stop kill is addressed by name either way: killat=N
+    // implies the kind, and kinds=...+pekill implies a default cycle.
+    if (plan.killAt > 0)
+        plan.kinds |= kPeKill;
+    else if (plan.kinds & kPeKill)
+        plan.killAt = 10'000;
     return plan;
 }
 
@@ -156,6 +172,11 @@ toString(const FaultPlan &plan)
     os << ",retries=" << plan.maxRetries << ",backoff="
        << plan.retryBackoff << ",delay=" << plan.maxDelay << ",stall="
        << plan.maxStall;
+    if (plan.kinds & kPeKill) {
+        os << ",killat=" << plan.killAt;
+        if (plan.killPe >= 0)
+            os << ",killpe=" << plan.killPe;
+    }
     return os.str();
 }
 
@@ -185,6 +206,9 @@ FaultInjector::fire(FaultKind kind)
     if (!(plan_.kinds & kind))
         return false;
     int index = kindIndex(kind);
+    panicIf(index >= kNumRandomKinds,
+            "fire() takes a stochastic fault kind (pekill is "
+            "scheduled by FaultPlan::killAt)");
     // Top 53 bits -> uniform double in [0, 1); exact across platforms.
     double u = static_cast<double>(streams_[static_cast<std::size_t>(
                                        index)].next() >>
@@ -217,6 +241,13 @@ std::uint32_t
 FaultInjector::corruptWord(std::uint32_t value)
 {
     return value ^ (1u << payload_.below(32));
+}
+
+void
+FaultInjector::notePlanned(FaultKind kind)
+{
+    ++counts_[static_cast<std::size_t>(kindIndex(kind))];
+    ++injected_;
 }
 
 std::uint64_t

@@ -24,10 +24,23 @@
  *                   converted into a clean structured run failure.
  *   - PeStall:      a PE wastes stall cycles without retiring an
  *                   instruction (transient hardware hiccup).
+ *   - PeKill:       a PE fail-stops at a planned cycle (killat=N);
+ *                   scheduled rather than stochastic, so a kill is
+ *                   reproducible independent of the rate. Without the
+ *                   recovery layer the machine starves and the
+ *                   watchdog reports a clean failure; with recovery
+ *                   the kernel detects the expired lease and
+ *                   re-dispatches the dead PE's contexts.
  *
  * All injection sites are pointer-gated exactly like the tracer: with
  * no plan the fabric pays one predictable branch per site and produces
  * byte-identical results to a build without this layer.
+ *
+ * RecoveryPlan (opt-in, mp::SystemConfig::recovery) turns detection
+ * into survival: end-to-end ack/retransmit on the ring, checksum-heal
+ * from the sender's pristine copy, sequence-number dedup, PE-lease
+ * fail-stop recovery, and bounded checkpoint replay (see DESIGN.md
+ * "Recoverable execution").
  */
 #pragma once
 
@@ -49,9 +62,18 @@ enum FaultKind : unsigned
     kBusDelay = 1u << 2,
     kCacheCorrupt = 1u << 3,
     kPeStall = 1u << 4,
+    kPeKill = 1u << 5,
 };
 
-constexpr int kNumFaultKinds = 5;
+constexpr int kNumFaultKinds = 6;
+
+/**
+ * Kinds decided stochastically per site. PeKill is scheduled by
+ * FaultPlan::killAt instead of drawn, so it has no decision stream
+ * (this also keeps the stream seeding - and with it every PR 3 fault
+ * schedule - unchanged).
+ */
+constexpr int kNumRandomKinds = 5;
 
 /** Default mask: the value-preserving kinds (corruption is opt-in). */
 constexpr unsigned kDefaultKinds =
@@ -83,20 +105,60 @@ struct FaultPlan
     Cycle maxDelay = 64;
     /** Upper bound on an injected PE stall, in cycles. */
     Cycle maxStall = 32;
+    /** Fail-stop a PE at this cycle (0 = no kill). */
+    Cycle killAt = 0;
+    /** PE to kill, modulo the PE count; -1 = the last PE. */
+    int killPe = -1;
 
-    bool enabled() const { return rate > 0.0 && kinds != 0; }
+    bool
+    enabled() const
+    {
+        return (rate > 0.0 && kinds != 0) ||
+               ((kinds & kPeKill) != 0 && killAt > 0);
+    }
+};
+
+/**
+ * Opt-in recovery policy layered over a FaultPlan (carried in
+ * mp::SystemConfig::recovery). With enabled=false every fabric
+ * component behaves exactly as before this layer existed, so PR 3's
+ * detect-and-fail semantics (and byte-identical fault-off output) are
+ * preserved.
+ */
+struct RecoveryPlan
+{
+    bool enabled = false;
+    /** End-to-end retransmissions after the link-layer retry bound. */
+    int maxResends = 16;
+    /** Sender ack timeout before an end-to-end retransmission. */
+    Cycle ackTimeout = 64;
+    /** PE heartbeat lease; a fail-stop is detected when it expires. */
+    Cycle leaseCycles = 256;
+    /** Cycles charged for a NACK + pristine-copy resend on a heal. */
+    Cycle nackPenalty = 16;
+    /** Periodic System::snapshot() interval (0 = boot snapshot only). */
+    Cycle checkpointEvery = 0;
+    /** Bounded retry-from-checkpoint attempts in sim::runOnce. */
+    int maxReplays = 2;
+    /** Host-op log bound per run span; overflow forbids span restart. */
+    std::size_t maxLogOps = 4096;
+    /** Memory undo-log bound per run span (words). */
+    std::size_t maxUndoWords = 1u << 18;
 };
 
 /**
  * Parse a `--faults` spec: comma-separated key=value pairs.
  *
  *   seed=42,rate=0.05,kinds=drop+dup+delay+corrupt+stall,
- *   retries=4,backoff=8,delay=64,stall=32
+ *   retries=4,backoff=8,delay=64,stall=32,killat=10000,killpe=1
  *
  * Every key is optional; `rate` defaults to 0.01 and `kinds` to the
  * value-preserving set (drop+dup+delay+stall). `kinds=all` enables
- * everything including corruption. Throws FatalError on malformed
- * specs (unknown key, unknown kind, rate outside (0, 1], ...).
+ * everything including corruption but not the fail-stop kill, which
+ * must be asked for by name: `kinds=...+pekill` (killat then defaults
+ * to 10000) or `killat=N` (which implies the pekill kind). Throws
+ * FatalError on malformed specs (unknown key, unknown kind, rate
+ * outside (0, 1], ...).
  */
 FaultPlan parseFaultPlan(const std::string &spec);
 
@@ -131,14 +193,20 @@ class FaultInjector
     /** Flip one deterministically-chosen bit of @p value. */
     std::uint32_t corruptWord(std::uint32_t value);
 
+    /**
+     * Record a scheduled (non-stochastic) fault - the pekill at
+     * FaultPlan::killAt - so injected counters cover every kind.
+     */
+    void notePlanned(FaultKind kind);
+
     /** Total decisions that fired, and per-kind counts. */
     std::uint64_t injected() const { return injected_; }
     std::uint64_t injectedOf(FaultKind kind) const;
 
   private:
     FaultPlan plan_;
-    /** One decision stream per kind + one payload stream. */
-    std::array<SplitMix64, kNumFaultKinds> streams_;
+    /** One decision stream per stochastic kind + one payload stream. */
+    std::array<SplitMix64, kNumRandomKinds> streams_;
     SplitMix64 payload_;
     std::array<std::uint64_t, kNumFaultKinds> counts_{};
     std::uint64_t injected_ = 0;

@@ -84,40 +84,74 @@ RingBus::deliver(int src, int dst, Cycle now)
         return delivery;
     }
 
+    // Link layer: bounded retries with exponential backoff. End-to-end
+    // layer (recovery only): after the link gives up, the sender waits
+    // out its ack timeout and retransmits, up to maxResends times.
+    const bool e2e = recovery_ && recovery_->enabled;
+    const int max_resends = e2e ? recovery_->maxResends : 0;
     Cycle depart = now;
-    for (int attempt = 0;; ++attempt) {
-        Cycle at = transfer(src, dst, depart);
-        delivery.attempts = attempt + 1;
-        if (!faults_->fire(fault::kBusDrop)) {
-            delivery.at = at;
-            break;
+    int attempts = 0;
+    std::uint64_t drops = 0;
+    bool delivered = false;
+    for (int resend = 0; resend <= max_resends && !delivered;
+         ++resend) {
+        if (resend > 0) {
+            depart += recovery_->ackTimeout;
+            stats_.inc("fault.bus_resend");
+            if (tracer_)
+                tracer_->faultRecover(
+                    depart, src, fault::kBusDrop,
+                    static_cast<std::uint64_t>(resend) << 32);
         }
-        stats_.inc("fault.bus_drop");
-        if (tracer_)
-            tracer_->faultInject(at, src, fault::kBusDrop,
-                                 static_cast<std::uint64_t>(dst));
-        if (attempt >= faults_->plan().maxRetries) {
-            // Retry budget exhausted: the message is lost. The caller
-            // (kernel) leaves the receiver unwoken; the System
-            // watchdog converts any resulting livelock into a clean
-            // structured failure.
-            stats_.inc("fault.bus_lost");
-            delivery.delivered = false;
-            delivery.at = at;
-            return delivery;
+        for (int attempt = 0;; ++attempt) {
+            Cycle at = transfer(src, dst, depart);
+            ++attempts;
+            if (!faults_->fire(fault::kBusDrop)) {
+                delivery.at = at;
+                delivered = true;
+                break;
+            }
+            ++drops;
+            stats_.inc("fault.bus_drop");
+            stats_.inc("fault.drop.detected");
+            if (tracer_)
+                tracer_->faultInject(at, src, fault::kBusDrop,
+                                     static_cast<std::uint64_t>(dst));
+            if (attempt >= faults_->plan().maxRetries) {
+                // Link retry budget exhausted; without the end-to-end
+                // layer the message is lost here.
+                depart = at;
+                break;
+            }
+            // Exponential backoff, exponent clamped against shift
+            // overflow.
+            Cycle backoff = faults_->plan().retryBackoff
+                            << std::min(attempt, 16);
+            stats_.inc("fault.bus_retry");
+            stats_.inc("fault.bus_backoff_cycles",
+                       static_cast<std::uint64_t>(backoff));
+            if (tracer_)
+                tracer_->faultRecover(
+                    at + backoff, src, fault::kBusDrop,
+                    static_cast<std::uint64_t>(attempt + 1));
+            depart = at + backoff;
         }
-        // Exponential backoff, exponent clamped against shift overflow.
-        Cycle backoff = faults_->plan().retryBackoff
-                        << std::min(attempt, 16);
-        stats_.inc("fault.bus_retry");
-        stats_.inc("fault.bus_backoff_cycles",
-                   static_cast<std::uint64_t>(backoff));
-        if (tracer_)
-            tracer_->faultRecover(at + backoff, src, fault::kBusDrop,
-                                  static_cast<std::uint64_t>(attempt +
-                                                             1));
-        depart = at + backoff;
     }
+    delivery.attempts = attempts;
+    if (!delivered) {
+        // The message is permanently lost. The caller (kernel) leaves
+        // the receiver unwoken; the System watchdog converts any
+        // resulting livelock into a clean structured failure, and the
+        // checkpoint-replay policy gets a chance to retry the run.
+        stats_.inc("fault.bus_lost");
+        delivery.delivered = false;
+        delivery.at = depart;
+        return delivery;
+    }
+    if (drops > 0)
+        // Every drop on this delivery was compensated by a retry or an
+        // end-to-end retransmission.
+        stats_.inc("fault.drop.recovered", drops);
 
     if (faults_->fire(fault::kBusDelay)) {
         Cycle extra = faults_->delayCycles();

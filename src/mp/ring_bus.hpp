@@ -74,6 +74,11 @@ class RingBus
      * bound, then reported undelivered), delayed by a bounded extra
      * latency, or duplicated (the copy rides the ring again). Without
      * an injector this is exactly transfer().
+     *
+     * With a recovery plan attached and enabled, link-layer loss is
+     * additionally covered end-to-end: the sender waits out an ack
+     * timeout and retransmits, up to RecoveryPlan::maxResends times,
+     * before the delivery is finally reported lost.
      */
     BusDelivery deliver(int src, int dst, Cycle now);
 
@@ -88,6 +93,32 @@ class RingBus
         faults_ = faults;
     }
 
+    /** Attach the system's recovery plan (null or disabled = PR 3). */
+    void setRecovery(const fault::RecoveryPlan *recovery)
+    {
+        recovery_ = recovery;
+    }
+
+    /** Deep-copyable timing state for System checkpoints. */
+    struct Snapshot
+    {
+        std::vector<Cycle> partitionFree;
+        StatSet stats;
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return {partitionFree, stats_};
+    }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        partitionFree = snap.partitionFree;
+        stats_ = snap.stats;
+    }
+
   private:
     RingBusConfig config_;
     /** Earliest free cycle per partition. */
@@ -95,6 +126,7 @@ class RingBus
     StatSet stats_;
     trace::Tracer *tracer_ = nullptr;
     fault::FaultInjector *faults_ = nullptr;
+    const fault::RecoveryPlan *recovery_ = nullptr;
 };
 
 } // namespace qm::mp

@@ -91,16 +91,93 @@ struct System::PeSlot
      */
     CtxId residentBlocked = msg::kNoCtx;
 
+    /** Fail-stopped by an injected pekill: never schedules again. */
+    bool dead = false;
+
+    // Span journal (populated only when recovery is enabled): the
+    // completed host ops and the memory stores of the span currently
+    // running on this PE. Committed (cleared) whenever the span's
+    // registers are safely saved; consumed by recoverDeadPe to restart
+    // the span elsewhere after a fail-stop.
+    std::vector<HostOp> hostLog;
+    std::size_t logCursor = 0;
+    bool logOverflow = false;
+    pe::UndoLog undoLog;
+
+    /** Journal one completed host op (bounded; overflow is sticky). */
+    void
+    appendOp(const HostOp &op, std::size_t max_ops)
+    {
+        if (logOverflow)
+            return;
+        if (hostLog.size() >= max_ops) {
+            // A span too long to journal cannot be restarted; the
+            // recovery path falls back to checkpoint replay.
+            logOverflow = true;
+            return;
+        }
+        hostLog.push_back(op);
+        ++logCursor;
+    }
+
+    /** A logged op is waiting to be replayed instead of re-executed. */
+    bool
+    replaying() const
+    {
+        return logCursor < hostLog.size();
+    }
+
     /** Next time this slot could do work, if any. */
     std::optional<Cycle>
     nextTime() const
     {
+        if (dead)
+            return std::nullopt;
         if (running != msg::kNoCtx)
             return clock;
         if (!readyQ.empty())
             return std::max(clock, readyQ.top().readyAt);
         return std::nullopt;
     }
+};
+
+/**
+ * A complete machine checkpoint. Captured only at quiesced scheduler
+ * boundaries (no context running or resident on any live PE), so no
+ * PE-internal register state needs saving: a restored machine resumes
+ * purely from kernel state (see DESIGN.md "Recoverable execution").
+ */
+struct System::Checkpoint
+{
+    std::vector<std::uint8_t> memory;
+    std::vector<Context> contexts;
+    std::vector<Addr> freePages;
+    Word nextChannel = 2;
+    Addr heapNext = kHeapBase;
+    int rrNext = 0;
+    std::uint64_t liveContexts = 0;
+    std::uint64_t switches = 0;
+    bool killArmed = false;
+    int pendingDeadPe = -1;
+    Cycle deadDetectAt = 0;
+    Cycle nextCheckpointAt = 0;
+    Cycle lastProgress = 0;
+    StatSet stats;
+    msg::MessageCache::Snapshot cache;
+    RingBus::Snapshot bus;
+    trace::Tracer::Mark trace;
+
+    struct SlotState
+    {
+        Cycle clock = 0;
+        Cycle busyCycles = 0;
+        Cycle kernelCycles = 0;
+        Cycle switchCycles = 0;
+        bool dead = false;
+        decltype(PeSlot::readyQ) readyQ;
+        StatSet peStats;
+    };
+    std::vector<SlotState> slotStates;
 };
 
 System::System(const isa::ObjectCode &code, SystemConfig config)
@@ -117,13 +194,20 @@ System::System(const isa::ObjectCode &code, SystemConfig config)
         faults_ = std::make_unique<fault::FaultInjector>(
             config_.faultPlan);
 
+    recoveryOn_ = config_.recovery.enabled;
+    killArmed_ = faults_ && (config_.faultPlan.kinds & fault::kPeKill) &&
+                 config_.faultPlan.killAt > 0;
+
     bus.setTracer(&tracer_);
     cache.setTracer(&tracer_);
     bus.setFaultInjector(faults_.get());
     cache.setFaultInjector(faults_.get());
+    bus.setRecovery(&config_.recovery);
+    cache.setRecovery(&config_.recovery);
     for (int i = 0; i < config_.numPes; ++i) {
         auto slot = std::make_unique<PeSlot>();
         slot->index = i;
+        slot->undoLog.cap = config_.recovery.maxUndoWords;
         slot->host = std::make_unique<HostAdapter>(*this, i);
         slot->pe = std::make_unique<pe::ProcessingElement>(
             *memory_, code_, *slot->host, config_.peTiming);
@@ -175,32 +259,49 @@ System::placeContext(int forkingPe)
 {
     switch (config_.placement) {
       case Placement::Local:
-        return forkingPe;
+        return forkingPe;  // The forking PE is alive by construction.
       case Placement::RoundRobin: {
-        int target = rrNext;
-        rrNext = (rrNext + 1) % config_.numPes;
-        return target;
-      }
-      case Placement::LeastLoaded: {
-        // Emptiest runnable queue wins; ties rotate around the ring so
-        // independent forks still spread out.
-        int best = -1;
-        std::size_t best_load = 0;
+        // Skip fail-stopped PEs; with none dead this is the plain
+        // cyclic cursor.
         for (int i = 0; i < config_.numPes; ++i) {
-            int pe = (rrNext + i) % config_.numPes;
-            const PeSlot &slot = *slots[static_cast<size_t>(pe)];
-            std::size_t load = slot.readyQ.size() +
-                               (slot.running != msg::kNoCtx ? 1 : 0);
-            if (best < 0 || load < best_load) {
-                best = pe;
-                best_load = load;
-            }
+            int target = (rrNext + i) % config_.numPes;
+            if (slots[static_cast<size_t>(target)]->dead)
+                continue;
+            rrNext = (target + 1) % config_.numPes;
+            return target;
         }
-        rrNext = (best + 1) % config_.numPes;
-        return best;
-    }
+        panic("round-robin placement: no live PE");
+      }
+      case Placement::LeastLoaded:
+        return placeSurvivor();
     }
     panic("unreachable placement policy");
+}
+
+int
+System::placeSurvivor()
+{
+    // Emptiest runnable queue among live PEs wins; ties rotate around
+    // the ring so independent forks still spread out. This is the
+    // historical LeastLoaded policy plus the dead-PE skip, and also
+    // where recoverDeadPe re-homes a fail-stopped PE's contexts.
+    int best = -1;
+    std::size_t best_load = 0;
+    for (int i = 0; i < config_.numPes; ++i) {
+        int pe = (rrNext + i) % config_.numPes;
+        const PeSlot &slot = *slots[static_cast<size_t>(pe)];
+        if (slot.dead)
+            continue;
+        std::size_t load = slot.readyQ.size() +
+                           (slot.running != msg::kNoCtx ? 1 : 0);
+        if (best < 0 || load < best_load) {
+            best = pe;
+            best_load = load;
+        }
+    }
+    panicIf(best < 0, "context placement: no live PE");
+    rrNext = (best + 1) % config_.numPes;
+    return best;
 }
 
 CtxId
@@ -264,6 +365,17 @@ System::hostSend(int pe_idx, Word channel, Word value)
 {
     PeSlot &slot = *slots[static_cast<size_t>(pe_idx)];
     CtxId self = slot.running;
+    if (recoveryOn_ && slot.replaying()) {
+        // Restarted span: this send already happened before the PE
+        // died; its token is in the cache and its wakes were
+        // delivered. Replay the outcome with no side effects.
+        const HostOp &logged = slot.hostLog[slot.logCursor++];
+        panicIf(logged.kind != HostOp::Kind::Send ||
+                    logged.arg != channel,
+                "host-op replay divergence on send (restarted span "
+                "took a different path)");
+        return HostStatus::Done;
+    }
     msg::ChannelOp op = cache.send(channel, self, value, slot.clock);
     if (traceEnabled())
         std::cerr << "[t=" << slot.clock << " pe" << pe_idx << " ctx"
@@ -281,8 +393,13 @@ System::hostSend(int pe_idx, Word channel, Word value)
             if (wake.duplicated)
                 wakeContext(peer_id, wake.duplicateAt);
         }
+        if (recoveryOn_)
+            slot.appendOp({HostOp::Kind::Send, channel, 0, 0},
+                          config_.recovery.maxLogOps);
         return HostStatus::Done;
     }
+    // Blocked ops are never journaled: a restarted span re-issues the
+    // request and blocks (or completes) afresh.
     return HostStatus::Blocked;
 }
 
@@ -291,6 +408,17 @@ System::hostRecv(int pe_idx, Word channel, Word &value)
 {
     PeSlot &slot = *slots[static_cast<size_t>(pe_idx)];
     CtxId self = slot.running;
+    if (recoveryOn_ && slot.replaying()) {
+        // Restarted span: the token was already consumed before the PE
+        // died; hand back the logged value without touching the cache.
+        const HostOp &logged = slot.hostLog[slot.logCursor++];
+        panicIf(logged.kind != HostOp::Kind::Recv ||
+                    logged.arg != channel,
+                "host-op replay divergence on recv (restarted span "
+                "took a different path)");
+        value = logged.result;
+        return HostStatus::Done;
+    }
     msg::ChannelOp op = cache.recv(channel, self, slot.clock);
     if (traceEnabled())
         std::cerr << "[t=" << slot.clock << " pe" << pe_idx << " ctx"
@@ -302,15 +430,22 @@ System::hostRecv(int pe_idx, Word channel, Word &value)
                   << "\n";
     if (op.completed) {
         value = *op.value;
-        if (op.corrupted && pendingFailure_.empty())
+        if (op.healed) {
+            // The cache healed a checksum mismatch from the sender's
+            // pristine copy; the NACK + resend round trip costs
+            // bounded protocol cycles, booked as kernel time.
+            slot.clock += op.penalty;
+            slot.kernelCycles += op.penalty;
+        } else if (op.corrupted && pendingFailure_.empty()) {
             // Checksum mismatch: the token was corrupted in the cache.
-            // Detection is the recovery this fabric offers (there is
-            // no redundant copy to restore from), so the run ends with
-            // a structured failure instead of silently computing on a
+            // Without the recovery layer, detection is the only
+            // defense this fabric offers, so the run ends with a
+            // structured failure instead of silently computing on a
             // flipped bit.
             pendingFailure_ =
                 cat("message corruption detected on channel ", channel,
                     " (checksum mismatch at cycle ", slot.clock, ")");
+        }
         for (CtxId peer_id : op.wakes) {
             Context &peer = contexts[peer_id];
             BusDelivery notify =
@@ -321,6 +456,9 @@ System::hostRecv(int pe_idx, Word channel, Word &value)
             if (notify.duplicated)
                 wakeContext(peer_id, notify.duplicateAt);
         }
+        if (recoveryOn_)
+            slot.appendOp({HostOp::Kind::Recv, channel, value, 0},
+                          config_.recovery.maxLogOps);
         return HostStatus::Done;
     }
     return HostStatus::Blocked;
@@ -330,11 +468,35 @@ TrapOutcome
 System::hostTrap(int pe_idx, Word number, Word argument)
 {
     PeSlot &slot = *slots[static_cast<size_t>(pe_idx)];
+    if (recoveryOn_ && slot.replaying()) {
+        // Restarted span: the trap already ran before the PE died
+        // (forks forked, channels allocated). Replay the logged
+        // outcome with no side effects; the charge is re-booked
+        // because clocks were not rolled back past the span start.
+        const HostOp &logged = slot.hostLog[slot.logCursor++];
+        panicIf(logged.kind != HostOp::Kind::Trap ||
+                    logged.arg != number,
+                "host-op replay divergence on trap (restarted span "
+                "took a different path)");
+        TrapOutcome outcome;
+        if (logged.hasResult)
+            outcome.result = logged.result;
+        outcome.kernelCycles = logged.kernelCycles;
+        slot.kernelCycles += outcome.kernelCycles;
+        return outcome;
+    }
     TrapOutcome outcome = trapService(slot, number, argument);
     // Charged service cycles land in the PE's step time; book them
     // separately so the run report can split kernel from compute.
-    if (outcome.status != HostStatus::Blocked)
+    if (outcome.status != HostStatus::Blocked) {
         slot.kernelCycles += outcome.kernelCycles;
+        if (recoveryOn_ && !outcome.endContext)
+            slot.appendOp({HostOp::Kind::Trap, number,
+                           outcome.result.value_or(0),
+                           outcome.kernelCycles,
+                           outcome.result.has_value()},
+                          config_.recovery.maxLogOps);
+    }
     return outcome;
 }
 
@@ -405,6 +567,8 @@ System::trapService(PeSlot &slot, Word number, Word argument)
 bool
 System::dispatch(PeSlot &slot)
 {
+    if (slot.dead)
+        return false;
     if (slot.running != msg::kNoCtx)
         return true;
     if (slot.readyQ.empty())
@@ -418,7 +582,9 @@ System::dispatch(PeSlot &slot)
 
     if (slot.residentBlocked == ctx.id) {
         // The resident context's rendezvous completed: resume in place
-        // with its registers still live. No roll-out, no reload.
+        // with its registers still live. No roll-out, no reload. The
+        // run span continues: its journal keeps accumulating until the
+        // registers are finally saved somewhere.
         slot.residentBlocked = msg::kNoCtx;
         ctx.status = CtxStatus::Running;
         slot.running = ctx.id;
@@ -427,24 +593,26 @@ System::dispatch(PeSlot &slot)
         tracer_.ctxDispatch(slot.clock, slot.index, ctx.id);
         return true;
     }
-    if (slot.residentBlocked != msg::kNoCtx) {
+    if (slot.residentBlocked != msg::kNoCtx)
         // Another context needs the PE: evict the resident one now,
         // paying the deferred save.
-        Context &resident = contexts[slot.residentBlocked];
-        Cycle cost = slot.pe->rollOut() + config_.contextSaveCycles;
-        slot.clock += cost;
-        slot.switchCycles += cost;
-        resident.regs = slot.pe->saveContext();
-        slot.residentBlocked = msg::kNoCtx;
-        ++switches;
-        stats_.inc("sys.evictions");
-    }
+        evictResident(slot);
     slot.clock += config_.contextLoadCycles;
     slot.switchCycles += config_.contextLoadCycles;
     ctx.status = CtxStatus::Running;
     slot.running = ctx.id;
     slot.spanStart = slot.clock;
     slot.pe->loadContext(ctx.regs);
+    if (recoveryOn_) {
+        // Fresh span: from here until the next commit, ctx.regs stays
+        // the restart image. A context handed over from a dead PE
+        // brings the journal of its interrupted span along for replay.
+        slot.hostLog = std::move(ctx.pendingReplay);
+        ctx.pendingReplay.clear();
+        slot.logCursor = 0;
+        slot.logOverflow = false;
+        slot.undoLog.clear();
+    }
     ++switches;
     tracer_.ctxDispatch(slot.clock, slot.index, ctx.id);
     return true;
@@ -461,10 +629,52 @@ System::park(PeSlot &slot, CtxStatus status)
     ctx.regs = slot.pe->saveContext();
     ctx.status = status;
     slot.running = msg::kNoCtx;
+    commitSpan(slot);
     tracer_.ctxPark(slot.clock, slot.index, ctx.id,
                     status == CtxStatus::BlockedTime
                         ? trace::ParkReason::Timer
                         : trace::ParkReason::Channel);
+}
+
+void
+System::evictResident(PeSlot &slot)
+{
+    Context &resident = contexts[slot.residentBlocked];
+    Cycle cost = slot.pe->rollOut() + config_.contextSaveCycles;
+    slot.clock += cost;
+    slot.switchCycles += cost;
+    resident.regs = slot.pe->saveContext();
+    slot.residentBlocked = msg::kNoCtx;
+    ++switches;
+    stats_.inc("sys.evictions");
+    commitSpan(slot);
+}
+
+void
+System::preemptRunning(PeSlot &slot)
+{
+    // Checkpoint quiesce: force the running context out (registers
+    // saved, span committed) and requeue it so the snapshot needs no
+    // PE-internal state.
+    CtxId id = slot.running;
+    park(slot, CtxStatus::Ready);
+    Context &ctx = contexts[id];
+    ctx.readyAt = std::max(ctx.readyAt, slot.clock);
+    slot.readyQ.push({ctx.readyAt, id});
+}
+
+void
+System::commitSpan(PeSlot &slot)
+{
+    // The span's registers are safely stored (saveContext or context
+    // end), so a restart can never reach back before this point: drop
+    // the journal.
+    if (!recoveryOn_)
+        return;
+    slot.hostLog.clear();
+    slot.logCursor = 0;
+    slot.logOverflow = false;
+    slot.undoLog.clear();
 }
 
 void
@@ -478,6 +688,7 @@ System::finishContext(PeSlot &slot)
     slot.running = msg::kNoCtx;
     --liveContexts;
     stats_.inc("sys.contexts_finished");
+    commitSpan(slot);
 }
 
 RunResult
@@ -488,7 +699,26 @@ System::run(const std::string &entry, Cycle max_cycles)
     Addr entry_addr = code_.labelAddr(entry);
     Word in = allocChannelPair();
     createContext(entry_addr, in, in + 1, /*forkingPe=*/0, /*now=*/0);
+    if (recoveryOn_) {
+        if (config_.recovery.checkpointEvery > 0)
+            nextCheckpointAt_ = config_.recovery.checkpointEvery;
+        // Boot checkpoint: even without periodic snapshots, a failed
+        // run can always be replayed from the start.
+        snapshot();
+    }
+    return runLoop(max_cycles);
+}
 
+RunResult
+System::resume(Cycle max_cycles)
+{
+    panicIf(!booted, "System::resume before run()");
+    return runLoop(max_cycles);
+}
+
+RunResult
+System::runLoop(Cycle max_cycles)
+{
     RunResult result;
     // Watchdog bound: explicit, or 1M cycles automatically when fault
     // injection is active (fault-free runs keep the historical
@@ -497,7 +727,6 @@ System::run(const std::string &entry, Cycle max_cycles)
         config_.watchdogCycles > 0 ? config_.watchdogCycles
         : faults_                  ? 1'000'000
                                    : 0;
-    Cycle lastProgress = 0;
     while (liveContexts > 0) {
         if (!pendingFailure_.empty())
             return failRun(pendingFailure_, /*watchdog=*/false);
@@ -511,40 +740,80 @@ System::run(const std::string &entry, Cycle max_cycles)
                 best_time = *t;
             }
         }
+        // Planned fail-stop: fires once simulated time reaches killAt.
+        if (killArmed_ && best &&
+            best_time >= config_.faultPlan.killAt) {
+            injectPeKill(config_.faultPlan.killAt);
+            continue;
+        }
+        // Kernel lease: the killed PE's silence is noticed once the
+        // machine's frontier passes the lease deadline - or right away
+        // if nothing can act at all.
+        if (pendingDeadPe_ >= 0 && recoveryOn_ &&
+            (!best || best_time >= deadDetectAt_)) {
+            recoverDeadPe(deadDetectAt_);
+            continue;
+        }
         if (!best) {
             // Everyone starved: no context can ever run again. Under
             // fault injection this is an expected degraded outcome (a
             // message was lost beyond the retry bound), reported as a
             // clean failure; without faults it is a genuine deadlock
             // in the program, still a hard error.
-            if (faults_)
+            if (faults_) {
+                if (traceEnabled())
+                    std::cerr << dumpState();
                 return failRun(
                     cat("deadlock: ", liveContexts,
                         " live contexts, none runnable (message lost "
                         "beyond the retry bound?)"),
                     /*watchdog=*/true);
+            }
             fatal("deadlock: ", liveContexts,
                   " live contexts, none runnable\n", dumpState());
         }
         if (best_time > max_cycles) {
             // Timed out: report everything the run did do (the old
             // path returned zeroed statistics, hiding all progress).
+            // Not replayable: a replay would only re-spend the budget.
             result.completed = false;
             result.failureReason =
                 cat("cycle limit reached (", max_cycles, ")");
+            replayable_ = false;
             finalizeRun(result);
             return result;
         }
-        if (watchdog > 0 && best_time - lastProgress > watchdog)
+        if (watchdog > 0 && best_time - lastProgress_ > watchdog)
             return failRun(
                 cat("watchdog: no instruction retired in ", watchdog,
-                    " cycles (last progress at cycle ", lastProgress,
+                    " cycles (last progress at cycle ", lastProgress_,
                     ")"),
                 /*watchdog=*/true);
+        // Periodic checkpoint, taken at a quiesced scheduler boundary.
+        // Deferred while a fail-stop is pending (the dead PE's context
+        // cannot be rolled out, and the imminent recovery would be
+        // erased by a later restore anyway) and while any restarted
+        // span is still replaying its host-op log: the quiesce preempt
+        // would discard the unconsumed tail and the span would
+        // re-execute those ops live, duplicating their side effects.
+        bool replay_in_flight = false;
+        for (auto &slot : slots)
+            if (slot->replaying())
+                replay_in_flight = true;
+        if (nextCheckpointAt_ > 0 && best_time >= nextCheckpointAt_ &&
+            pendingDeadPe_ < 0 && !replay_in_flight) {
+            snapshot();
+            while (nextCheckpointAt_ <= best_time)
+                nextCheckpointAt_ += config_.recovery.checkpointEvery;
+            continue;
+        }
 
         PeSlot &slot = *best;
         if (!dispatch(slot))
             continue;
+        if (recoveryOn_)
+            // Journal this span's memory stores for rollback.
+            memory_->setUndoLog(&slot.undoLog);
 
         // Run the context until it blocks, finishes, or a small batch
         // elapses (keeps PE clocks loosely synchronized).
@@ -554,7 +823,7 @@ System::run(const std::string &entry, Cycle max_cycles)
             slot.clock += step.cycles;
             slot.busyCycles += slot.clock - before;
             if (step.status != StepStatus::Blocked)
-                lastProgress = std::max(lastProgress, slot.clock);
+                lastProgress_ = std::max(lastProgress_, slot.clock);
             if (step.status == StepStatus::Executed) {
                 // Stop as soon as this PE crosses the cycle budget
                 // instead of finishing the batch: the overshoot is
@@ -597,11 +866,233 @@ System::run(const std::string &entry, Cycle max_cycles)
             }
             break;
         }
+        if (recoveryOn_)
+            memory_->setUndoLog(nullptr);
     }
 
     result.completed = true;
+    replayable_ = false;
     finalizeRun(result);
     return result;
+}
+
+void
+System::injectPeKill(Cycle at)
+{
+    killArmed_ = false;
+    int victim = config_.faultPlan.killPe;
+    victim = victim >= 0 ? victim % config_.numPes
+                         : config_.numPes - 1;
+    PeSlot &slot = *slots[static_cast<size_t>(victim)];
+    slot.dead = true;
+    slot.clock = std::max(slot.clock, at);
+    if (faults_)
+        faults_->notePlanned(fault::kPeKill);
+    stats_.inc("fault.pe_kill");
+    if (traceEnabled())
+        std::cerr << "[t=" << at << "] KILL pe" << victim << "\n";
+    tracer_.faultInject(at, victim, fault::kPeKill,
+                        static_cast<std::uint64_t>(at));
+    if (recoveryOn_) {
+        pendingDeadPe_ = victim;
+        deadDetectAt_ = at + config_.recovery.leaseCycles;
+    }
+    // Without recovery the PE just falls silent; the starvation or
+    // watchdog exit reports the resulting stall as a clean failure.
+}
+
+void
+System::recoverDeadPe(Cycle at)
+{
+    const int dead_pe = pendingDeadPe_;
+    pendingDeadPe_ = -1;
+    PeSlot &slot = *slots[static_cast<size_t>(dead_pe)];
+    stats_.inc("fault.pekill.detected");
+    if (traceEnabled())
+        std::cerr << "[t=" << at << "] RECOVER-DEAD pe" << dead_pe
+                  << " running=" << static_cast<long>(slot.running)
+                  << " resident="
+                  << static_cast<long>(slot.residentBlocked) << "\n";
+
+    int alive = 0;
+    for (auto &s : slots)
+        if (!s->dead)
+            ++alive;
+    if (alive == 0) {
+        pendingFailure_ = cat("pekill: PE ", dead_pe,
+                              " fail-stopped and no PE survives");
+        return;
+    }
+
+    // The context whose registers died with the PE (running, or
+    // resident with a lazily deferred save) restarts from its
+    // dispatch-time register image: roll its journaled memory stores
+    // back and queue its host-op log for side-effect-free replay.
+    CtxId loaded = slot.running != msg::kNoCtx ? slot.running
+                                               : slot.residentBlocked;
+    if (loaded != msg::kNoCtx) {
+        Context &ctx = contexts[loaded];
+        if (slot.logOverflow || slot.undoLog.overflowed) {
+            // The span outran its journal bound, so a span restart
+            // would be unsound. Fall back to checkpoint replay (or a
+            // clean failure when none exists).
+            pendingFailure_ =
+                cat("pekill: context ", loaded, " ran past its span "
+                    "journal bound; span restart impossible");
+            slot.running = msg::kNoCtx;
+            slot.residentBlocked = msg::kNoCtx;
+            slot.readyQ = {};
+            commitSpan(slot);
+            return;
+        }
+        memory_->applyUndo(slot.undoLog);
+        ctx.pendingReplay = std::move(slot.hostLog);
+        if (ctx.status == CtxStatus::Running)
+            ctx.status = CtxStatus::Ready;
+        // A resident-blocked context stays BlockedChannel: the wake it
+        // is waiting for will find it at its new home.
+    }
+    slot.running = msg::kNoCtx;
+    slot.residentBlocked = msg::kNoCtx;
+    slot.blockUntil.reset();
+    slot.readyQ = {};
+    commitSpan(slot);
+
+    // Re-home every live context stranded on the dead PE. Shipping a
+    // ready descriptor to its new home rides the (still faulty) ring
+    // like any other kernel message.
+    std::uint64_t moved = 0;
+    for (Context &ctx : contexts) {
+        if (ctx.homePe != dead_pe || ctx.status == CtxStatus::Done)
+            continue;
+        int target = placeSurvivor();
+        ctx.homePe = target;
+        ++moved;
+        if (ctx.status != CtxStatus::Ready)
+            continue;  // Blocked: its wake lands on the new home.
+        BusDelivery shipped = bus.deliver(dead_pe, target, at);
+        if (!shipped.delivered) {
+            stats_.inc("fault.ctx_ship_lost");
+            continue;
+        }
+        ctx.readyAt = std::max(ctx.readyAt, shipped.at);
+        slots[static_cast<size_t>(target)]->readyQ.push(
+            {ctx.readyAt, ctx.id});
+        if (shipped.duplicated)
+            slots[static_cast<size_t>(target)]->readyQ.push(
+                {shipped.duplicateAt, ctx.id});
+    }
+    if (moved > 0)
+        stats_.inc("fault.pekill.recovered", moved);
+    tracer_.faultRecover(at, dead_pe, fault::kPeKill, moved);
+}
+
+void
+System::snapshot()
+{
+    // Quiesce: force every loaded context out so all register state
+    // lives in the kernel's Context records.
+    for (auto &slot : slots) {
+        if (slot->dead) {
+            panicIf(slot->running != msg::kNoCtx ||
+                        slot->residentBlocked != msg::kNoCtx,
+                    "snapshot during an undetected PE fail-stop");
+            continue;
+        }
+        if (slot->running != msg::kNoCtx)
+            preemptRunning(*slot);
+        else if (slot->residentBlocked != msg::kNoCtx)
+            evictResident(*slot);
+    }
+    stats_.inc("sys.checkpoints");
+    if (traceEnabled()) {
+        Cycle maxc = 0;
+        for (auto &s : slots) maxc = std::max(maxc, s->clock);
+        std::cerr << "[t=" << maxc << "] SNAPSHOT live=" << liveContexts
+                  << "\n";
+    }
+    auto cp = std::make_unique<Checkpoint>();
+    cp->memory = memory_->bytes();
+    cp->contexts = contexts;
+    cp->freePages = freePages;
+    cp->nextChannel = nextChannel;
+    cp->heapNext = heapNext;
+    cp->rrNext = rrNext;
+    cp->liveContexts = liveContexts;
+    cp->switches = switches;
+    cp->killArmed = killArmed_;
+    cp->pendingDeadPe = pendingDeadPe_;
+    cp->deadDetectAt = deadDetectAt_;
+    cp->nextCheckpointAt = nextCheckpointAt_;
+    cp->lastProgress = lastProgress_;
+    cp->stats = stats_;
+    cp->cache = cache.snapshot();
+    cp->bus = bus.snapshot();
+    cp->trace = tracer_.mark();
+    for (auto &slot : slots)
+        cp->slotStates.push_back({slot->clock, slot->busyCycles,
+                                  slot->kernelCycles,
+                                  slot->switchCycles, slot->dead,
+                                  slot->readyQ, slot->pe->stats()});
+    checkpoint_ = std::move(cp);
+}
+
+bool
+System::canRestore() const
+{
+    return checkpoint_ != nullptr;
+}
+
+void
+System::restore()
+{
+    panicIf(!checkpoint_, "restore() without a prior snapshot()");
+    if (traceEnabled())
+        std::cerr << "RESTORE\n";
+    const Checkpoint &cp = *checkpoint_;
+    memory_->restoreBytes(cp.memory);
+    contexts = cp.contexts;
+    freePages = cp.freePages;
+    nextChannel = cp.nextChannel;
+    heapNext = cp.heapNext;
+    rrNext = cp.rrNext;
+    liveContexts = cp.liveContexts;
+    switches = cp.switches;
+    killArmed_ = cp.killArmed;
+    pendingDeadPe_ = cp.pendingDeadPe;
+    deadDetectAt_ = cp.deadDetectAt;
+    nextCheckpointAt_ = cp.nextCheckpointAt;
+    lastProgress_ = cp.lastProgress;
+    stats_ = cp.stats;
+    cache.restore(cp.cache);
+    bus.restore(cp.bus);
+    tracer_.rewind(cp.trace);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        PeSlot &slot = *slots[i];
+        const Checkpoint::SlotState &ss = cp.slotStates[i];
+        slot.clock = ss.clock;
+        slot.busyCycles = ss.busyCycles;
+        slot.kernelCycles = ss.kernelCycles;
+        slot.switchCycles = ss.switchCycles;
+        slot.dead = ss.dead;
+        slot.readyQ = ss.readyQ;
+        slot.pe->stats() = ss.peStats;
+        slot.spanStart = slot.clock;
+        slot.running = msg::kNoCtx;
+        slot.residentBlocked = msg::kNoCtx;
+        slot.blockUntil.reset();
+        slot.hostLog.clear();
+        slot.logCursor = 0;
+        slot.logOverflow = false;
+        slot.undoLog.clear();
+    }
+    pendingFailure_.clear();
+    replayable_ = false;
+    // Note: the fault injector's streams are deliberately NOT part of
+    // the checkpoint. A replay draws a fresh (still deterministic)
+    // fault schedule, so a deterministic failure is not simply
+    // re-executed forever; injected counters keep accumulating across
+    // replays.
 }
 
 void
@@ -646,10 +1137,40 @@ System::finalizeRun(RunResult &result)
     result.busCycles = static_cast<Cycle>(
         stats_.counter("bus.transfer_cycles"));
     result.faultsInjected = faults_ ? faults_->injected() : 0;
-    result.faultRecoveries =
-        static_cast<std::uint64_t>(stats_.counter("fault.bus_retry")) +
-        static_cast<std::uint64_t>(
-            stats_.counter("fault.corrupt_detected"));
+
+    // Unified per-kind accounting, indexed in FaultKind bit order.
+    // Delay and stall faults are absorbed by the timing model: they
+    // are injected but there is nothing to detect or recover.
+    struct KindCounters
+    {
+        fault::FaultKind kind;
+        const char *detected;
+        const char *recovered;
+    };
+    static const KindCounters kind_table[fault::kNumFaultKinds] = {
+        {fault::kBusDrop, "fault.drop.detected",
+         "fault.drop.recovered"},
+        {fault::kBusDup, "fault.dup.detected", "fault.dup.recovered"},
+        {fault::kBusDelay, nullptr, nullptr},
+        {fault::kCacheCorrupt, "fault.corrupt.detected",
+         "fault.corrupt.recovered"},
+        {fault::kPeStall, nullptr, nullptr},
+        {fault::kPeKill, "fault.pekill.detected",
+         "fault.pekill.recovered"},
+    };
+    std::uint64_t recovered_total = 0;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(fault::kNumFaultKinds); ++i) {
+        const KindCounters &kc = kind_table[i];
+        RunResult::FaultKindCounts &out = result.faultKinds[i];
+        out.injected = faults_ ? faults_->injectedOf(kc.kind) : 0;
+        out.detected =
+            kc.detected ? stats_.counter(kc.detected) : 0;
+        out.recovered =
+            kc.recovered ? stats_.counter(kc.recovered) : 0;
+        recovered_total += out.recovered;
+    }
+    result.faultRecoveries = recovered_total;
 
     stats_.set("sys.cycles", static_cast<double>(finish));
     stats_.set("sys.utilization", result.utilization);
@@ -665,6 +1186,10 @@ System::finalizeRun(RunResult &result)
 RunResult
 System::failRun(const std::string &reason, bool watchdog)
 {
+    // Every structured failure (watchdog, starvation, corruption,
+    // unrecoverable fail-stop) is worth one more try from the last
+    // checkpoint when the caller has recovery enabled.
+    replayable_ = true;
     RunResult result;
     result.completed = false;
     result.watchdogTripped = watchdog;

@@ -17,6 +17,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -92,6 +93,14 @@ struct SystemConfig
     fault::FaultPlan faultPlan{};
 
     /**
+     * Opt-in recovery layer (off by default; see src/fault and
+     * DESIGN.md "Recoverable execution"): end-to-end retransmission on
+     * the ring, checksum-heal + dedup in the message cache, PE-lease
+     * fail-stop recovery, and checkpoint/restore support.
+     */
+    fault::RecoveryPlan recovery{};
+
+    /**
      * Watchdog: if no instruction retires for this many simulated
      * cycles, the run ends with a structured failure report instead of
      * hanging or dying on a deadlock panic. 0 = automatic: enabled
@@ -111,6 +120,23 @@ enum class CtxStatus
     Done,
 };
 
+/**
+ * One completed host interaction (send/recv/trap) of the current run
+ * span, recorded only when recovery is enabled. Restarting a span
+ * after a PE fail-stop replays these outcomes from the log instead of
+ * re-executing them, so forks are not forked twice and tokens are not
+ * deposited twice (see DESIGN.md "Recoverable execution").
+ */
+struct HostOp
+{
+    enum class Kind : std::uint8_t { Send, Recv, Trap };
+    Kind kind = Kind::Send;
+    Word arg = 0;     ///< Channel id (send/recv) or trap number.
+    Word result = 0;  ///< Received value / trap result.
+    long kernelCycles = 0;  ///< Charged service cycles (traps).
+    bool hasResult = false; ///< Trap produced a value (e.g. not wait).
+};
+
 /** One context: an activation of an acyclic data-flow graph. */
 struct Context
 {
@@ -122,6 +148,12 @@ struct Context
     Word outChan = isa::kNullChannel;
     Addr queuePage = 0;
     Cycle readyAt = 0;
+    /**
+     * Host-op log handed over by a dead PE: replayed (instead of
+     * re-executed) when the context restarts from its span-start
+     * registers on a surviving PE. Empty in normal operation.
+     */
+    std::vector<HostOp> pendingReplay;
 };
 
 /** Result of a complete (or timed-out) program run. */
@@ -150,8 +182,24 @@ struct RunResult
     // of hanging or throwing.
     bool watchdogTripped = false;    ///< Watchdog/starvation ended the run.
     std::string failureReason;       ///< Empty on a completed run.
-    std::uint64_t faultsInjected = 0;   ///< Faults fired this run.
-    std::uint64_t faultRecoveries = 0;  ///< Retries + detections.
+    std::uint64_t faultsInjected = 0;   ///< Faults fired (all kinds).
+    /**
+     * Faults survived: drops compensated by a retry or an end-to-end
+     * retransmission, duplicates rejected by sequence-number dedup,
+     * corruptions healed from the pristine copy, and contexts
+     * re-dispatched off a fail-stopped PE. (Before the recovery layer
+     * this counter mixed retries and bare detections; it is now
+     * exactly the sum of the per-kind recovered counts below.)
+     */
+    std::uint64_t faultRecoveries = 0;
+    /** Unified per-kind accounting, indexed by FaultKind bit index. */
+    struct FaultKindCounts
+    {
+        std::uint64_t injected = 0;   ///< Faults of this kind fired.
+        std::uint64_t detected = 0;   ///< Noticed by checksum/timeout/lease.
+        std::uint64_t recovered = 0;  ///< Survived via the recovery layer.
+    };
+    std::array<FaultKindCounts, fault::kNumFaultKinds> faultKinds{};
 };
 
 /** The whole simulated machine. */
@@ -169,10 +217,46 @@ class System
 
     /**
      * Boot a context at @p entry and simulate until every context has
-     * terminated or @p max_cycles elapses on some PE.
+     * terminated or @p max_cycles elapses on some PE. With recovery
+     * enabled a boot snapshot is taken first (and periodic ones every
+     * recovery.checkpointEvery cycles), so a failed run can be rolled
+     * back with restore() and re-driven with resume().
      */
     RunResult run(const std::string &entry,
                   Cycle max_cycles = 500'000'000);
+
+    /**
+     * Capture a checkpoint of the complete machine state. Running and
+     * resident-blocked contexts are first quiesced (preempted with
+     * their registers saved), so the snapshot needs no PE-internal
+     * state and a restored machine resumes purely from kernel state.
+     */
+    void snapshot();
+
+    /** A snapshot exists to restore() to. */
+    bool canRestore() const;
+
+    /**
+     * Roll the machine back to the last snapshot: memory, contexts,
+     * channel state, bus timing, statistics, and trace all rewind.
+     * The fault injector's streams deliberately do NOT rewind, so a
+     * replay draws a fresh (still deterministic) fault schedule
+     * instead of re-losing the identical message forever.
+     */
+    void restore();
+
+    /**
+     * Re-enter the simulation loop after restore(). Only valid on a
+     * booted system.
+     */
+    RunResult resume(Cycle max_cycles = 500'000'000);
+
+    /**
+     * The last run ended with a failure worth replaying from the
+     * checkpoint (watchdog, starvation, detected corruption - but not
+     * an exhausted cycle budget, which a replay would only re-spend).
+     */
+    bool replayable() const { return replayable_; }
 
     /** Aggregate statistics from the last run. */
     const StatSet &stats() const { return stats_; }
@@ -208,6 +292,20 @@ class System
     bool dispatch(PeSlot &slot);   ///< Load next ready context if idle.
     void park(PeSlot &slot, CtxStatus status);
     void finishContext(PeSlot &slot);
+    void evictResident(PeSlot &slot);
+    /** Forced preemption (checkpoint quiesce): park + requeue Ready. */
+    void preemptRunning(PeSlot &slot);
+    /** End the current run span: clear its host-op and undo logs. */
+    void commitSpan(PeSlot &slot);
+
+    // --- Recovery (see DESIGN.md "Recoverable execution") ---------------
+    /** The simulation loop shared by run() and resume(). */
+    RunResult runLoop(Cycle max_cycles);
+    void injectPeKill(Cycle at);
+    /** Lease expired: re-dispatch the dead PE's contexts. */
+    void recoverDeadPe(Cycle at);
+    /** LeastLoaded placement over live PEs (skips fail-stopped ones). */
+    int placeSurvivor();
 
     /**
      * End-of-run bookkeeping shared by the normal and timeout exits:
@@ -242,6 +340,17 @@ class System
     bool booted = false;
     std::uint64_t liveContexts = 0;
     std::uint64_t switches = 0;
+
+    // Recovery state (all inert unless config_.recovery.enabled).
+    bool recoveryOn_ = false;
+    bool killArmed_ = false;       ///< Planned pekill not yet fired.
+    int pendingDeadPe_ = -1;       ///< Killed PE awaiting lease expiry.
+    Cycle deadDetectAt_ = 0;       ///< When the kernel notices.
+    Cycle nextCheckpointAt_ = 0;   ///< Next periodic snapshot.
+    Cycle lastProgress_ = 0;       ///< Watchdog progress marker.
+    bool replayable_ = false;
+    struct Checkpoint;
+    std::unique_ptr<Checkpoint> checkpoint_;
 
     StatSet stats_;
     trace::Tracer tracer_;

@@ -40,16 +40,31 @@ MessageCache::send(Word channel, CtxId ctx, Word value,
         op.blocked = true;
         return op;
     }
-    entry.values.push_back({value, tokenChecksum(value)});
+    std::uint64_t seq = entry.nextSeq++;
+    entry.values.push_back({value, tokenChecksum(value), seq, value});
     if (faults_ && faults_->fire(fault::kCacheCorrupt)) {
         // Flip one bit of the slot just written, keeping the send-time
-        // checksum: the receive side detects the mismatch.
+        // checksum (and the sender's pristine retransmit copy): the
+        // receive side detects the mismatch.
         entry.values.back().value =
             faults_->corruptWord(entry.values.back().value);
         stats_.inc("fault.cache_corrupt");
         if (tracer_)
             tracer_->faultInject(now, -1, fault::kCacheCorrupt,
                                  channel);
+    }
+    if (faults_ && recoveryOn() && faults_->fire(fault::kBusDup)) {
+        // A duplicated deposit arrives carrying the same sequence
+        // number; the entry already holds (or has consumed past) that
+        // seq, so receiver-side dedup rejects it outright. Idempotent
+        // by protocol, not by luck.
+        stats_.inc("fault.cache_dup");
+        stats_.inc("fault.dup.detected");
+        stats_.inc("fault.dup.recovered");
+        if (tracer_) {
+            tracer_->faultInject(now, -1, fault::kBusDup, channel);
+            tracer_->faultRecover(now, -1, fault::kBusDup, seq);
+        }
     }
     op.completed = true;
     if (!entry.recvWaiters.empty()) {
@@ -77,9 +92,21 @@ MessageCache::recv(Word channel, CtxId ctx, trace::Cycle now)
     if (faults_ && tokenChecksum(token.value) != token.sum) {
         op.corrupted = true;
         stats_.inc("fault.corrupt_detected");
+        stats_.inc("fault.corrupt.detected");
         if (tracer_)
             tracer_->faultRecover(now, -1, fault::kCacheCorrupt,
                                   channel);
+        if (recoveryOn()) {
+            // NACK + deterministic resend: the sender's pristine copy
+            // replaces the corrupted slot, and the round trip costs
+            // bounded protocol cycles instead of the whole run.
+            op.value = token.pristine;
+            op.healed = true;
+            op.penalty = recovery_->nackPenalty;
+            stats_.inc("fault.corrupt.recovered");
+            stats_.inc("fault.nack_penalty_cycles",
+                       static_cast<std::uint64_t>(op.penalty));
+        }
     }
     stats_.inc("msg.rendezvous");
     if (tracer_)

@@ -61,19 +61,28 @@ struct ChannelOp
     bool blocked = false;         ///< Requester must park and retry.
     /** Checksum mismatch on the received token (fault detection). */
     bool corrupted = false;
+    /** Mismatch healed from the pristine copy (recovery enabled). */
+    bool healed = false;
+    /** Protocol cycles to charge (NACK + pristine-copy resend). */
+    fault::Cycle penalty = 0;
     std::optional<Word> value;    ///< Received value (receive only).
     /** Contexts to make ready (woken peers / queued waiters). */
     std::vector<CtxId> wakes;
 };
 
 /**
- * One in-flight token: the value plus the checksum stamped at send
- * time, so cache-slot corruption is detectable at receive time.
+ * One in-flight token: the value, the checksum stamped at send time
+ * (so cache-slot corruption is detectable at receive time), the
+ * channel sequence number (so a duplicated delivery is rejectable),
+ * and the sender's pristine retransmit copy (so a detected corruption
+ * is healable by a deterministic resend).
  */
 struct Token
 {
     Word value = 0;
     std::uint8_t sum = 0;
+    std::uint64_t seq = 0;
+    Word pristine = 0;
 };
 
 /** XOR-folded byte checksum; detects any single-bit flip. */
@@ -85,6 +94,7 @@ struct ChannelEntry
     std::deque<Token> values;      ///< In-flight tokens, oldest first.
     std::deque<CtxId> sendWaiters; ///< Parked senders (FIFO full).
     std::deque<CtxId> recvWaiters; ///< Parked receivers (FIFO empty).
+    std::uint64_t nextSeq = 0;     ///< Send-side sequence counter.
 };
 
 /**
@@ -143,12 +153,50 @@ class MessageCache
         faults_ = faults;
     }
 
+    /**
+     * Attach the system's recovery plan (null or disabled = PR 3
+     * detect-and-fail behavior). With recovery on, a duplicated
+     * deposit is rejected by its sequence number and a receive-side
+     * checksum mismatch heals from the token's pristine copy, charging
+     * ChannelOp::penalty protocol cycles instead of failing the run.
+     */
+    void setRecovery(const fault::RecoveryPlan *recovery)
+    {
+        recovery_ = recovery;
+    }
+
+    /** Deep-copyable protocol state for System checkpoints. */
+    struct Snapshot
+    {
+        std::map<Word, ChannelEntry> entries;
+        StatSet stats;
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return {entries, stats_};
+    }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        entries = snap.entries;
+        stats_ = snap.stats;
+    }
+
   private:
+    bool recoveryOn() const
+    {
+        return recovery_ != nullptr && recovery_->enabled;
+    }
+
     int capacity_;
     std::map<Word, ChannelEntry> entries;
     StatSet stats_;
     trace::Tracer *tracer_ = nullptr;
     fault::FaultInjector *faults_ = nullptr;
+    const fault::RecoveryPlan *recovery_ = nullptr;
 };
 
 } // namespace qm::msg

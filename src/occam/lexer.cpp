@@ -64,14 +64,24 @@ lex(const std::string &source)
     std::vector<Token> tokens;
     std::vector<int> indents{0};
     std::size_t pos = 0;
+    std::size_t line_start = 0;
     int line = 0;
 
-    auto emit = [&](Tok kind, std::string text = {}, long value = 0) {
-        tokens.push_back(Token{kind, std::move(text), value, line});
+    // Columns are 1-based character offsets from the line start (a
+    // tab counts as one character, matching what an editor's column
+    // indicator shows for the raw byte offset).
+    auto colOf = [&](std::size_t at) {
+        return static_cast<int>(at - line_start) + 1;
+    };
+    auto emit = [&](Tok kind, std::size_t at, std::string text = {},
+                    long value = 0) {
+        tokens.push_back(
+            Token{kind, std::move(text), value, line, colOf(at)});
     };
 
     while (pos < source.size()) {
         ++line;
+        line_start = pos;
         // Measure indentation of this line.
         int indent = 0;
         while (pos < source.size() &&
@@ -106,14 +116,14 @@ lex(const std::string &source)
         // Indentation bookkeeping.
         if (indent > indents.back()) {
             indents.push_back(indent);
-            emit(Tok::Indent);
+            emit(Tok::Indent, pos);
         } else {
             while (indent < indents.back()) {
                 indents.pop_back();
-                emit(Tok::Dedent);
+                emit(Tok::Dedent, pos);
             }
-            fatalIf(indent != indents.back(), "line ", line,
-                    ": inconsistent indentation");
+            fatalIf(indent != indents.back(), "line ", line, ":",
+                    colOf(pos), ": inconsistent indentation");
         }
 
         // Tokenize the line content.
@@ -125,6 +135,7 @@ lex(const std::string &source)
                 continue;
             }
             if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+                std::size_t start = i;
                 std::string name;
                 while (i < content_end &&
                        (std::isalnum(
@@ -133,18 +144,19 @@ lex(const std::string &source)
                     name += source[i++];
                 auto it = kKeywords.find(name);
                 if (it != kKeywords.end())
-                    emit(it->second, name);
+                    emit(it->second, start, name);
                 else
-                    emit(Tok::Name, name);
+                    emit(Tok::Name, start, name);
                 continue;
             }
             if (std::isdigit(static_cast<unsigned char>(c))) {
+                std::size_t start = i;
                 std::string digits;
                 while (i < content_end &&
                        std::isdigit(
                            static_cast<unsigned char>(source[i])))
                     digits += source[i++];
-                emit(Tok::Number, digits, std::stol(digits));
+                emit(Tok::Number, start, digits, std::stol(digits));
                 continue;
             }
             auto two = [&](char second) {
@@ -153,61 +165,62 @@ lex(const std::string &source)
             switch (c) {
               case ':':
                 if (two('=')) {
-                    emit(Tok::Assign);
+                    emit(Tok::Assign, i);
                     i += 2;
                 } else {
-                    emit(Tok::Colon);
+                    emit(Tok::Colon, i);
                     ++i;
                 }
                 continue;
               case '<':
                 if (two('>')) {
-                    emit(Tok::Neq);
+                    emit(Tok::Neq, i);
                     i += 2;
                 } else if (two('=')) {
-                    emit(Tok::Le);
+                    emit(Tok::Le, i);
                     i += 2;
                 } else {
-                    emit(Tok::Lt);
+                    emit(Tok::Lt, i);
                     ++i;
                 }
                 continue;
               case '>':
                 if (two('=')) {
-                    emit(Tok::Ge);
+                    emit(Tok::Ge, i);
                     i += 2;
                 } else {
-                    emit(Tok::Gt);
+                    emit(Tok::Gt, i);
                     ++i;
                 }
                 continue;
-              case '?': emit(Tok::Query); ++i; continue;
-              case '!': emit(Tok::Bang); ++i; continue;
-              case ',': emit(Tok::Comma); ++i; continue;
-              case '(': emit(Tok::LParen); ++i; continue;
-              case ')': emit(Tok::RParen); ++i; continue;
-              case '[': emit(Tok::LBracket); ++i; continue;
-              case ']': emit(Tok::RBracket); ++i; continue;
-              case '=': emit(Tok::Eq); ++i; continue;
-              case '+': emit(Tok::Plus); ++i; continue;
-              case '-': emit(Tok::Minus); ++i; continue;
-              case '*': emit(Tok::Star); ++i; continue;
-              case '/': emit(Tok::Slash); ++i; continue;
-              case '\\': emit(Tok::Backslash); ++i; continue;
+              case '?': emit(Tok::Query, i); ++i; continue;
+              case '!': emit(Tok::Bang, i); ++i; continue;
+              case ',': emit(Tok::Comma, i); ++i; continue;
+              case '(': emit(Tok::LParen, i); ++i; continue;
+              case ')': emit(Tok::RParen, i); ++i; continue;
+              case '[': emit(Tok::LBracket, i); ++i; continue;
+              case ']': emit(Tok::RBracket, i); ++i; continue;
+              case '=': emit(Tok::Eq, i); ++i; continue;
+              case '+': emit(Tok::Plus, i); ++i; continue;
+              case '-': emit(Tok::Minus, i); ++i; continue;
+              case '*': emit(Tok::Star, i); ++i; continue;
+              case '/': emit(Tok::Slash, i); ++i; continue;
+              case '\\': emit(Tok::Backslash, i); ++i; continue;
               default:
-                fatal("line ", line, ": unexpected character '", c, "'");
+                fatal("line ", line, ":", colOf(i),
+                      ": unexpected character '", c, "'");
             }
         }
-        emit(Tok::Newline);
+        emit(Tok::Newline, i);
         pos = line_end < source.size() ? line_end + 1 : line_end;
     }
     // Close all open blocks.
     ++line;
     while (indents.size() > 1) {
         indents.pop_back();
-        tokens.push_back(Token{Tok::Dedent, {}, 0, line});
+        tokens.push_back(Token{Tok::Dedent, {}, 0, line, 1});
     }
-    tokens.push_back(Token{Tok::EndOfFile, {}, 0, line});
+    tokens.push_back(Token{Tok::EndOfFile, {}, 0, line, 1});
     return tokens;
 }
 

@@ -47,9 +47,10 @@ struct Token
     std::string text;  ///< Name or number spelling.
     long value = 0;    ///< Numeric value for Number.
     int line = 0;
+    int col = 0;       ///< 1-based column of the token's first char.
 };
 
-/** Tokenize @p source; throws FatalError with line numbers on errors. */
+/** Tokenize @p source; throws FatalError with line:col on errors. */
 std::vector<Token> lex(const std::string &source);
 
 /** Human-readable token kind (for diagnostics). */

@@ -49,8 +49,9 @@ class Parser
     const Token &
     expect(Tok kind)
     {
-        fatalIf(peek().kind != kind, "line ", peek().line, ": expected ",
-                tokName(kind), ", found ", tokName(peek().kind));
+        fatalIf(peek().kind != kind, "line ", peek().line, ":",
+                peek().col, ": expected ", tokName(kind), ", found ",
+                tokName(peek().kind));
         return take();
     }
 
@@ -194,8 +195,8 @@ class Parser
             return makeVar(tok.text, tok.line);
           }
           default:
-            fatal("line ", tok.line, ": expected expression, found ",
-                  tokName(tok.kind));
+            fatal("line ", tok.line, ":", tok.col,
+                  ": expected expression, found ", tokName(tok.kind));
         }
     }
 
@@ -277,7 +278,8 @@ class Parser
                     if (accept(Tok::LBracket)) {
                         expect(Tok::RBracket);
                         param.isArray = true;
-                        fatalIf(param.byValue, "line ", name.line,
+                        fatalIf(param.byValue, "line ", name.line, ":",
+                                name.col,
                                 ": array parameters must be var");
                     }
                     d.params.push_back(std::move(param));
@@ -434,8 +436,8 @@ class Parser
           case Tok::Name:
             return parseNameInitiated();
           default:
-            fatal("line ", tok.line, ": expected a process, found ",
-                  tokName(tok.kind));
+            fatal("line ", tok.line, ":", tok.col,
+                  ": expected a process, found ", tokName(tok.kind));
         }
     }
 
@@ -505,7 +507,7 @@ class Parser
             endLine();
             return node;
         }
-        fatal("line ", name.line,
+        fatal("line ", name.line, ":", name.col,
               ": expected ':=', '?', '!', or '(' after '", name.text,
               "'");
     }

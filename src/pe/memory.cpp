@@ -28,6 +28,8 @@ void
 Memory::writeWord(Addr addr, Word value)
 {
     checkWord(addr);
+    if (undo_)
+        undo_->record(addr, readWord(addr), /*byte=*/false);
     bytes_[addr] = static_cast<std::uint8_t>(value);
     bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
     bytes_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
@@ -47,7 +49,38 @@ Memory::writeByte(Addr addr, std::uint8_t value)
 {
     fatalIf(static_cast<std::size_t>(addr) >= bytes_.size(),
             "byte access out of bounds at ", addr);
+    if (undo_)
+        undo_->record(addr, bytes_[addr], /*byte=*/true);
     bytes_[addr] = value;
+}
+
+void
+Memory::applyUndo(const UndoLog &undo)
+{
+    panicIf(undo.overflowed, "applying an overflowed undo log");
+    for (auto it = undo.entries.rbegin(); it != undo.entries.rend();
+         ++it) {
+        if (it->byte)
+            bytes_[it->addr] = static_cast<std::uint8_t>(it->old);
+        else {
+            checkWord(it->addr);
+            bytes_[it->addr] = static_cast<std::uint8_t>(it->old);
+            bytes_[it->addr + 1] =
+                static_cast<std::uint8_t>(it->old >> 8);
+            bytes_[it->addr + 2] =
+                static_cast<std::uint8_t>(it->old >> 16);
+            bytes_[it->addr + 3] =
+                static_cast<std::uint8_t>(it->old >> 24);
+        }
+    }
+}
+
+void
+Memory::restoreBytes(const std::vector<std::uint8_t> &bytes)
+{
+    panicIf(bytes.size() != bytes_.size(),
+            "memory snapshot size mismatch");
+    bytes_ = bytes;
 }
 
 } // namespace qm::pe

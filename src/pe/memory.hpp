@@ -20,6 +20,48 @@ namespace qm::pe {
 using isa::Addr;
 using isa::Word;
 
+/**
+ * Bounded store undo log for span restart (see DESIGN.md "Recoverable
+ * execution"). While attached to a Memory, every write records the
+ * value it overwrote; applying the log in reverse restores memory to
+ * the state at the moment the log was cleared. Exceeding the bound
+ * marks the log overflowed, which forbids restarting the span (the
+ * checkpoint path takes over) but keeps memory use bounded.
+ */
+struct UndoLog
+{
+    struct Entry
+    {
+        Addr addr = 0;
+        Word old = 0;
+        bool byte = false;
+    };
+
+    std::vector<Entry> entries;
+    std::size_t cap = 1u << 18;
+    bool overflowed = false;
+
+    void
+    clear()
+    {
+        entries.clear();
+        overflowed = false;
+    }
+
+    void
+    record(Addr addr, Word old, bool byte)
+    {
+        if (overflowed)
+            return;
+        if (entries.size() >= cap) {
+            overflowed = true;
+            entries.clear();  // unusable for restart; free the memory
+            return;
+        }
+        entries.push_back({addr, old, byte});
+    }
+};
+
 /** Flat byte-addressable memory with checked word/byte access. */
 class Memory
 {
@@ -33,10 +75,27 @@ class Memory
     std::uint8_t readByte(Addr addr) const;
     void writeByte(Addr addr, std::uint8_t value);
 
+    /**
+     * Attach (or detach with nullptr) an undo log recording the old
+     * value of every subsequent write. The simulation is single-
+     * threaded, so the System points this at the stepping PE's span
+     * log; with no recovery plan it stays null and writes behave
+     * exactly as before.
+     */
+    void setUndoLog(UndoLog *undo) { undo_ = undo; }
+
+    /** Roll back every write recorded in @p undo (reverse order). */
+    void applyUndo(const UndoLog &undo);
+
+    /** Whole-memory snapshot support (System checkpoints). */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    void restoreBytes(const std::vector<std::uint8_t> &bytes);
+
   private:
     void checkWord(Addr addr) const;
 
     std::vector<std::uint8_t> bytes_;
+    UndoLog *undo_ = nullptr;
 };
 
 } // namespace qm::pe

@@ -68,6 +68,7 @@ ProcessingElement::loadContext(const ContextState &state)
     qp_ = state.qp;
     pom_ = state.pom;
     nar_ = state.nar;
+    lastResult_ = state.lastResult;
     for (int i = 0; i < 11; ++i)
         globals_[static_cast<size_t>(17 + i - 16)] =
             state.generals[static_cast<size_t>(i)];
@@ -83,6 +84,7 @@ ProcessingElement::saveContext()
     state.qp = qp_;
     state.pom = pom_;
     state.nar = nar_;
+    state.lastResult = lastResult_;
     for (int i = 0; i < 11; ++i)
         state.generals[static_cast<size_t>(i)] =
             globals_[static_cast<size_t>(17 + i - 16)];

@@ -114,6 +114,12 @@ struct ContextState
     Word qp = 0;
     Word pom = 0xF0;  ///< Default: 16-word pages... see defaultPom().
     Word nar = 0;
+    /**
+     * Last produced value (feeds dup). Architectural: a context may be
+     * preempted at any instruction boundary (checkpoint quiesce), and
+     * a dup after resume must still see its producer's result.
+     */
+    Word lastResult = 0;
     std::array<Word, 11> generals{};  ///< R17..R27.
 };
 

@@ -51,6 +51,34 @@ writeBenchJson(const std::string &bench,
                 json.key("faults_injected").value(run.faultsInjected);
             if (run.faultRecoveries > 0)
                 json.key("fault_recoveries").value(run.faultRecoveries);
+            if (run.recovered)
+                json.key("recovered").value(true);
+            if (run.replays > 0)
+                json.key("replays").value(run.replays);
+            // Per-kind breakdown, only for kinds that actually fired.
+            bool any_kind = false;
+            for (const auto &kc : run.faultKinds)
+                if (kc.injected > 0 || kc.detected > 0 ||
+                    kc.recovered > 0)
+                    any_kind = true;
+            if (any_kind) {
+                json.key("faults").beginObject();
+                for (std::size_t k = 0; k < run.faultKinds.size();
+                     ++k) {
+                    const auto &kc = run.faultKinds[k];
+                    if (kc.injected == 0 && kc.detected == 0 &&
+                        kc.recovered == 0)
+                        continue;
+                    json.key(fault::toString(
+                                 static_cast<fault::FaultKind>(1u << k)))
+                        .beginObject()
+                        .key("injected").value(kc.injected)
+                        .key("detected").value(kc.detected)
+                        .key("recovered").value(kc.recovered)
+                        .endObject();
+                }
+                json.endObject();
+            }
             if (run.cycles > 0 && !s.runs.empty() &&
                 s.runs.front().cycles > 0)
                 json.key("throughput_ratio").value(s.ratio(i));

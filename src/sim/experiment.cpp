@@ -34,6 +34,19 @@ runOnce(const occam::CompiledProgram &program,
     mp::RunResult result;
     try {
         result = system.run(program.mainLabel);
+        // Bounded retry-from-checkpoint: a structured failure under an
+        // enabled recovery plan rolls the machine back to its last
+        // snapshot and re-drives it (the injector draws a fresh
+        // deterministic fault schedule each replay, so this is not a
+        // futile re-execution of the same loss).
+        while (!result.completed && config.recovery.enabled &&
+               system.replayable() && system.canRestore() &&
+               report.replays < config.recovery.maxReplays) {
+            system.restore();
+            ++report.replays;
+            result = system.resume();
+        }
+        report.recovered = result.completed && report.replays > 0;
     } catch (const FatalError &e) {
         // A run that dies (e.g. kernel deadlock panic) still yields a
         // report row: the sweep survives and records the failure.
@@ -58,6 +71,7 @@ runOnce(const occam::CompiledProgram &program,
     report.failureReason = result.failureReason;
     report.faultsInjected = result.faultsInjected;
     report.faultRecoveries = result.faultRecoveries;
+    report.faultKinds = result.faultKinds;
     report.verified = result.completed;
     if (report.verified && !expected.empty()) {
         isa::Addr base = program.arrayAddress(result_array);

@@ -8,6 +8,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -44,6 +45,16 @@ struct RunReport
     std::string failureReason;  ///< Empty unless the run failed.
     std::uint64_t faultsInjected = 0;
     std::uint64_t faultRecoveries = 0;
+
+    // Recovery reporting (see mp::SystemConfig::recovery): a failed
+    // run may be replayed from the last checkpoint up to
+    // RecoveryPlan::maxReplays times; `recovered` marks a run that
+    // completed only thanks to at least one such replay.
+    bool recovered = false;
+    int replays = 0;            ///< Checkpoint replays consumed.
+    /** Per-kind injected/detected/recovered (FaultKind bit order). */
+    std::array<mp::RunResult::FaultKindCounts, fault::kNumFaultKinds>
+        faultKinds{};
 };
 
 /** One benchmark swept over PE counts. */

@@ -195,6 +195,33 @@ class Tracer
     const std::vector<Event> &events() const { return events_; }
     std::size_t dropped() const { return dropped_; }
 
+    /**
+     * Rewind support for checkpoint restore (mp::System): a mark
+     * captures the recorder position, and rewinding to it discards
+     * every event recorded since, so a replayed run's trace does not
+     * contain the abandoned timeline.
+     */
+    struct Mark
+    {
+        std::size_t events = 0;
+        std::size_t dropped = 0;
+        std::array<std::size_t, kEventKinds> kindCounts{};
+    };
+
+    Mark
+    mark() const
+    {
+        return {events_.size(), dropped_, kindCounts_};
+    }
+
+    void
+    rewind(const Mark &mark)
+    {
+        events_.resize(mark.events);
+        dropped_ = mark.dropped;
+        kindCounts_ = mark.kindCounts;
+    }
+
     /** Number of recorded events of @p kind. */
     std::size_t
     countOf(EventKind kind) const

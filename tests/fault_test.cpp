@@ -69,6 +69,28 @@ TEST(FaultPlanParse, FullSpecRoundTripsThroughToString)
 TEST(FaultPlanParse, KindsAllEnablesEverything)
 {
     EXPECT_EQ(parseFaultPlan("kinds=all").kinds, kAllKinds);
+    // "all" covers the stochastic kinds only: a fail-stop needs an
+    // explicit schedule (killat), so pekill stays out of the mask.
+    EXPECT_EQ(parseFaultPlan("kinds=all").kinds & kPeKill, 0u);
+}
+
+TEST(FaultPlanParse, KillAtImpliesPeKillAndRoundTrips)
+{
+    FaultPlan plan = parseFaultPlan("seed=1,killat=750,killpe=2");
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_NE(plan.kinds & kPeKill, 0u);
+    EXPECT_EQ(plan.killAt, 750);
+    EXPECT_EQ(plan.killPe, 2);
+
+    FaultPlan again = parseFaultPlan(toString(plan));
+    EXPECT_EQ(again.kinds, plan.kinds);
+    EXPECT_EQ(again.killAt, plan.killAt);
+    EXPECT_EQ(again.killPe, plan.killPe);
+
+    // Naming the kind without a schedule gets the default kill time.
+    FaultPlan defaulted = parseFaultPlan("seed=1,kinds=pekill");
+    EXPECT_NE(defaulted.kinds & kPeKill, 0u);
+    EXPECT_GT(defaulted.killAt, 0);
 }
 
 TEST(FaultPlanParse, RejectsMalformedSpecs)
@@ -169,18 +191,31 @@ const char *kForkAddProgram =
 
 mp::RunResult
 runForkAdd(const fault::FaultPlan &plan, int pes,
-           bool trace = false, mp::System **system_out = nullptr)
+           bool trace = false, mp::System **system_out = nullptr,
+           const fault::RecoveryPlan &recovery = {})
 {
     static isa::ObjectCode code = isa::assemble(kForkAddProgram);
     mp::SystemConfig config;
     config.numPes = pes;
     config.faultPlan = plan;
+    config.recovery = recovery;
     config.traceConfig.enabled = trace;
     static std::unique_ptr<mp::System> keep;
     keep = std::make_unique<mp::System>(code, config);
     if (system_out)
         *system_out = keep.get();
-    return keep->run("main");
+    mp::RunResult result = keep->run("main");
+    // The bounded retry-from-checkpoint loop every recovery-aware
+    // driver (sim::runOnce, occamc) wraps around System::run.
+    int replays = 0;
+    while (!result.completed && recovery.enabled &&
+           keep->replayable() && keep->canRestore() &&
+           replays < recovery.maxReplays) {
+        keep->restore();
+        ++replays;
+        result = keep->resume();
+    }
+    return result;
 }
 
 TEST(FaultSystem, WatchdogConvertsCertainLossIntoCleanFailure)
@@ -195,7 +230,14 @@ TEST(FaultSystem, WatchdogConvertsCertainLossIntoCleanFailure)
     EXPECT_TRUE(result.watchdogTripped);
     EXPECT_FALSE(result.failureReason.empty());
     EXPECT_GE(result.faultsInjected, 1u);
-    EXPECT_GE(result.faultRecoveries, 1u);  // the bounded retries
+    // At rate=1.0 every retry drops too, so nothing is ever delivered:
+    // the drops are all detected but none recovered (faultRecoveries
+    // counts real end-to-end recoveries, not retry attempts).
+    EXPECT_EQ(result.faultRecoveries, 0u);
+    const auto &drop = result.faultKinds[0];  // kBusDrop = bit 0
+    EXPECT_GE(drop.injected, 1u);
+    EXPECT_GE(drop.detected, 1u);
+    EXPECT_EQ(drop.recovered, 0u);
 }
 
 TEST(FaultSystem, CorruptionIsDetectedAndReported)
@@ -313,6 +355,15 @@ expectReportsEqual(const sim::RunReport &a, const sim::RunReport &b,
     EXPECT_EQ(a.failureReason, b.failureReason) << label;
     EXPECT_EQ(a.faultsInjected, b.faultsInjected) << label;
     EXPECT_EQ(a.faultRecoveries, b.faultRecoveries) << label;
+    EXPECT_EQ(a.recovered, b.recovered) << label;
+    EXPECT_EQ(a.replays, b.replays) << label;
+    for (int k = 0; k < fault::kNumFaultKinds; ++k) {
+        const auto &ka = a.faultKinds[static_cast<std::size_t>(k)];
+        const auto &kb = b.faultKinds[static_cast<std::size_t>(k)];
+        EXPECT_EQ(ka.injected, kb.injected) << label << " kind " << k;
+        EXPECT_EQ(ka.detected, kb.detected) << label << " kind " << k;
+        EXPECT_EQ(ka.recovered, kb.recovered) << label << " kind " << k;
+    }
 }
 
 TEST(FaultChaos, ScheduleIsIndependentOfJobCount)
@@ -381,6 +432,262 @@ TEST(FaultChaos, RunAllSurvivesFailingRuns)
     EXPECT_FALSE(reports[1].completed);
     EXPECT_FALSE(reports[1].verified);
     EXPECT_FALSE(reports[1].failureReason.empty());
+}
+
+// ---------------------------------------------------------------------
+// The recovery layer (RecoveryPlan): reliable delivery, heal, dedup,
+// fail-stop restart, and checkpoint replay.
+
+constexpr std::size_t kDropIdx = 0;     // kBusDrop    = 1u << 0
+constexpr std::size_t kDupIdx = 1;      // kBusDup     = 1u << 1
+constexpr std::size_t kCorruptIdx = 3;  // kCacheCorrupt = 1u << 3
+constexpr std::size_t kPeKillIdx = 5;   // kPeKill     = 1u << 5
+
+TEST(FaultRecovery, ResendsThroughHeavyLoss)
+{
+    // Heavy loss beyond the link retry bound starves the baseline;
+    // with recovery the end-to-end ack/retransmit keeps resending
+    // until the token lands, and the run completes exactly.
+    FaultPlan plan = parseFaultPlan("seed=11,rate=0.85,kinds=drop,"
+                                    "retries=1");
+    mp::RunResult baseline = runForkAdd(plan, 2);
+    EXPECT_FALSE(baseline.completed);
+    EXPECT_TRUE(baseline.watchdogTripped);
+
+    RecoveryPlan recovery;
+    recovery.enabled = true;
+    mp::System *system = nullptr;
+    mp::RunResult result =
+        runForkAdd(plan, 2, false, &system, recovery);
+    ASSERT_TRUE(result.completed) << result.failureReason;
+    EXPECT_EQ(system->memory().readWord(mp::kDataBase), 42u);
+    const auto &drop = result.faultKinds[kDropIdx];
+    EXPECT_GE(drop.detected, 1u);
+    EXPECT_GE(drop.recovered, 1u);
+    EXPECT_GE(result.faultRecoveries, drop.recovered);
+}
+
+TEST(FaultRecovery, HealsEveryCorruptToken)
+{
+    // rate=1.0 corrupts every token in the cache. The baseline dies on
+    // the first checksum mismatch; with recovery each receive heals
+    // from the sender's pristine copy and the sum is exact.
+    FaultPlan plan = parseFaultPlan("seed=2,rate=1.0,kinds=corrupt");
+    mp::RunResult baseline = runForkAdd(plan, 1);
+    EXPECT_FALSE(baseline.completed);
+
+    RecoveryPlan recovery;
+    recovery.enabled = true;
+    mp::System *system = nullptr;
+    mp::RunResult result =
+        runForkAdd(plan, 1, false, &system, recovery);
+    ASSERT_TRUE(result.completed) << result.failureReason;
+    EXPECT_EQ(system->memory().readWord(mp::kDataBase), 42u);
+    const auto &corrupt = result.faultKinds[kCorruptIdx];
+    EXPECT_GE(corrupt.detected, 3u);  // three rendezvous values
+    EXPECT_EQ(corrupt.detected, corrupt.recovered);
+}
+
+TEST(FaultRecovery, RejectsDuplicateTokensBySequence)
+{
+    // rate=1.0 duplicates every bus delivery. The baseline survives
+    // only because deliveries are idempotent by construction (a
+    // structural accident of the wake protocol); the recovery layer
+    // additionally duplicates cache deposits and rejects each one by
+    // sequence number, turning idempotence into a checked protocol
+    // property with explicit detect/recover accounting.
+    FaultPlan plan = parseFaultPlan("seed=6,rate=1.0,kinds=dup");
+    mp::RunResult baseline = runForkAdd(plan, 2);
+    EXPECT_GE(baseline.faultsInjected, 1u);
+    EXPECT_EQ(baseline.faultKinds[kDupIdx].detected, 0u)
+        << "baseline has no dedup protocol, nothing to detect";
+
+    RecoveryPlan recovery;
+    recovery.enabled = true;
+    mp::System *system = nullptr;
+    mp::RunResult result =
+        runForkAdd(plan, 2, false, &system, recovery);
+    ASSERT_TRUE(result.completed) << result.failureReason;
+    EXPECT_EQ(system->memory().readWord(mp::kDataBase), 42u);
+    const auto &dup = result.faultKinds[kDupIdx];
+    EXPECT_GE(dup.detected, 1u);
+    EXPECT_EQ(dup.detected, dup.recovered);
+}
+
+TEST(FaultRecovery, RestartsSpansAcrossPeFailStop)
+{
+    // Kill each PE in turn at a sweep of cycles inside the ~61-cycle
+    // run. Whenever the fail-stop strands the baseline, the lease
+    // detector must re-home the dead PE's contexts and the span
+    // restart must reproduce the exact sum; kills of an idle or
+    // already-drained PE are absorbed without needing detection.
+    RecoveryPlan recovery;
+    recovery.enabled = true;
+    int baseline_failures = 0;
+    for (int kill_pe = 0; kill_pe < 4; ++kill_pe) {
+        for (Cycle kill_at : {10, 20, 30, 40, 50}) {
+            FaultPlan plan = parseFaultPlan(
+                "seed=1,killat=" + std::to_string(kill_at) +
+                ",killpe=" + std::to_string(kill_pe));
+            std::string label = "killpe=" + std::to_string(kill_pe) +
+                                " killat=" + std::to_string(kill_at);
+            mp::RunResult baseline = runForkAdd(plan, 4);
+            mp::System *system = nullptr;
+            mp::RunResult result =
+                runForkAdd(plan, 4, false, &system, recovery);
+            ASSERT_TRUE(result.completed)
+                << label << ": " << result.failureReason;
+            EXPECT_EQ(system->memory().readWord(mp::kDataBase), 42u)
+                << label;
+            if (!baseline.completed) {
+                ++baseline_failures;
+                EXPECT_EQ(result.faultKinds[kPeKillIdx].detected, 1u)
+                    << label;
+            }
+        }
+    }
+    // The sweep must actually exercise recovery, not just absorb
+    // harmless kills.
+    EXPECT_GE(baseline_failures, 5);
+}
+
+TEST(FaultRecovery, FailStopWithoutRecoveryIsACleanFailure)
+{
+    // Killing the main context's PE mid-run strands the rendezvous;
+    // without recovery this must surface as a watchdog-style clean
+    // failure, never a hang or a wrong answer.
+    FaultPlan plan = parseFaultPlan("seed=1,killat=20,killpe=0");
+    mp::RunResult result = runForkAdd(plan, 4);
+    EXPECT_FALSE(result.completed);
+    EXPECT_TRUE(result.watchdogTripped);
+    EXPECT_FALSE(result.failureReason.empty());
+}
+
+TEST(FaultRecovery, ChaosWithCheckpointsCompletesExactly)
+{
+    // The full storm - loss, duplication, corruption, and a fail-stop
+    // - over periodic checkpoints: every benchmark must still produce
+    // the exact reference result.
+    mp::SystemConfig config;
+    config.faultPlan = parseFaultPlan(
+        "seed=5,rate=0.5,kinds=drop+dup+corrupt,retries=1,killat=1000");
+    config.recovery.enabled = true;
+    config.recovery.checkpointEvery = 500;
+    for (const programs::Benchmark &bench :
+         programs::thesisBenchmarks()) {
+        occam::CompiledProgram program =
+            occam::compileOccam(bench.source);
+        sim::RunReport report = sim::runOnce(
+            program, bench.resultArray, bench.expected, 4, config);
+        EXPECT_TRUE(report.completed)
+            << bench.name << ": " << report.failureReason;
+        EXPECT_TRUE(report.verified) << bench.name;
+    }
+}
+
+TEST(FaultRecovery, RecoveredRunsAreDeterministic)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    mp::SystemConfig config;
+    config.faultPlan = parseFaultPlan(
+        "seed=5,rate=0.5,kinds=drop+dup+corrupt,retries=1,killat=800");
+    config.recovery.enabled = true;
+    config.recovery.checkpointEvery = 400;
+    sim::RunReport first = sim::runOnce(
+        program, bench.resultArray, bench.expected, 4, config);
+    sim::RunReport second = sim::runOnce(
+        program, bench.resultArray, bench.expected, 4, config);
+    EXPECT_TRUE(first.verified) << first.failureReason;
+    expectReportsEqual(first, second, "repeat recovered run");
+}
+
+TEST(FaultRecovery, RecoveredScheduleIsIndependentOfJobCount)
+{
+    // The acceptance bar for sweeps: a faulty run that needed the
+    // recovery layer reports byte-identical rows for any --jobs.
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    mp::SystemConfig config;
+    config.faultPlan = parseFaultPlan(
+        "seed=7,rate=0.5,kinds=drop+dup+corrupt,retries=1,killat=900");
+    config.recovery.enabled = true;
+    config.recovery.checkpointEvery = 600;
+    std::vector<sim::RunSpec> specs;
+    for (int pes : {2, 4, 8}) {
+        sim::RunSpec spec;
+        spec.program = &program;
+        spec.resultArray = bench.resultArray;
+        spec.expected = bench.expected;
+        spec.pes = pes;
+        spec.config = config;
+        specs.push_back(std::move(spec));
+    }
+    std::vector<sim::RunReport> serial = sim::runAll(specs, 1);
+    std::vector<sim::RunReport> parallel = sim::runAll(specs, 3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        expectReportsEqual(serial[i], parallel[i],
+                           "pes=" + std::to_string(serial[i].pes));
+        EXPECT_TRUE(serial[i].verified) << serial[i].failureReason;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The pinned recovery corpus: specs that fail with watchdogTripped on
+// the detect-and-fail baseline and must complete exactly under
+// recovery. CI soaks exactly this list under ASan+UBSan
+// (--gtest_filter=FaultRecovery.PinnedCorpus*).
+
+const char *const kRecoveryCorpus[] = {
+    "seed=3,rate=0.5,kinds=drop,retries=1",
+    "seed=9,rate=0.6,kinds=drop,retries=0",
+    "seed=17,rate=0.7,kinds=drop,retries=1",
+    "seed=4,rate=0.5,kinds=drop+dup,retries=1",
+    "seed=12,rate=0.6,kinds=drop+dup,retries=0",
+    "seed=33,rate=0.7,kinds=drop+corrupt,retries=0",
+    "seed=21,rate=0.8,kinds=drop+dup+corrupt,retries=0",
+    "seed=8,rate=0.7,kinds=drop+dup+corrupt,retries=0,killat=900",
+    "seed=2,killat=600,killpe=0",
+    "seed=13,killat=1200,killpe=2",
+    "seed=30,rate=0.4,kinds=drop,retries=0,killat=700",
+    "seed=42,rate=0.5,kinds=drop+dup,retries=1,killat=1100",
+};
+
+TEST(FaultRecovery, PinnedCorpusFailsOnBaseline)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    for (const char *spec : kRecoveryCorpus) {
+        mp::SystemConfig config;
+        config.faultPlan = parseFaultPlan(spec);
+        config.watchdogCycles = 200'000;
+        sim::RunReport report = sim::runOnce(
+            program, bench.resultArray, bench.expected, 4, config);
+        EXPECT_FALSE(report.completed) << spec;
+        EXPECT_TRUE(report.watchdogTripped) << spec;
+    }
+}
+
+TEST(FaultRecovery, PinnedCorpusRecoversExactly)
+{
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    for (const char *spec : kRecoveryCorpus) {
+        mp::SystemConfig config;
+        config.faultPlan = parseFaultPlan(spec);
+        config.recovery.enabled = true;
+        config.recovery.checkpointEvery = 500;
+        // The heaviest corpus entries lose >70% of deliveries with no
+        // link retries; give the end-to-end retransmitter enough
+        // attempts that per-token loss is negligible (0.8^65 ~ 5e-7).
+        config.recovery.maxResends = 64;
+        sim::RunReport report = sim::runOnce(
+            program, bench.resultArray, bench.expected, 4, config);
+        EXPECT_TRUE(report.completed)
+            << spec << ": " << report.failureReason;
+        EXPECT_TRUE(report.verified) << spec;
+    }
 }
 
 TEST(FaultChaos, EveryBenchmarkCompletesCorrectOrFailsCleanly)

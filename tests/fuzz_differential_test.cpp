@@ -299,4 +299,83 @@ TEST_P(FuzzFaultDifferentialTest, FaultyRunAgreesOrFailsCleanly)
 INSTANTIATE_TEST_SUITE_P(FaultCorpus, FuzzFaultDifferentialTest,
                          ::testing::Range(0, fuzzIters(40)));
 
+class FuzzRecoveryDifferentialTest
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzRecoveryDifferentialTest, RecoveredRunAgreesExactly)
+{
+    // A third corpus under a much harsher fault mix (loss beyond the
+    // link retry bound, duplication, corruption, and a periodic
+    // fail-stop), but with the recovery layer on: end-to-end
+    // retransmission, seq dedup, checksum heal, span restart, and
+    // bounded checkpoint replay. The bar is the same as the fault-free
+    // corpus - exact agreement with the abstract interpreter - with a
+    // structured failure as the only acceptable degraded outcome.
+    ProgramGen gen(0xF00D + static_cast<std::uint64_t>(GetParam()) *
+                               0x9E37);
+    std::string source = gen.generate();
+    SCOPED_TRACE(source);
+
+    Program ast = parse(source);
+    SymbolTable table = analyze(ast);
+    Ift ift = Ift::build(ast, table);
+    ContextProgram contexts = buildContextGraphs(ast, table, ift);
+
+    isa::Addr base = 0;
+    for (const auto &[sym, addr] : contexts.dataAddress)
+        if (table.symbol(sym).name == "res")
+            base = addr;
+    ASSERT_NE(base, 0u);
+
+    GraphInterpreter interp(contexts);
+    ASSERT_TRUE(interp.run().completed);
+
+    isa::ObjectCode object = isa::assemble(generateAssembly(contexts));
+    mp::SystemConfig config;
+    config.numPes = 1 + GetParam() % 4;
+    fault::FaultPlan plan;
+    plan.seed = 0x5EC0 + static_cast<std::uint64_t>(GetParam());
+    plan.rate = 0.25;
+    plan.kinds =
+        fault::kBusDrop | fault::kBusDup | fault::kCacheCorrupt;
+    plan.maxRetries = 1;
+    if (GetParam() % 3 == 0) {
+        plan.kinds |= fault::kPeKill;
+        plan.killAt = 200;
+        plan.killPe = GetParam() % 4;
+    }
+    config.faultPlan = plan;
+    config.watchdogCycles = 200'000;
+    config.recovery.enabled = true;
+    config.recovery.checkpointEvery = 300;
+    mp::System system(object, config);
+    mp::RunResult result = system.run(contexts.mainLabel);
+    int replays = 0;
+    while (!result.completed && system.replayable() &&
+           system.canRestore() &&
+           replays < config.recovery.maxReplays) {
+        system.restore();
+        ++replays;
+        result = system.resume();
+    }
+
+    if (!result.completed) {
+        EXPECT_FALSE(result.failureReason.empty());
+        return;
+    }
+    for (int i = 0; i < 8; ++i) {
+        auto abstract = static_cast<std::int32_t>(
+            interp.readWord(base + static_cast<isa::Addr>(i) * 4));
+        auto machine = static_cast<std::int32_t>(
+            system.memory().readWord(base +
+                                     static_cast<isa::Addr>(i) * 4));
+        ASSERT_EQ(abstract, machine) << "res[" << i << "]";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RecoveryCorpus, FuzzRecoveryDifferentialTest,
+                         ::testing::Range(0, fuzzIters(40)));
+
 } // namespace

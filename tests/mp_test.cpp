@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "isa/assembler.hpp"
@@ -55,6 +56,79 @@ TEST(RingBus, DisjointPartitionsProceedConcurrently)
     Cycle a = bus.transfer(0, 1, 0);
     Cycle b = bus.transfer(2, 3, 0);
     EXPECT_EQ(a, b);  // no shared partition, no serialization
+}
+
+TEST(RingBus, ZeroRetryBudgetLosesOnTheFirstDrop)
+{
+    // maxRetries=0: a single dropped transfer exhausts the link layer
+    // immediately - one attempt, no retry, no backoff charged.
+    fault::FaultPlan plan =
+        fault::parseFaultPlan("seed=1,rate=1.0,kinds=drop");
+    plan.maxRetries = 0;
+    fault::FaultInjector faults(plan);
+    RingBus bus({4, 2, 4, 2});
+    bus.setFaultInjector(&faults);
+    BusDelivery d = bus.deliver(0, 2, 0);
+    EXPECT_FALSE(d.delivered);
+    EXPECT_EQ(d.attempts, 1);
+    EXPECT_EQ(bus.stats().counter("fault.bus_drop"), 1u);
+    EXPECT_EQ(bus.stats().counter("fault.bus_retry"), 0u);
+    EXPECT_EQ(bus.stats().counter("fault.bus_backoff_cycles"), 0u);
+    EXPECT_EQ(bus.stats().counter("fault.bus_lost"), 1u);
+}
+
+TEST(RingBus, CanSucceedExactlyAtTheLastAllowedAttempt)
+{
+    // Scan seeds for a delivery whose first maxRetries attempts all
+    // drop and whose final allowed attempt lands: the boundary where
+    // the retry bound is reached but not exceeded.
+    fault::FaultPlan plan =
+        fault::parseFaultPlan("seed=1,rate=0.5,kinds=drop");
+    plan.maxRetries = 3;
+    bool found = false;
+    for (std::uint64_t seed = 1; seed <= 1000 && !found; ++seed) {
+        plan.seed = seed;
+        fault::FaultInjector faults(plan);
+        RingBus bus({4, 2, 4, 2});
+        bus.setFaultInjector(&faults);
+        BusDelivery d = bus.deliver(0, 2, 0);
+        if (!d.delivered || d.attempts != plan.maxRetries + 1)
+            continue;
+        found = true;
+        EXPECT_EQ(bus.stats().counter("fault.bus_drop"),
+                  static_cast<std::uint64_t>(plan.maxRetries));
+        EXPECT_EQ(bus.stats().counter("fault.bus_retry"),
+                  static_cast<std::uint64_t>(plan.maxRetries));
+        EXPECT_EQ(bus.stats().counter("fault.drop.recovered"),
+                  static_cast<std::uint64_t>(plan.maxRetries));
+        EXPECT_EQ(bus.stats().counter("fault.bus_lost"), 0u);
+    }
+    EXPECT_TRUE(found)
+        << "no seed in [1,1000] hit the retry bound exactly";
+}
+
+TEST(RingBus, BackoffShiftSaturatesAtLargeRetryCounts)
+{
+    // With 20 retries at rate=1.0 every attempt drops; the backoff
+    // exponent is clamped at 16, so the charged cycles must equal
+    // sum_{a=0..19} 8 << min(a, 16) rather than overflowing the shift.
+    fault::FaultPlan plan =
+        fault::parseFaultPlan("seed=7,rate=1.0,kinds=drop");
+    plan.maxRetries = 20;
+    fault::FaultInjector faults(plan);
+    RingBus bus({4, 2, 4, 2});
+    bus.setFaultInjector(&faults);
+    BusDelivery d = bus.deliver(0, 2, 0);
+    EXPECT_FALSE(d.delivered);
+    EXPECT_EQ(d.attempts, plan.maxRetries + 1);
+    std::uint64_t expected = 0;
+    for (int a = 0; a < plan.maxRetries; ++a)
+        expected += static_cast<std::uint64_t>(
+            plan.retryBackoff << std::min(a, 16));
+    EXPECT_EQ(bus.stats().counter("fault.bus_backoff_cycles"),
+              expected);
+    EXPECT_EQ(bus.stats().counter("fault.bus_drop"),
+              static_cast<std::uint64_t>(plan.maxRetries + 1));
 }
 
 /** Boot assembly that exits immediately. */

@@ -64,9 +64,59 @@ TEST(Lexer, TwoCharOperators)
     EXPECT_EQ(toks[7].kind, Tok::Assign);
 }
 
+TEST(Lexer, TracksColumns)
+{
+    auto toks = lex("x := a + 41\n");
+    ASSERT_GE(toks.size(), 6u);
+    EXPECT_EQ(toks[0].col, 1);   // x
+    EXPECT_EQ(toks[1].col, 3);   // :=
+    EXPECT_EQ(toks[2].col, 6);   // a
+    EXPECT_EQ(toks[3].col, 8);   // +
+    EXPECT_EQ(toks[4].col, 10);  // 41
+    for (const auto &t : toks)
+        EXPECT_EQ(t.line, t.kind == Tok::EndOfFile ? 2 : 1);
+}
+
+TEST(Lexer, IndentedTokensStartPastTheIndentation)
+{
+    auto toks = lex(
+        "seq\n"
+        "  left := 1\n");
+    // seq(1:1) newline indent left(2:3) := 1 newline dedent eof
+    ASSERT_GE(toks.size(), 4u);
+    EXPECT_EQ(toks[0].col, 1);
+    EXPECT_EQ(toks[3].kind, Tok::Name);
+    EXPECT_EQ(toks[3].line, 2);
+    EXPECT_EQ(toks[3].col, 3);
+}
+
+/** The FatalError message produced by @p fn, or "" if it didn't throw. */
+template <typename Fn>
+std::string
+diagnosticOf(Fn fn)
+{
+    try {
+        fn();
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
 TEST(Lexer, InconsistentIndentIsFatal)
 {
     EXPECT_THROW(lex("seq\n    skip\n  skip\n"), FatalError);
+    std::string msg =
+        diagnosticOf([] { lex("seq\n    skip\n  skip\n"); });
+    EXPECT_NE(msg.find("line 3:3"), std::string::npos) << msg;
+}
+
+TEST(Lexer, UnexpectedCharacterReportsLineAndColumn)
+{
+    std::string msg = diagnosticOf([] { lex("x := a ; b\n"); });
+    EXPECT_NE(msg.find("line 1:8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unexpected character ';'"), std::string::npos)
+        << msg;
 }
 
 TEST(Parser, AssignAndExpressions)
@@ -192,6 +242,19 @@ TEST(Parser, Errors)
     EXPECT_THROW(parse("x := \n"), FatalError);
     EXPECT_THROW(parse("if x\n"), FatalError);
     EXPECT_THROW(parse("seq extra\n  skip\n"), FatalError);
+}
+
+TEST(Parser, ErrorsCarryLineAndColumn)
+{
+    // The dangling ':=' fails at the newline (just past the rhs).
+    std::string msg = diagnosticOf([] { parse("x := \n"); });
+    EXPECT_NE(msg.find("line 1:6"), std::string::npos) << msg;
+    // The stray name after 'seq' is the offending token.
+    msg = diagnosticOf([] { parse("seq extra\n  skip\n"); });
+    EXPECT_NE(msg.find("line 1:5"), std::string::npos) << msg;
+    // A second-line error points into that line, not the file start.
+    msg = diagnosticOf([] { parse("seq\n  x + 1\n"); });
+    EXPECT_NE(msg.find("line 2:3"), std::string::npos) << msg;
 }
 
 // ----- Sema ---------------------------------------------------------------
