@@ -18,6 +18,7 @@
 #include "programs/benchmarks.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
 
@@ -46,6 +47,15 @@ main(int argc, char **argv)
         spec.config.busPartitions = partitions;
         spec.config.faultPlan = args.faults;
         spec.config.recovery = args.recovery;
+        if (!args.traceDir.empty()) {
+            // The sweep varies partitions at a fixed PE count, so the
+            // partition count is what keeps the paths distinct.
+            spec.config.traceConfig.enabled = true;
+            spec.config.traceConfig.chromeJsonPath =
+                cat(args.traceDir, "/",
+                    sim::sanitizeFileStem(bench.name), "-p", partitions,
+                    "-pe", pes, ".json");
+        }
         specs.push_back(std::move(spec));
     }
     std::vector<sim::RunReport> reports = sim::runAll(specs, args.jobs);
@@ -92,6 +102,13 @@ main(int argc, char **argv)
                       << partition_counts[&report - reports.data()]
                       << " recovered after " << report.replays
                       << " checkpoint replay(s)\n";
+    for (const sim::RunReport &report : reports)
+        if (report.traceDropped > 0)
+            std::cout << "  partitions="
+                      << partition_counts[&report - reports.data()]
+                      << " WARNING: trace truncated ("
+                      << report.traceDropped
+                      << " events dropped past the cap)\n";
     std::cout << "\n(partitioning trades per-message latency - each "
                  "segment crossed adds hop cycles - against segment "
                  "concurrency; at this message rate latency dominates, "
@@ -99,5 +116,11 @@ main(int argc, char **argv)
                  "4 PEs in Fig 5.18)\n";
     std::cout << "wrote " << sim::writeBenchJson("ch5_bus", {series})
               << "\n";
+    if (!args.metricsPath.empty()) {
+        std::string where =
+            sim::writeMetricsJson("ch5_bus", {series}, args.metricsPath);
+        if (args.metricsPath != "-")
+            std::cout << "wrote " << where << "\n";
+    }
     return 0;
 }

@@ -22,6 +22,7 @@
 #include "programs/benchmarks.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
 
@@ -74,9 +75,9 @@ main(int argc, char **argv)
     std::deque<occam::CompiledProgram> compiled;
     std::vector<sim::RunSpec> specs;
     for (const programs::Benchmark &bench : benches) {
-        for (const occam::CompileOptions &options : variants) {
+        for (std::size_t v = 0; v < variants.size(); ++v) {
             compiled.push_back(occam::compileOccam(bench.source,
-                                                   options));
+                                                   variants[v]));
             sim::RunSpec spec;
             spec.program = &compiled.back();
             spec.resultArray = bench.resultArray;
@@ -84,6 +85,15 @@ main(int argc, char **argv)
             spec.pes = pes;
             spec.config.faultPlan = args.faults;
             spec.config.recovery = args.recovery;
+            if (!args.traceDir.empty()) {
+                // The grid varies the compile options at a fixed PE
+                // count; the variant index keeps the paths distinct.
+                spec.config.traceConfig.enabled = true;
+                spec.config.traceConfig.chromeJsonPath =
+                    cat(args.traceDir, "/",
+                        sim::sanitizeFileStem(bench.name), "-v", v,
+                        "-pe", pes, ".json");
+            }
             specs.push_back(std::move(spec));
         }
     }
@@ -120,11 +130,24 @@ main(int argc, char **argv)
                       << " variant " << i % variants.size()
                       << " recovered after " << reports[i].replays
                       << " checkpoint replay(s)\n";
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        if (reports[i].traceDropped > 0)
+            std::cout << "  " << benches[i / variants.size()].name
+                      << " variant " << i % variants.size()
+                      << " WARNING: trace truncated ("
+                      << reports[i].traceDropped
+                      << " events dropped past the cap)\n";
     std::cout << "\n(values > 1.0 mean the optimization saves cycles; "
                  "all runs verified against reference results)\n"
               << "(JSON runs order: all-on, no live-value, no "
                  "input-seq, no priority-sched, all off)\n";
     std::cout << "wrote " << sim::writeBenchJson("ch6_ablation", all)
               << "\n";
+    if (!args.metricsPath.empty()) {
+        std::string where = sim::writeMetricsJson("ch6_ablation", all,
+                                                  args.metricsPath);
+        if (args.metricsPath != "-")
+            std::cout << "wrote " << where << "\n";
+    }
     return 0;
 }

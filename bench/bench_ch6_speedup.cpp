@@ -19,6 +19,7 @@
 #include "programs/benchmarks.hpp"
 #include "sim/bench_json.hpp"
 #include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
 
@@ -71,6 +72,12 @@ reportSeries(const sim::SpeedupSeries &series,
         if (run.recovered)
             std::cout << "  PEs=" << run.pes << " recovered after "
                       << run.replays << " checkpoint replay(s)\n";
+    for (const sim::RunReport &run : series.runs)
+        if (run.traceDropped > 0)
+            std::cout << "  PEs=" << run.pes
+                      << " WARNING: trace truncated ("
+                      << run.traceDropped
+                      << " events dropped past the cap)\n";
     std::cout << "\n";
 }
 
@@ -108,7 +115,7 @@ main(int argc, char **argv)
          programs::thesisBenchmarks()) {
         sim::SpeedupSeries series = sim::runSpeedupSweep(
             bench.name, bench.source, bench.resultArray, bench.expected,
-            pe_counts, {}, base_config, args.jobs);
+            pe_counts, {}, base_config, args.jobs, args.traceDir);
         reportSeries(series, bench.thesisFigure);
         all.push_back(series);
     }
@@ -117,17 +124,23 @@ main(int argc, char **argv)
     sim::SpeedupSeries recursive = sim::runSpeedupSweep(
         "binary fan-out (recursive)", programs::binaryFanRecursiveSource(),
         "v", programs::expectedBinaryFan(), pe_counts, {}, base_config,
-        args.jobs);
+        args.jobs, args.traceDir);
     reportSeries(recursive, "Fig 6.9 recursive");
     all.push_back(recursive);
     sim::SpeedupSeries iterative = sim::runSpeedupSweep(
         "binary fan-out (iterative)", programs::binaryFanIterativeSource(),
         "v", programs::expectedBinaryFan(), pe_counts, {}, base_config,
-        args.jobs);
+        args.jobs, args.traceDir);
     reportSeries(iterative, "Fig 6.9 non-recursive");
     all.push_back(iterative);
 
     std::cout << "wrote " << sim::writeBenchJson("ch6_speedup", all)
               << "\n";
+    if (!args.metricsPath.empty()) {
+        std::string where = sim::writeMetricsJson("ch6_speedup", all,
+                                                  args.metricsPath);
+        if (args.metricsPath != "-")
+            std::cout << "wrote " << where << "\n";
+    }
     return 0;
 }

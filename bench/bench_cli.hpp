@@ -13,6 +13,13 @@
  * `--checkpoint-every N` adds periodic snapshots on top of the boot
  * one. Recovered runs, like faulty ones, are identical for any
  * `--jobs` value.
+ * `--metrics FILE` exports every run's full statistics registry
+ * (counters, scalars, latency/occupancy histograms) as a
+ * schema-versioned JSON document (see sim/metrics.hpp); the document
+ * is byte-identical for any `--jobs` value.
+ * `--trace-dir DIR` records a Chrome trace per run into
+ * DIR/<name>-pe<N>.json (distinct paths, so it composes with
+ * parallel sweeps; DIR must exist).
  */
 #pragma once
 
@@ -31,11 +38,14 @@ struct BenchArgs
     int jobs = 0;    ///< 0 = all hardware threads.
     fault::FaultPlan faults{};      ///< Disabled unless --faults given.
     fault::RecoveryPlan recovery{}; ///< Disabled unless --recover given.
+    std::string metricsPath;        ///< Empty = no metrics export.
+    std::string traceDir;           ///< Empty = no per-run traces.
 };
 
 /**
  * Parse argv for
- * `[--jobs N] [--faults SPEC] [--recover] [--checkpoint-every N]`.
+ * `[--jobs N] [--faults SPEC] [--recover] [--checkpoint-every N]
+ *  [--metrics FILE] [--trace-dir DIR]`.
  * On malformed or unknown arguments prints a usage error and returns
  * ok=false.
  */
@@ -62,6 +72,10 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
                 args.ok = false;
                 return args;
             }
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            args.metricsPath = argv[++i];
+        } else if (arg == "--trace-dir" && i + 1 < argc) {
+            args.traceDir = argv[++i];
         } else if (arg == "--recover") {
             args.recovery.enabled = true;
         } else if (arg == "--checkpoint-every" && i + 1 < argc) {
@@ -78,7 +92,8 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
         } else {
             std::cerr << "usage: " << bench_name
                       << " [--jobs N] [--faults SPEC] [--recover] "
-                         "[--checkpoint-every N]\n";
+                         "[--checkpoint-every N] [--metrics FILE] "
+                         "[--trace-dir DIR]\n";
             args.ok = false;
             return args;
         }

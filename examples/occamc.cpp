@@ -3,7 +3,8 @@
  * occamc - the OCCAM queue-machine compiler driver (thesis Fig 4.21).
  *
  * Usage: occamc [--asm] [--dot] [--run] [--pes N] [--stats]
- *               [--trace out.json] [--faults SPEC] [--recover]
+ *               [--trace out.json] [--metrics out.json]
+ *               [--faults SPEC] [--recover]
  *               [--checkpoint-every N] file.occ
  *
  * Compiles an OCCAM source file into queue-machine object code and, on
@@ -11,7 +12,11 @@
  * graph in Graphviz DOT form (the thesis draw/drawpic role), or runs the
  * program on the simulated multiprocessor and reports statistics.
  * --trace records a cycle-level event trace of the run and writes it as
- * Chrome trace_event JSON (open in chrome://tracing or Perfetto).
+ * Chrome trace_event JSON (open in chrome://tracing, Perfetto, or feed
+ * it to the qmprof analyzer).
+ * --metrics exports the run's full statistics registry (counters,
+ * scalars, latency/occupancy histograms) as a schema-versioned JSON
+ * document ("-" = stdout; see sim/metrics.hpp).
  * --faults runs under seeded fault injection (see fault::parseFaultPlan
  * for the spec grammar, e.g. "seed=42,rate=0.05,kinds=drop+delay").
  * --recover enables the recovery layer on top of the fault plan
@@ -27,6 +32,7 @@
 #include "fault/fault.hpp"
 #include "mp/system.hpp"
 #include "occam/compiler.hpp"
+#include "sim/metrics.hpp"
 #include "support/cli.hpp"
 #include "trace/export.hpp"
 #include "occam/graph_interp.hpp"
@@ -40,8 +46,8 @@ usage()
 {
     std::cerr << "usage: occamc [--asm] [--dot] [--run] [--interp] "
                  "[--pes N] [--stats] [--trace out.json] "
-                 "[--faults SPEC] [--recover] [--checkpoint-every N] "
-                 "file.occ\n";
+                 "[--metrics out.json] [--faults SPEC] [--recover] "
+                 "[--checkpoint-every N] file.occ\n";
     return 2;
 }
 
@@ -55,7 +61,7 @@ main(int argc, char **argv)
     int pes = 1;
     qm::fault::FaultPlan faults;
     qm::fault::RecoveryPlan recovery;
-    std::string path, trace_path;
+    std::string path, trace_path, metrics_path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--asm") {
@@ -81,6 +87,9 @@ main(int argc, char **argv)
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
             run = true;  // tracing implies running
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            metrics_path = argv[++i];
+            run = true;  // metrics imply running
         } else if (arg == "--faults" && i + 1 < argc) {
             try {
                 faults = qm::fault::parseFaultPlan(argv[++i]);
@@ -188,6 +197,27 @@ main(int argc, char **argv)
                 std::cout << "trace: "
                           << system.tracer().events().size()
                           << " events -> " << trace_path << "\n";
+                if (system.tracer().dropped() > 0)
+                    std::cout << "WARNING: trace truncated ("
+                              << system.tracer().dropped()
+                              << " events dropped past the cap); "
+                                 "trace-derived analyses undercount\n";
+            }
+            if (!metrics_path.empty()) {
+                qm::sim::RunReport report;
+                report.pes = pes;
+                report.completed = result.completed;
+                report.verified = result.completed;
+                report.cycles = result.cycles;
+                report.traceDropped = result.traceDropped;
+                report.stats = system.stats();
+                qm::sim::SpeedupSeries series;
+                series.name = path;
+                series.runs.push_back(std::move(report));
+                qm::sim::writeMetricsJson("occamc", {series},
+                                          metrics_path);
+                if (metrics_path != "-")
+                    std::cout << "metrics: -> " << metrics_path << "\n";
             }
             for (const auto &[name, addr] : program.dataMap) {
                 std::cout << name << "[0..3] =";

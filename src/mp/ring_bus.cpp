@@ -55,6 +55,7 @@ RingBus::transfer(int src, int dst, Cycle now)
     // Reserve each partition along the path in order.
     int first = partitionOf(src);
     int hops = partitionsCrossed(src, dst);
+    Cycle waited = 0;
     for (int i = 0; i < hops; ++i) {
         int partition = (first + i) % config_.numPartitions;
         Cycle &free_at = partitionFree[static_cast<size_t>(partition)];
@@ -63,11 +64,15 @@ RingBus::transfer(int src, int dst, Cycle now)
         if (wait > 0)
             stats_.inc("bus.contention_cycles",
                        static_cast<std::uint64_t>(wait));
+        waited += wait;
         t = start + config_.hopCycles;
         free_at = t;
     }
     stats_.inc("bus.hop_count", static_cast<std::uint64_t>(hops));
     stats_.inc("bus.transfer_cycles", static_cast<std::uint64_t>(t - now));
+    stats_.record("bus.hops", static_cast<std::uint64_t>(hops));
+    stats_.record("bus.queue_wait", static_cast<std::uint64_t>(waited));
+    stats_.record("bus.latency", static_cast<std::uint64_t>(t - now));
     if (tracer_)
         tracer_->busTransfer(now, t, src, dst, hops);
     return t;
@@ -130,6 +135,8 @@ RingBus::deliver(int src, int dst, Cycle now)
             stats_.inc("fault.bus_retry");
             stats_.inc("fault.bus_backoff_cycles",
                        static_cast<std::uint64_t>(backoff));
+            stats_.record("fault.backoff",
+                          static_cast<std::uint64_t>(backoff));
             if (tracer_)
                 tracer_->faultRecover(
                     at + backoff, src, fault::kBusDrop,
@@ -138,6 +145,10 @@ RingBus::deliver(int src, int dst, Cycle now)
         }
     }
     delivery.attempts = attempts;
+    // Reliability overhead, as a distribution: how many ring occupations
+    // one kernel message cost under the active fault plan.
+    stats_.record("fault.delivery_attempts",
+                  static_cast<std::uint64_t>(attempts));
     if (!delivered) {
         // The message is permanently lost. The caller (kernel) leaves
         // the receiver unwoken; the System watchdog converts any

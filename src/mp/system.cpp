@@ -54,6 +54,8 @@ class HostAdapter : public pe::PeHost
 struct System::PeSlot
 {
     int index = 0;
+    /** Per-PE metric prefix ("pe3."), see StatSet::scoped. */
+    std::string scope;
     Cycle clock = 0;
     Cycle busyCycles = 0;
     /** Kernel trap service cycles charged while stepping (breakdown). */
@@ -207,6 +209,7 @@ System::System(const isa::ObjectCode &code, SystemConfig config)
     for (int i = 0; i < config_.numPes; ++i) {
         auto slot = std::make_unique<PeSlot>();
         slot->index = i;
+        slot->scope = cat("pe", i, ".");
         slot->undoLog.cap = config_.recovery.maxUndoWords;
         slot->host = std::make_unique<HostAdapter>(*this, i);
         slot->pe = std::make_unique<pe::ProcessingElement>(
@@ -579,6 +582,14 @@ System::dispatch(PeSlot &slot)
     if (ctx.status != CtxStatus::Ready)
         return dispatch(slot);  // stale queue entry; skip it
     slot.clock = std::max(slot.clock, entry.readyAt);
+    // Ready-queue wait: cycles between the context becoming runnable
+    // and the PE actually picking it up (scheduler-induced latency,
+    // before any context-load cost is charged).
+    Cycle ready_wait = slot.clock - entry.readyAt;
+    stats_.record("sys.ready_wait",
+                  static_cast<std::uint64_t>(ready_wait));
+    stats_.scoped(slot.scope)
+        .record("ready_wait", static_cast<std::uint64_t>(ready_wait));
 
     if (slot.residentBlocked == ctx.id) {
         // The resident context's rendezvous completed: resume in place
@@ -619,9 +630,23 @@ System::dispatch(PeSlot &slot)
 }
 
 void
+System::recordResidency(PeSlot &slot)
+{
+    // Residency: how long the context ran uninterrupted on the PE
+    // before blocking, finishing, or being preempted. Long residencies
+    // mean the lazy-switch machinery is paying off; a spray of short
+    // ones means the run is rendezvous-bound.
+    Cycle span = slot.clock - slot.spanStart;
+    stats_.record("sys.residency", static_cast<std::uint64_t>(span));
+    stats_.scoped(slot.scope)
+        .record("residency", static_cast<std::uint64_t>(span));
+}
+
+void
 System::park(PeSlot &slot, CtxStatus status)
 {
     Context &ctx = contexts[slot.running];
+    recordResidency(slot);
     tracer_.peBusy(slot.spanStart, slot.clock, slot.index, ctx.id);
     Cycle cost = slot.pe->rollOut() + config_.contextSaveCycles;
     slot.clock += cost;
@@ -681,6 +706,7 @@ void
 System::finishContext(PeSlot &slot)
 {
     Context &ctx = contexts[slot.running];
+    recordResidency(slot);
     tracer_.peBusy(slot.spanStart, slot.clock, slot.index, ctx.id);
     tracer_.ctxFinish(slot.clock, slot.index, ctx.id);
     ctx.status = CtxStatus::Done;
@@ -851,6 +877,7 @@ System::runLoop(Cycle max_cycles)
                     // Nothing else to run: stay resident (lazy switch).
                     Context &ctx = contexts[slot.running];
                     ctx.status = CtxStatus::BlockedChannel;
+                    recordResidency(slot);
                     tracer_.peBusy(slot.spanStart, slot.clock,
                                    slot.index, ctx.id);
                     tracer_.ctxPark(slot.clock, slot.index, ctx.id,
@@ -1108,6 +1135,18 @@ System::finalizeRun(RunResult &result)
         kernel_total += slot->kernelCycles;
         switch_total += slot->switchCycles;
         stats_.merge(slot->pe->stats());
+        // Per-PE views: the same PE-local stats again under a "peN."
+        // prefix, plus this slot's cycle breakdown, so the metrics
+        // export can show where each PE's time went without losing the
+        // aggregate view above.
+        stats_.mergeScoped(slot->pe->stats(), slot->scope);
+        StatScope scope = stats_.scoped(slot->scope);
+        scope.set("clock", static_cast<double>(slot->clock));
+        scope.set("cycles_busy", static_cast<double>(slot->busyCycles));
+        scope.set("cycles_kernel",
+                  static_cast<double>(slot->kernelCycles));
+        scope.set("cycles_switch",
+                  static_cast<double>(slot->switchCycles));
     }
     double busy = 0.0;
     for (auto &slot : slots)
@@ -1137,6 +1176,7 @@ System::finalizeRun(RunResult &result)
     result.busCycles = static_cast<Cycle>(
         stats_.counter("bus.transfer_cycles"));
     result.faultsInjected = faults_ ? faults_->injected() : 0;
+    result.traceDropped = tracer_.dropped();
 
     // Unified per-kind accounting, indexed in FaultKind bit order.
     // Delay and stall faults are absorbed by the timing model: they

@@ -192,6 +192,12 @@ struct RunResult
      * exactly the sum of the per-kind recovered counts below.)
      */
     std::uint64_t faultRecoveries = 0;
+    /**
+     * Events the tracer discarded after hitting its maxEvents cap. A
+     * non-zero value means any exported trace is truncated and
+     * trace-derived analyses (qmprof) undercount.
+     */
+    std::uint64_t traceDropped = 0;
     /** Unified per-kind accounting, indexed by FaultKind bit index. */
     struct FaultKindCounts
     {
@@ -290,6 +296,8 @@ class System
 
     // --- Scheduling ------------------------------------------------------
     bool dispatch(PeSlot &slot);   ///< Load next ready context if idle.
+    /** Book the ending run span's length into the residency metrics. */
+    void recordResidency(PeSlot &slot);
     void park(PeSlot &slot, CtxStatus status);
     void finishContext(PeSlot &slot);
     void evictResident(PeSlot &slot);

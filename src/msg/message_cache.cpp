@@ -41,7 +41,10 @@ MessageCache::send(Word channel, CtxId ctx, Word value,
         return op;
     }
     std::uint64_t seq = entry.nextSeq++;
-    entry.values.push_back({value, tokenChecksum(value), seq, value});
+    entry.values.push_back(
+        {value, tokenChecksum(value), seq, value, now});
+    stats_.record("msg.fifo_depth",
+                  static_cast<std::uint64_t>(entry.values.size()));
     if (faults_ && faults_->fire(fault::kCacheCorrupt)) {
         // Flip one bit of the slot just written, keeping the send-time
         // checksum (and the sender's pristine retransmit copy): the
@@ -106,9 +109,18 @@ MessageCache::recv(Word channel, CtxId ctx, trace::Cycle now)
             stats_.inc("fault.corrupt.recovered");
             stats_.inc("fault.nack_penalty_cycles",
                        static_cast<std::uint64_t>(op.penalty));
+            stats_.record("fault.nack_penalty",
+                          static_cast<std::uint64_t>(op.penalty));
         }
     }
     stats_.inc("msg.rendezvous");
+    // Send-to-rendezvous latency. The receiver's clock can lag the
+    // sender's (PE clocks are only loosely synchronized), so clamp at
+    // zero rather than recording a wrapped negative.
+    stats_.record("msg.latency",
+                  now >= token.sentAt
+                      ? static_cast<std::uint64_t>(now - token.sentAt)
+                      : 0);
     if (tracer_)
         tracer_->rendezvous(now, channel, ctx, *op.value);
     if (!entry.sendWaiters.empty()) {

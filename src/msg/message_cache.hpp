@@ -74,8 +74,10 @@ struct ChannelOp
  * One in-flight token: the value, the checksum stamped at send time
  * (so cache-slot corruption is detectable at receive time), the
  * channel sequence number (so a duplicated delivery is rejectable),
- * and the sender's pristine retransmit copy (so a detected corruption
- * is healable by a deterministic resend).
+ * the sender's pristine retransmit copy (so a detected corruption is
+ * healable by a deterministic resend), and the send-time cycle stamp
+ * (so the receive side can charge the full send-to-rendezvous latency
+ * to the `msg.latency` histogram).
  */
 struct Token
 {
@@ -83,6 +85,7 @@ struct Token
     std::uint8_t sum = 0;
     std::uint64_t seq = 0;
     Word pristine = 0;
+    trace::Cycle sentAt = 0;
 };
 
 /** XOR-folded byte checksum; detects any single-bit flip. */

@@ -274,6 +274,8 @@ ProcessingElement::step()
         stats_.inc("fault.pe_stall");
         stats_.inc("fault.pe_stall_cycles",
                    static_cast<std::uint64_t>(stall));
+        stats_.record("fault.stall",
+                      static_cast<std::uint64_t>(stall));
         if (tracer_)
             tracer_->faultInject(clock_ ? *clock_ : 0, peIndex_,
                                  fault::kPeStall,
@@ -406,6 +408,8 @@ ProcessingElement::step()
             return result;
         }
         cycles += outcome.kernelCycles;
+        stats_.record("pe.trap_service",
+                      static_cast<std::uint64_t>(outcome.kernelCycles));
         if (tracer_)
             tracer_->trapEnter(clock_ ? *clock_ : 0, peIndex_, number,
                                outcome.kernelCycles);

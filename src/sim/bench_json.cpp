@@ -55,6 +55,10 @@ writeBenchJson(const std::string &bench,
                 json.key("recovered").value(true);
             if (run.replays > 0)
                 json.key("replays").value(run.replays);
+            // Non-zero only when a trace was recorded AND truncated:
+            // flags that trace-derived analyses undercount this run.
+            if (run.traceDropped > 0)
+                json.key("trace_dropped").value(run.traceDropped);
             // Per-kind breakdown, only for kinds that actually fired.
             bool any_kind = false;
             for (const auto &kc : run.faultKinds)

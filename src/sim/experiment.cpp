@@ -1,6 +1,10 @@
 #include "sim/experiment.hpp"
 
+#include <cctype>
+#include <set>
+
 #include "support/diagnostics.hpp"
+#include "support/format.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/export.hpp"
 
@@ -72,6 +76,8 @@ runOnce(const occam::CompiledProgram &program,
     report.faultsInjected = result.faultsInjected;
     report.faultRecoveries = result.faultRecoveries;
     report.faultKinds = result.faultKinds;
+    report.traceDropped = result.traceDropped;
+    report.stats = system.stats();
     report.verified = result.completed;
     if (report.verified && !expected.empty()) {
         isa::Addr base = program.arrayAddress(result_array);
@@ -96,12 +102,23 @@ runAll(const std::vector<RunSpec> &specs, int jobs)
 {
     unsigned workers = jobs < 1 ? ThreadPool::defaultWorkers()
                                 : static_cast<unsigned>(jobs);
-    if (workers > 1)
-        for (const RunSpec &spec : specs)
-            fatalIf(spec.config.traceConfig.enabled &&
-                        !spec.config.traceConfig.chromeJsonPath.empty(),
-                    "per-run Chrome trace files race under a parallel "
-                    "sweep; run with jobs=1 to trace");
+    if (workers > 1) {
+        // Tracing and parallelism compose as long as no two traced
+        // specs write the same file; only a shared path would race.
+        std::set<std::string> trace_paths;
+        for (const RunSpec &spec : specs) {
+            if (!spec.config.traceConfig.enabled ||
+                spec.config.traceConfig.chromeJsonPath.empty())
+                continue;
+            fatalIf(
+                !trace_paths.insert(spec.config.traceConfig.chromeJsonPath)
+                     .second,
+                "two traced specs share the trace file '",
+                spec.config.traceConfig.chromeJsonPath,
+                "' and would race under a parallel sweep; give each "
+                "spec its own path (or run with jobs=1)");
+        }
+    }
     std::vector<RunReport> reports(specs.size());
     parallelFor(specs.size(), workers, [&](std::size_t i) {
         const RunSpec &spec = specs[i];
@@ -112,13 +129,30 @@ runAll(const std::vector<RunSpec> &specs, int jobs)
     return reports;
 }
 
+std::string
+sanitizeFileStem(const std::string &name)
+{
+    std::string stem;
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '_' || c == '.')
+            stem += c;
+        else if (!stem.empty() && stem.back() != '-')
+            stem += '-';
+    }
+    while (!stem.empty() && stem.back() == '-')
+        stem.pop_back();
+    return stem.empty() ? "bench" : stem;
+}
+
 SpeedupSeries
 runSpeedupSweep(const std::string &name, const std::string &source,
                 const std::string &result_array,
                 const std::vector<std::int32_t> &expected,
                 const std::vector<int> &pe_counts,
                 const occam::CompileOptions &options,
-                const mp::SystemConfig &base_config, int jobs)
+                const mp::SystemConfig &base_config, int jobs,
+                const std::string &trace_dir)
 {
     occam::CompiledProgram program = occam::compileOccam(source, options);
     std::vector<RunSpec> specs;
@@ -130,6 +164,12 @@ runSpeedupSweep(const std::string &name, const std::string &source,
         spec.expected = expected;
         spec.pes = pes;
         spec.config = base_config;
+        if (!trace_dir.empty()) {
+            spec.config.traceConfig.enabled = true;
+            spec.config.traceConfig.chromeJsonPath =
+                cat(trace_dir, "/", sanitizeFileStem(name), "-pe", pes,
+                    ".json");
+        }
         specs.push_back(std::move(spec));
     }
     SpeedupSeries series;

@@ -15,6 +15,7 @@
 
 #include "mp/system.hpp"
 #include "occam/compiler.hpp"
+#include "support/stats.hpp"
 
 namespace qm::sim {
 
@@ -55,6 +56,21 @@ struct RunReport
     /** Per-kind injected/detected/recovered (FaultKind bit order). */
     std::array<mp::RunResult::FaultKindCounts, fault::kNumFaultKinds>
         faultKinds{};
+
+    /**
+     * Events the tracer discarded after its maxEvents cap: non-zero
+     * means the exported trace (and anything derived from it) is
+     * truncated. Always zero with tracing off.
+     */
+    std::uint64_t traceDropped = 0;
+
+    /**
+     * The run's complete statistics registry (counters, scalars, and
+     * the latency/occupancy histograms), copied out of the run's
+     * mp::System so the metrics exporter can see past the summary
+     * fields above. Empty when the run died before finalizing.
+     */
+    StatSet stats;
 };
 
 /** One benchmark swept over PE counts. */
@@ -89,18 +105,27 @@ struct RunSpec
  * reports in spec order. The sweep grid is a set of independent
  * simulations, so the reports are identical for any job count:
  * jobs <= 1 runs inline on the calling thread (the historical serial
- * behavior), jobs == 0 uses all hardware threads. Per-run Chrome
- * trace files are refused when running parallel (the specs of one
- * sweep share an output path and would race on it).
+ * behavior), jobs == 0 uses all hardware threads. Tracing composes
+ * with parallelism as long as no two traced specs share the same
+ * Chrome trace output path (they would race on it); duplicate paths
+ * are refused when workers > 1.
  */
 std::vector<RunReport> runAll(const std::vector<RunSpec> &specs,
                               int jobs = 1);
+
+/** "my bench!" -> "my-bench" (filesystem-safe trace file stem). */
+std::string sanitizeFileStem(const std::string &name);
 
 /**
  * Compile @p source once per configuration and run it at every PE
  * count in @p pe_counts, checking @p expected in @p result_array.
  * The independent runs are fanned over @p jobs threads (see runAll);
  * the resulting series is identical for any job count.
+ *
+ * When @p trace_dir is non-empty, every run records a full event
+ * trace and exports it to <trace_dir>/<sanitized-name>-pe<N>.json.
+ * The per-run paths are distinct, so this composes with jobs > 1
+ * (unlike a single shared trace file).
  */
 SpeedupSeries
 runSpeedupSweep(const std::string &name, const std::string &source,
@@ -109,7 +134,7 @@ runSpeedupSweep(const std::string &name, const std::string &source,
                 const std::vector<int> &pe_counts,
                 const occam::CompileOptions &options = {},
                 const mp::SystemConfig &base_config = {},
-                int jobs = 1);
+                int jobs = 1, const std::string &trace_dir = "");
 
 /** Single run helper used by the sweep and the ablation bench. */
 RunReport runOnce(const occam::CompiledProgram &program,

@@ -1,0 +1,99 @@
+#include "sim/metrics.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "support/diagnostics.hpp"
+#include "support/json.hpp"
+
+namespace qm::sim {
+
+namespace {
+
+void
+writeHistogram(JsonWriter &json, const Histogram &h)
+{
+    json.beginObject()
+        .key("count").value(h.count())
+        .key("sum").value(h.sum())
+        .key("min").value(h.min())
+        .key("max").value(h.max())
+        .key("mean").value(h.mean())
+        .key("p50").value(h.percentile(50.0))
+        .key("p90").value(h.percentile(90.0))
+        .key("p99").value(h.percentile(99.0));
+    json.key("buckets").beginArray();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        if (h.bucketCount(i) == 0)
+            continue;
+        json.beginObject()
+            .key("lo").value(Histogram::bucketLow(i))
+            .key("hi").value(Histogram::bucketHigh(i))
+            .key("count").value(h.bucketCount(i))
+            .endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+writeRun(JsonWriter &json, const RunReport &run)
+{
+    json.beginObject()
+        .key("pes").value(run.pes)
+        .key("completed").value(run.completed)
+        .key("verified").value(run.verified)
+        .key("cycles").value(run.cycles)
+        .key("trace_dropped").value(run.traceDropped);
+    json.key("counters").beginObject();
+    for (const auto &[name, value] : run.stats.counterMap())
+        json.key(name).value(value);
+    json.endObject();
+    json.key("scalars").beginObject();
+    for (const auto &[name, value] : run.stats.scalarMap())
+        json.key(name).value(value);
+    json.endObject();
+    json.key("histograms").beginObject();
+    for (const auto &[name, hist] : run.stats.histogramMap()) {
+        json.key(name);
+        writeHistogram(json, hist);
+    }
+    json.endObject();
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+writeMetricsJson(const std::string &bench,
+                 const std::vector<SpeedupSeries> &series,
+                 const std::string &path)
+{
+    std::ofstream file;
+    if (path != "-") {
+        file.open(path);
+        fatalIf(!file, "cannot open metrics file: ", path);
+    }
+    std::ostream &out = path == "-" ? std::cout : file;
+
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("schema").value(kMetricsSchema);
+    json.key("bench").value(bench);
+    json.key("series").beginArray();
+    for (const SpeedupSeries &s : series) {
+        json.beginObject();
+        json.key("name").value(s.name);
+        json.key("runs").beginArray();
+        for (const RunReport &run : s.runs)
+            writeRun(json, run);
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << "\n";
+    return path;
+}
+
+} // namespace qm::sim

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Schema-versioned metrics export (`--metrics FILE`): the complete
+ * statistics registry of every run in a sweep - counters, scalars, and
+ * the latency/occupancy histograms with their percentile estimates and
+ * non-empty log2 buckets - as one deterministic JSON document.
+ *
+ * Determinism contract: every run's StatSet is produced by its own
+ * isolated mp::System and every map is name-ordered, so the document
+ * is byte-identical for any `--jobs` value and across locales (the
+ * JsonWriter pins the classic locale and fixes double precision).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace qm::sim {
+
+/** Schema tag stamped into every metrics document. */
+inline constexpr const char *kMetricsSchema = "qm.metrics.v1";
+
+/**
+ * Write @p series as a metrics document to @p path ("-" = stdout).
+ * Returns the path written. Throws FatalError when the file cannot
+ * be opened.
+ */
+std::string writeMetricsJson(const std::string &bench,
+                             const std::vector<SpeedupSeries> &series,
+                             const std::string &path);
+
+} // namespace qm::sim

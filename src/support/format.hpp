@@ -4,10 +4,16 @@
  *
  * libstdc++ 12 lacks std::format, so diagnostics and table printers build
  * strings with an ostream-based concatenator instead.
+ *
+ * Every number formatted here uses the classic "C" locale, so rendered
+ * statistics and JSON documents are byte-identical regardless of the
+ * process's global locale (no localized decimal commas or thousands
+ * separators can leak into machine-readable output).
  */
 #pragma once
 
 #include <iomanip>
+#include <locale>
 #include <sstream>
 #include <string>
 
@@ -19,15 +25,21 @@ std::string
 cat(Args &&...args)
 {
     std::ostringstream os;
+    os.imbue(std::locale::classic());
     (os << ... << std::forward<Args>(args));
     return os.str();
 }
 
-/** Format a double with fixed precision. */
+/**
+ * Format a double with fixed precision, locale-independently. This is
+ * the one formatter every renderer (StatSet::render, JsonWriter, the
+ * bench tables) shares, so doubles look the same everywhere.
+ */
 inline std::string
 fixed(double value, int precision)
 {
     std::ostringstream os;
+    os.imbue(std::locale::classic());
     os << std::fixed << std::setprecision(precision) << value;
     return os.str();
 }

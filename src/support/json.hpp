@@ -51,7 +51,12 @@ jsonEscape(std::string_view text)
 class JsonWriter
 {
   public:
-    explicit JsonWriter(std::ostream &os) : os_(os) {}
+    explicit JsonWriter(std::ostream &os) : os_(os)
+    {
+        // Integers stream through os_ directly; pin the classic locale
+        // so no grouping separators can corrupt the document.
+        os_.imbue(std::locale::classic());
+    }
 
     JsonWriter &
     beginObject()

@@ -1,0 +1,267 @@
+#include "support/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace qm {
+
+namespace {
+
+const JsonValue kNullValue{};
+
+/** Cursor over the input with one-token-lookahead helpers. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        fatalIf(pos >= text.size(),
+                "json parse: unexpected end of input at byte ", pos);
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        fatalIf(peek() != c, "json parse: expected '", c, "' at byte ",
+                pos, ", found '", text[pos], "'");
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && peek() == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseBool();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue value;
+        value.kind = JsonValue::Kind::Object;
+        if (consume('}'))
+            return value;
+        do {
+            JsonValue key = parseString();
+            expect(':');
+            value.members.emplace(std::move(key.text), parseValue());
+        } while (consume(','));
+        expect('}');
+        return value;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue value;
+        value.kind = JsonValue::Kind::Array;
+        if (consume(']'))
+            return value;
+        do {
+            value.items.push_back(parseValue());
+        } while (consume(','));
+        expect(']');
+        return value;
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue value;
+        value.kind = JsonValue::Kind::String;
+        while (true) {
+            fatalIf(pos >= text.size(),
+                    "json parse: unterminated string at byte ", pos);
+            char c = text[pos++];
+            if (c == '"')
+                break;
+            if (c != '\\') {
+                value.text += c;
+                continue;
+            }
+            fatalIf(pos >= text.size(),
+                    "json parse: dangling escape at byte ", pos);
+            char esc = text[pos++];
+            switch (esc) {
+              case '"': value.text += '"'; break;
+              case '\\': value.text += '\\'; break;
+              case '/': value.text += '/'; break;
+              case 'b': value.text += '\b'; break;
+              case 'f': value.text += '\f'; break;
+              case 'n': value.text += '\n'; break;
+              case 'r': value.text += '\r'; break;
+              case 't': value.text += '\t'; break;
+              case 'u': {
+                fatalIf(pos + 4 > text.size(),
+                        "json parse: truncated \\u escape at byte ",
+                        pos);
+                unsigned code = static_cast<unsigned>(std::strtoul(
+                    text.substr(pos, 4).c_str(), nullptr, 16));
+                pos += 4;
+                // The writer only emits \u00XX control escapes; encode
+                // anything else as UTF-8 without surrogate handling.
+                if (code < 0x80) {
+                    value.text += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    value.text += static_cast<char>(0xC0 | (code >> 6));
+                    value.text +=
+                        static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    value.text +=
+                        static_cast<char>(0xE0 | (code >> 12));
+                    value.text += static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F));
+                    value.text +=
+                        static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fatal("json parse: unknown escape '\\", esc,
+                      "' at byte ", pos);
+            }
+        }
+        return value;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::Bool;
+        if (text.compare(pos, 4, "true") == 0) {
+            value.boolean = true;
+            pos += 4;
+        } else if (text.compare(pos, 5, "false") == 0) {
+            value.boolean = false;
+            pos += 5;
+        } else {
+            fatal("json parse: bad literal at byte ", pos);
+        }
+        return value;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        fatalIf(text.compare(pos, 4, "null") != 0,
+                "json parse: bad literal at byte ", pos);
+        pos += 4;
+        return JsonValue{};
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E'))
+            ++pos;
+        fatalIf(pos == start, "json parse: expected a value at byte ",
+                start);
+        JsonValue value;
+        value.kind = JsonValue::Kind::Number;
+        char *end = nullptr;
+        std::string token = text.substr(start, pos - start);
+        value.number = std::strtod(token.c_str(), &end);
+        fatalIf(end == nullptr || *end != '\0',
+                "json parse: malformed number '", token, "' at byte ",
+                start);
+        return value;
+    }
+};
+
+} // namespace
+
+const JsonValue &
+JsonValue::get(const std::string &name) const
+{
+    auto it = members.find(name);
+    return it == members.end() ? kNullValue : it->second;
+}
+
+double
+JsonValue::num(const std::string &name, double fallback) const
+{
+    const JsonValue &v = get(name);
+    return v.kind == Kind::Number ? v.number : fallback;
+}
+
+long long
+JsonValue::intval(const std::string &name, long long fallback) const
+{
+    const JsonValue &v = get(name);
+    return v.kind == Kind::Number ? static_cast<long long>(v.number)
+                                  : fallback;
+}
+
+std::string
+JsonValue::str(const std::string &name,
+               const std::string &fallback) const
+{
+    const JsonValue &v = get(name);
+    return v.kind == Kind::String ? v.text : fallback;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    Parser parser{text};
+    JsonValue value = parser.parseValue();
+    parser.skipSpace();
+    fatalIf(parser.pos != text.size(),
+            "json parse: trailing garbage at byte ", parser.pos);
+    return value;
+}
+
+JsonValue
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open json file: ", path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseJson(buffer.str());
+}
+
+} // namespace qm

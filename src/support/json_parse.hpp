@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser, the read-side counterpart of
+ * json.hpp's JsonWriter. Parses the subset of JSON the simulator's own
+ * exporters emit (objects, arrays, strings with escapes, numbers,
+ * booleans, null) into a small value tree. Used by the qmprof trace
+ * analyzer to re-ingest Chrome trace_event files.
+ *
+ * Not a general-purpose validator: it accepts what it can parse and
+ * throws FatalError with a byte offset on anything malformed.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qm {
+
+/** One parsed JSON value (tree node). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;               ///< Array elements.
+    std::map<std::string, JsonValue> members;   ///< Object members.
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Object member lookup; null-kind sentinel when absent. */
+    const JsonValue &get(const std::string &name) const;
+
+    /** Member as double/int64/string with a default when absent. */
+    double num(const std::string &name, double fallback = 0.0) const;
+    long long intval(const std::string &name,
+                     long long fallback = 0) const;
+    std::string str(const std::string &name,
+                    const std::string &fallback = "") const;
+};
+
+/** Parse @p text as one JSON document. Throws FatalError on error. */
+JsonValue parseJson(const std::string &text);
+
+/** Parse the JSON file at @p path. Throws FatalError on error. */
+JsonValue parseJsonFile(const std::string &path);
+
+} // namespace qm

@@ -1,5 +1,6 @@
 #include "support/stats.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/diagnostics.hpp"
@@ -7,61 +8,135 @@
 
 namespace qm {
 
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the requested percentile, 1-based (nearest-rank style,
+    // then interpolated inside the covering bucket).
+    double rank = p / 100.0 * static_cast<double>(count_);
+    if (rank < 1.0)
+        rank = 1.0;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+        std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(i)];
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(seen + in_bucket) < rank) {
+            seen += in_bucket;
+            continue;
+        }
+        // Interpolate within [lo, hi), clamped to the exact envelope
+        // (the overflow bucket in particular has no usable hi).
+        double lo = static_cast<double>(
+            std::max(bucketLow(i), min_));
+        double hi = static_cast<double>(
+            std::min<std::uint64_t>(bucketHigh(i), max_ + 1));
+        if (hi <= lo)
+            hi = lo + 1.0;
+        double into =
+            (rank - static_cast<double>(seen)) /
+            static_cast<double>(in_bucket);
+        double value = lo + (hi - lo) * into;
+        return std::clamp(value, static_cast<double>(min_),
+                          static_cast<double>(max_));
+    }
+    return static_cast<double>(max_);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_)
+        max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (int i = 0; i < kNumBuckets; ++i)
+        buckets_[static_cast<std::size_t>(i)] +=
+            other.buckets_[static_cast<std::size_t>(i)];
+}
+
 void
 StatSet::inc(const std::string &name, std::uint64_t delta)
 {
-    counters[name] += delta;
+    counters_[name] += delta;
 }
 
 void
 StatSet::set(const std::string &name, double value)
 {
-    scalars[name] = value;
+    scalars_[name] = value;
 }
 
 void
 StatSet::sample(const std::string &name, double value)
 {
-    distributions[name].sample(value);
+    distributions_[name].sample(value);
+}
+
+void
+StatSet::record(const std::string &name, std::uint64_t value)
+{
+    histograms_[name].sample(value);
 }
 
 std::uint64_t
 StatSet::counter(const std::string &name) const
 {
-    auto it = counters.find(name);
-    return it == counters.end() ? 0 : it->second;
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
 }
 
 bool
 StatSet::hasCounter(const std::string &name) const
 {
-    return counters.count(name) != 0;
+    return counters_.count(name) != 0;
+}
+
+bool
+StatSet::hasHistogram(const std::string &name) const
+{
+    return histograms_.count(name) != 0;
 }
 
 double
 StatSet::scalar(const std::string &name) const
 {
-    auto it = scalars.find(name);
-    return it == scalars.end() ? 0.0 : it->second;
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second;
 }
 
 const Distribution &
 StatSet::distribution(const std::string &name) const
 {
-    auto it = distributions.find(name);
-    panicIf(it == distributions.end(), "unknown distribution: ", name);
+    auto it = distributions_.find(name);
+    panicIf(it == distributions_.end(), "unknown distribution: ", name);
+    return it->second;
+}
+
+const Histogram &
+StatSet::histogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    panicIf(it == histograms_.end(), "unknown histogram: ", name);
     return it->second;
 }
 
 void
-StatSet::merge(const StatSet &other)
+StatSet::mergeInto(const StatSet &other, const std::string &prefix)
 {
-    for (const auto &[name, value] : other.counters)
-        counters[name] += value;
-    for (const auto &[name, value] : other.scalars)
-        scalars[name] = value;
-    for (const auto &[name, dist] : other.distributions) {
-        Distribution &mine = distributions[name];
+    for (const auto &[name, value] : other.counters_)
+        counters_[prefix + name] += value;
+    for (const auto &[name, value] : other.scalars_)
+        scalars_[prefix + name] = value;
+    for (const auto &[name, dist] : other.distributions_) {
+        Distribution &mine = distributions_[prefix + name];
         // Merging loses per-sample detail; fold in the aggregate moments.
         if (dist.count() > 0) {
             mine.sample(dist.min());
@@ -69,20 +144,50 @@ StatSet::merge(const StatSet &other)
                 mine.sample(dist.max());
         }
     }
+    for (const auto &[name, hist] : other.histograms_)
+        histograms_[prefix + name].merge(hist);
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    mergeInto(other, "");
+}
+
+void
+StatSet::mergeScoped(const StatSet &other, const std::string &prefix)
+{
+    mergeInto(other, prefix);
+}
+
+StatScope
+StatSet::scoped(std::string prefix)
+{
+    return StatScope(*this, std::move(prefix));
 }
 
 std::string
 StatSet::render() const
 {
     std::ostringstream os;
-    for (const auto &[name, value] : counters)
+    os.imbue(std::locale::classic());
+    for (const auto &[name, value] : counters_)
         os << name << " " << value << "\n";
-    for (const auto &[name, value] : scalars)
+    for (const auto &[name, value] : scalars_)
         os << name << " " << fixed(value, 4) << "\n";
-    for (const auto &[name, dist] : distributions) {
-        os << name << " count=" << dist.count() << " min=" << dist.min()
-           << " max=" << dist.max() << " mean=" << fixed(dist.mean(), 3)
-           << "\n";
+    for (const auto &[name, dist] : distributions_) {
+        os << name << " count=" << dist.count()
+           << " min=" << fixed(dist.min(), 3)
+           << " max=" << fixed(dist.max(), 3)
+           << " mean=" << fixed(dist.mean(), 3) << "\n";
+    }
+    for (const auto &[name, hist] : histograms_) {
+        os << name << " count=" << hist.count() << " sum=" << hist.sum()
+           << " min=" << hist.min() << " max=" << hist.max()
+           << " mean=" << fixed(hist.mean(), 3)
+           << " p50=" << fixed(hist.percentile(50), 1)
+           << " p90=" << fixed(hist.percentile(90), 1)
+           << " p99=" << fixed(hist.percentile(99), 1) << "\n";
     }
     return os.str();
 }

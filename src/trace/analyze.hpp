@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Trace analysis for the qmprof profiler: re-ingests a Chrome
+ * trace_event JSON file written by export.hpp (or consumes a live
+ * Tracer's event stream) and answers the questions the raw timeline
+ * makes you eyeball:
+ *
+ *   - critical path: the time-respecting chain of run spans and
+ *     blocked gaps from the boot context to the last context to
+ *     finish - the sequence of work the run's length actually hinged
+ *     on (its length never exceeds the run's total cycles);
+ *   - top-k contexts by blocked time, attributed to why they were
+ *     parked (channel roll-out, timer, lazy-resident wait, or the
+ *     startup gap between fork and first dispatch);
+ *   - per-PE utilization timelines, bucketed over the run;
+ *   - a deadlock/starvation digest of contexts that never finished.
+ *
+ * Everything here is integer arithmetic over the recorded cycle
+ * stamps, so the analysis (and its rendering) is deterministic for a
+ * given trace.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace qm::trace {
+
+/**
+ * Load the events of a Chrome trace_event JSON file produced by
+ * writeChromeTrace back into Event records. Metadata ("M") rows are
+ * skipped; the exporter's dur>=1 clamp means sub-cycle spans
+ * reconstruct one cycle long. @p dropped (optional) receives the
+ * file's qmDroppedEvents count. Throws FatalError on malformed input.
+ */
+std::vector<Event> loadChromeTrace(const std::string &path,
+                                   std::uint64_t *dropped = nullptr);
+
+/** One link of the critical path, latest first. */
+struct PathSegment
+{
+    enum class Kind
+    {
+        Run,     ///< The context was executing on its PE.
+        Blocked, ///< The context existed but was off-PE / waiting.
+        Fork,    ///< Crossing from a context to its forking parent.
+    };
+    Kind kind = Kind::Run;
+    CtxId ctx = kNoCtx;
+    int pe = -1;              ///< PE (Run), -1 when not PE-bound.
+    Cycle from = 0;
+    Cycle to = 0;
+    /** Blocked-gap attribution ("channel", "timer", ...), else "". */
+    std::string reason;
+
+    Cycle length() const { return to - from; }
+};
+
+/** Per-context blocked-time attribution (top-k table row). */
+struct BlockedReport
+{
+    CtxId ctx = kNoCtx;
+    Cycle total = 0;    ///< All cycles the context spent not running.
+    Cycle startup = 0;  ///< Fork-to-first-dispatch shipping/queue wait.
+    Cycle channel = 0;  ///< Parked on a channel rendezvous (rolled out).
+    Cycle timer = 0;    ///< Parked on a TrapWait deadline.
+    Cycle resident = 0; ///< Blocked but kept loaded (lazy switch).
+};
+
+/** One PE's bucketed utilization timeline. */
+struct PeTimeline
+{
+    int pe = 0;
+    Cycle busy = 0;               ///< Total busy cycles over the run.
+    std::vector<double> buckets;  ///< Busy fraction per time bucket.
+};
+
+/** A context that never finished (deadlock/starvation digest row). */
+struct StarvedContext
+{
+    CtxId ctx = kNoCtx;
+    Cycle createdAt = 0;
+    bool dispatched = false;  ///< Ever ran at all.
+    /** Last thing the context did ("never dispatched", "parked (channel)
+     *  at cycle N", "running at trace end"). */
+    std::string lastState;
+};
+
+/** Analysis knobs. */
+struct AnalyzeOptions
+{
+    int topK = 10;            ///< Rows in the blocked-time table.
+    int timelineBuckets = 24; ///< Buckets per PE utilization row.
+};
+
+/** The complete analysis of one trace. */
+struct Profile
+{
+    Cycle totalCycles = 0;     ///< Last cycle stamp in the trace.
+    int numPes = 0;
+    std::uint64_t contexts = 0;
+    std::uint64_t finished = 0;
+    std::uint64_t dropped = 0; ///< Events the tracer discarded.
+
+    /** Latest-first chain; sum of lengths <= totalCycles. */
+    std::vector<PathSegment> criticalPath;
+    Cycle criticalPathCycles = 0;  ///< Sum of segment lengths.
+
+    std::vector<BlockedReport> blockedTop;   ///< Sorted, worst first.
+    std::vector<PeTimeline> peTimelines;     ///< Indexed by PE.
+    std::vector<StarvedContext> starved;     ///< Never-finished contexts.
+
+    /** Render the whole profile as the qmprof text report. */
+    std::string render(const AnalyzeOptions &options = {}) const;
+};
+
+/** Analyze a raw event stream (from a Tracer or loadChromeTrace). */
+Profile analyzeTrace(const std::vector<Event> &events,
+                     const AnalyzeOptions &options = {});
+
+} // namespace qm::trace

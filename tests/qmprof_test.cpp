@@ -1,0 +1,214 @@
+/**
+ * @file
+ * End-to-end tests for the performance observability layer: the qmprof
+ * analyzer on a real (pinned) two-PE program, the metrics JSON
+ * exporter's determinism across worker counts, and per-spec trace
+ * templating in parallel sweeps.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mp/system.hpp"
+#include "occam/compiler.hpp"
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+#include "support/diagnostics.hpp"
+#include "trace/analyze.hpp"
+#include "trace/export.hpp"
+
+namespace {
+
+using namespace qm;
+
+/**
+ * The pinned profiling subject: a two-stage channel pipeline that
+ * forks real contexts, rendezvouses 8 times, and verifies through the
+ * data segment. Deterministic at any PE count.
+ */
+const char *kPipelineSource =
+    "var results[2]:\n"
+    "chan a:\n"
+    "var total:\n"
+    "seq\n"
+    "  total := 0\n"
+    "  par\n"
+    "    seq i = [1 for 8]\n"
+    "      a ! i * i\n"
+    "    seq j = [1 for 8]\n"
+    "      var x:\n"
+    "      seq\n"
+    "        a ? x\n"
+    "        total := total + x\n"
+    "  results[0] := total\n"
+    "  results[1] := 8\n";
+
+/** 1^2 + ... + 8^2. */
+constexpr std::int32_t kSumOfSquares = 204;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(Qmprof, CriticalPathNeverExceedsRunCycles)
+{
+    occam::CompiledProgram program =
+        occam::compileOccam(kPipelineSource);
+    mp::SystemConfig config;
+    config.numPes = 2;
+    config.traceConfig.enabled = true;
+    mp::System system(program.object, config);
+    mp::RunResult result = system.run(program.mainLabel);
+    ASSERT_TRUE(result.completed);
+
+    trace::Profile profile =
+        trace::analyzeTrace(system.tracer().events());
+    // The acceptance invariant: the critical path is a time-respecting
+    // backward walk, so its length can never exceed the run's cycles.
+    EXPECT_GT(profile.criticalPathCycles, 0);
+    EXPECT_LE(profile.criticalPathCycles, result.cycles);
+    EXPECT_LE(profile.totalCycles, result.cycles);
+    EXPECT_EQ(profile.finished,
+              static_cast<std::uint64_t>(result.contexts));
+    EXPECT_TRUE(profile.starved.empty());
+    EXPECT_EQ(profile.numPes, 2);
+}
+
+TEST(Qmprof, ReportIsDeterministicAndFileRoundTripsExactly)
+{
+    occam::CompiledProgram program =
+        occam::compileOccam(kPipelineSource);
+    std::string renders[2];
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        mp::SystemConfig config;
+        config.numPes = 2;
+        config.traceConfig.enabled = true;
+        mp::System system(program.object, config);
+        ASSERT_TRUE(system.run(program.mainLabel).completed);
+        renders[attempt] =
+            trace::analyzeTrace(system.tracer().events()).render();
+        if (attempt == 0) {
+            // Round-trip through the Chrome JSON file and re-analyze:
+            // the report must match the live one byte for byte.
+            std::string path =
+                testing::TempDir() + "/qmprof_pinned.json";
+            trace::writeChromeTraceFile(path, system.tracer());
+            trace::Profile fromFile =
+                trace::analyzeTrace(trace::loadChromeTrace(path));
+            EXPECT_EQ(fromFile.render(), renders[0]);
+            std::remove(path.c_str());
+        }
+    }
+    // Two fresh simulations of the pinned program profile identically.
+    EXPECT_EQ(renders[0], renders[1]);
+    EXPECT_NE(renders[0].find("critical path:"), std::string::npos);
+    EXPECT_NE(renders[0].find("top contexts by blocked time:"),
+              std::string::npos);
+}
+
+TEST(Metrics, JsonIsByteIdenticalAcrossJobCounts)
+{
+    std::vector<sim::SpeedupSeries> series_by_jobs;
+    for (int jobs : {1, 4}) {
+        series_by_jobs.push_back(sim::runSpeedupSweep(
+            "pipeline", kPipelineSource, "results",
+            {kSumOfSquares, 8}, {1, 2, 4}, {}, {}, jobs));
+    }
+    std::string paths[2];
+    for (int i = 0; i < 2; ++i) {
+        paths[i] = testing::TempDir() + "/qm_metrics_" +
+                   std::to_string(i) + ".json";
+        sim::writeMetricsJson("determinism", {series_by_jobs[
+            static_cast<std::size_t>(i)]}, paths[i]);
+    }
+    std::string serial = readFile(paths[0]);
+    std::string parallel = readFile(paths[1]);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    // Sanity: the document carries the schema tag and histograms.
+    EXPECT_NE(serial.find(sim::kMetricsSchema), std::string::npos);
+    EXPECT_NE(serial.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(serial.find("msg.latency"), std::string::npos);
+    EXPECT_NE(serial.find("pe1.ready_wait"), std::string::npos);
+    for (const std::string &path : paths)
+        std::remove(path.c_str());
+}
+
+TEST(Metrics, HistogramsRecordTheInstrumentedPaths)
+{
+    sim::SpeedupSeries series = sim::runSpeedupSweep(
+        "pipeline", kPipelineSource, "results", {kSumOfSquares, 8},
+        {4});
+    ASSERT_EQ(series.runs.size(), 1u);
+    const StatSet &stats = series.runs[0].stats;
+    // Message latency, ring-bus, scheduling, and trap-service
+    // histograms all populate on a multi-PE channel program.
+    EXPECT_TRUE(stats.hasHistogram("msg.latency"));
+    EXPECT_TRUE(stats.hasHistogram("msg.fifo_depth"));
+    EXPECT_TRUE(stats.hasHistogram("bus.hops"));
+    EXPECT_TRUE(stats.hasHistogram("bus.latency"));
+    EXPECT_TRUE(stats.hasHistogram("sys.ready_wait"));
+    EXPECT_TRUE(stats.hasHistogram("sys.residency"));
+    EXPECT_TRUE(stats.hasHistogram("pe.trap_service"));
+    EXPECT_TRUE(stats.hasHistogram("pe0.ready_wait"));
+    EXPECT_GT(stats.histogram("msg.latency").count(), 0u);
+    EXPECT_GT(stats.histogram("pe.trap_service").count(), 0u);
+    // Latencies are cycle counts: bounded by the run itself.
+    EXPECT_LE(stats.histogram("msg.latency").max(),
+              static_cast<std::uint64_t>(series.runs[0].cycles));
+}
+
+TEST(Sweep, TraceDirWritesOneTracePerRunUnderParallelJobs)
+{
+    std::string dir = testing::TempDir();
+    sim::SpeedupSeries series = sim::runSpeedupSweep(
+        "pipe line!", kPipelineSource, "results", {kSumOfSquares, 8},
+        {1, 2}, {}, {}, /*jobs=*/2, dir);
+    ASSERT_EQ(series.runs.size(), 2u);
+    for (const sim::RunReport &run : series.runs)
+        EXPECT_TRUE(run.verified);
+    // The templated per-spec paths ("<dir>/pipe-line-pe<N>.json")
+    // exist and re-ingest as valid traces.
+    for (int pes : {1, 2}) {
+        std::string path =
+            dir + "/pipe-line-pe" + std::to_string(pes) + ".json";
+        std::vector<trace::Event> events =
+            trace::loadChromeTrace(path);
+        EXPECT_FALSE(events.empty()) << path;
+        trace::Profile profile = trace::analyzeTrace(events);
+        EXPECT_EQ(profile.numPes, pes);
+        EXPECT_LE(profile.criticalPathCycles, profile.totalCycles);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Sweep, RunAllRefusesSharedTracePathsUnderParallelJobs)
+{
+    occam::CompiledProgram program =
+        occam::compileOccam(kPipelineSource);
+    sim::RunSpec spec;
+    spec.program = &program;
+    spec.resultArray = "results";
+    spec.expected = {kSumOfSquares, 8};
+    spec.pes = 2;
+    spec.config.traceConfig.enabled = true;
+    spec.config.traceConfig.chromeJsonPath =
+        testing::TempDir() + "/qm_shared_trace.json";
+    std::vector<sim::RunSpec> specs = {spec, spec};
+    EXPECT_THROW(sim::runAll(specs, 2), FatalError);
+    // Serial execution keeps the historical single-file behavior
+    // (later runs overwrite earlier ones).
+    std::vector<sim::RunReport> reports = sim::runAll(specs, 1);
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_TRUE(reports[1].verified);
+    std::remove(spec.config.traceConfig.chromeJsonPath.c_str());
+}
+
+} // namespace

@@ -12,6 +12,7 @@
 #include "support/cli.hpp"
 #include "support/diagnostics.hpp"
 #include "support/json.hpp"
+#include "support/json_parse.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -98,6 +99,193 @@ TEST(Stats, RenderListsEverything)
     stats.inc("cycles", 100);
     std::string text = stats.render();
     EXPECT_NE(text.find("cycles 100"), std::string::npos);
+}
+
+TEST(Histogram, BucketBoundariesArePowersOfTwo)
+{
+    // Bucket 0 is exact zeros; bucket i covers [2^(i-1), 2^i).
+    EXPECT_EQ(Histogram::bucketIndex(0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(1), 1);
+    EXPECT_EQ(Histogram::bucketIndex(2), 2);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2);
+    EXPECT_EQ(Histogram::bucketIndex(4), 3);
+    EXPECT_EQ(Histogram::bucketIndex(1023), 10);
+    EXPECT_EQ(Histogram::bucketIndex(1024), 11);
+    EXPECT_EQ(Histogram::bucketLow(2), 2u);
+    EXPECT_EQ(Histogram::bucketHigh(2), 4u);
+    EXPECT_EQ(Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(Histogram::bucketHigh(0), 1u);
+    // Every non-overflow boundary is self-consistent: the low bound
+    // lands in its own bucket, one less lands in the previous one.
+    for (int i = 1; i < Histogram::kNumBuckets - 1; ++i) {
+        EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketLow(i)), i);
+        EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketHigh(i) - 1),
+                  i);
+    }
+}
+
+TEST(Histogram, OverflowBucketCatchesHugeSamples)
+{
+    const int last = Histogram::kNumBuckets - 1;
+    EXPECT_EQ(Histogram::bucketIndex(std::uint64_t{1} << (last - 1)),
+              last);
+    EXPECT_EQ(Histogram::bucketIndex(~std::uint64_t{0}), last);
+    Histogram h;
+    h.sample(std::uint64_t{1} << 40);
+    h.sample(3);
+    EXPECT_EQ(h.bucketCount(last), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    // Count/sum/min/max stay exact even through the overflow bucket.
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.sum(), (std::uint64_t{1} << 40) + 3);
+    EXPECT_EQ(h.min(), 3u);
+    EXPECT_EQ(h.max(), std::uint64_t{1} << 40);
+}
+
+TEST(Histogram, ExactMomentsAndEmptyBehaviour)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    h.sample(0);
+    h.sample(10);
+    h.sample(20);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 30u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 20u);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);  // the zero sample
+}
+
+TEST(Histogram, PercentilesInterpolateWithinEnvelope)
+{
+    Histogram uniform;
+    for (int i = 0; i < 100; ++i)
+        uniform.sample(7);  // one bucket, one value
+    EXPECT_DOUBLE_EQ(uniform.percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(uniform.percentile(50), 7.0);
+    EXPECT_DOUBLE_EQ(uniform.percentile(100), 7.0);
+
+    Histogram spread;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        spread.sample(v);
+    // Estimates are within a power of two and clamped to [min, max];
+    // they must also be monotone in p.
+    double p50 = spread.percentile(50);
+    double p90 = spread.percentile(90);
+    double p99 = spread.percentile(99);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p99, 1000.0);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_GT(p50, 256.0);   // true p50 is 500; bucket [512,1024)
+    EXPECT_GT(p99, 512.0);   // true p99 is 990
+}
+
+TEST(Histogram, MergeIsExactBucketwiseAddition)
+{
+    Histogram a, b, reference;
+    for (std::uint64_t v : {0u, 1u, 5u, 9u}) {
+        a.sample(v);
+        reference.sample(v);
+    }
+    for (std::uint64_t v : {2u, 5u, 1000u}) {
+        b.sample(v);
+        reference.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), reference.count());
+    EXPECT_EQ(a.sum(), reference.sum());
+    EXPECT_EQ(a.min(), reference.min());
+    EXPECT_EQ(a.max(), reference.max());
+    for (int i = 0; i < Histogram::kNumBuckets; ++i)
+        EXPECT_EQ(a.bucketCount(i), reference.bucketCount(i));
+    // Merging an empty histogram changes nothing.
+    Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), reference.count());
+    EXPECT_EQ(a.min(), reference.min());
+}
+
+TEST(Stats, HistogramsRegisterAndRender)
+{
+    StatSet stats;
+    stats.record("msg.latency", 4);
+    stats.record("msg.latency", 12);
+    EXPECT_TRUE(stats.hasHistogram("msg.latency"));
+    EXPECT_FALSE(stats.hasHistogram("missing"));
+    EXPECT_EQ(stats.histogram("msg.latency").count(), 2u);
+    EXPECT_EQ(stats.histogramMap().size(), 1u);
+    std::string text = stats.render();
+    EXPECT_NE(text.find("msg.latency"), std::string::npos);
+}
+
+TEST(Stats, ScopedViewPrefixesEveryKind)
+{
+    StatSet stats;
+    StatScope pe = stats.scoped("pe3.");
+    pe.inc("traps", 2);
+    pe.set("clock", 99.0);
+    pe.record("ready_wait", 7);
+    EXPECT_EQ(stats.counter("pe3.traps"), 2u);
+    EXPECT_DOUBLE_EQ(stats.scalar("pe3.clock"), 99.0);
+    EXPECT_TRUE(stats.hasHistogram("pe3.ready_wait"));
+    EXPECT_EQ(stats.histogram("pe3.ready_wait").count(), 1u);
+}
+
+TEST(Stats, MergeScopedPrefixesIncomingNames)
+{
+    StatSet total, pe;
+    pe.inc("instructions", 5);
+    pe.record("trap_service", 30);
+    total.inc("instructions", 1);
+    total.mergeScoped(pe, "pe1.");
+    EXPECT_EQ(total.counter("pe1.instructions"), 5u);
+    EXPECT_EQ(total.counter("instructions"), 1u);  // untouched
+    EXPECT_TRUE(total.hasHistogram("pe1.trap_service"));
+    EXPECT_FALSE(total.hasHistogram("trap_service"));
+}
+
+TEST(Stats, MergeFoldsHistogramsExactly)
+{
+    StatSet a, b;
+    a.record("bus.hops", 1);
+    b.record("bus.hops", 3);
+    b.record("bus.hops", 3);
+    a.merge(b);
+    EXPECT_EQ(a.histogram("bus.hops").count(), 3u);
+    EXPECT_EQ(a.histogram("bus.hops").sum(), 7u);
+}
+
+TEST(JsonParse, ReadsNestedDocument)
+{
+    JsonValue doc = parseJson(
+        "{\"n\": 42, \"x\": -1.5, \"s\": \"a\\nb\", \"flag\": true,"
+        " \"list\": [1, 2, 3], \"obj\": {\"inner\": \"yes\"}}");
+    EXPECT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.intval("n"), 42);
+    EXPECT_DOUBLE_EQ(doc.num("x"), -1.5);
+    EXPECT_EQ(doc.str("s"), "a\nb");
+    EXPECT_TRUE(doc.get("flag").boolean);
+    EXPECT_EQ(doc.get("list").items.size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.get("list").items[1].number, 2.0);
+    EXPECT_EQ(doc.get("obj").str("inner"), "yes");
+    // Absent members come back as fallbacks / null sentinels.
+    EXPECT_EQ(doc.intval("missing", -7), -7);
+    EXPECT_EQ(doc.str("missing", "dflt"), "dflt");
+    EXPECT_TRUE(doc.get("missing").isNull());
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{\"unterminated\": "), FatalError);
+    EXPECT_THROW(parseJson("[1, 2,"), FatalError);
+    EXPECT_THROW(parseJson("nope"), FatalError);
+    EXPECT_THROW(parseJson(""), FatalError);
 }
 
 TEST(Table, AlignsColumns)

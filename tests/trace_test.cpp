@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "support/json.hpp"
+#include "trace/analyze.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 
@@ -116,6 +118,139 @@ TEST(ChromeExport, EmitsTraceEventsArrayWithProcessMetadata)
               std::count(json.begin(), json.end(), '}'));
     EXPECT_EQ(std::count(json.begin(), json.end(), '['),
               std::count(json.begin(), json.end(), ']'));
+}
+
+/**
+ * A small hand-built two-PE scenario with a known critical path:
+ * ctx 0 boots on pe0, forks ctx 1 to pe1 mid-span, parks on a
+ * channel, and resumes to finish last.
+ */
+Tracer
+syntheticTrace()
+{
+    Tracer tracer(enabledConfig());
+    tracer.ctxCreate(0, 0, 0, 0);
+    tracer.ctxDispatch(2, 0, 0);
+    tracer.ctxCreate(5, 1, 1, 0);  // forked by pe0 during [2,10)
+    tracer.ctxPark(10, 0, 0, ParkReason::Channel);
+    tracer.peBusy(2, 10, 0, 0);
+    tracer.ctxDispatch(8, 1, 1);
+    tracer.rendezvous(20, 3, 1, 99);
+    tracer.ctxFinish(25, 1, 1);
+    tracer.peBusy(8, 25, 1, 1);
+    tracer.ctxDispatch(30, 0, 0);
+    tracer.ctxFinish(40, 0, 0);
+    tracer.peBusy(30, 40, 0, 0);
+    return tracer;
+}
+
+TEST(Analyze, CriticalPathWalksBackwardFromLastFinish)
+{
+    Tracer tracer = syntheticTrace();
+    Profile profile = analyzeTrace(tracer.events());
+    EXPECT_EQ(profile.totalCycles, 40);
+    EXPECT_EQ(profile.numPes, 2);
+    EXPECT_EQ(profile.contexts, 2u);
+    EXPECT_EQ(profile.finished, 2u);
+
+    // ctx 0 finishes last (cycle 40); walking backward gives
+    // run [30,40], channel-blocked [10,30], run [2,10], startup [0,2].
+    ASSERT_EQ(profile.criticalPath.size(), 4u);
+    const auto &path = profile.criticalPath;
+    EXPECT_EQ(path[0].kind, PathSegment::Kind::Run);
+    EXPECT_EQ(path[0].from, 30);
+    EXPECT_EQ(path[0].to, 40);
+    EXPECT_EQ(path[0].pe, 0);
+    EXPECT_EQ(path[1].kind, PathSegment::Kind::Blocked);
+    EXPECT_EQ(path[1].from, 10);
+    EXPECT_EQ(path[1].to, 30);
+    EXPECT_EQ(path[1].reason, "channel");
+    EXPECT_EQ(path[2].kind, PathSegment::Kind::Run);
+    EXPECT_EQ(path[2].from, 2);
+    EXPECT_EQ(path[2].to, 10);
+    EXPECT_EQ(path[3].kind, PathSegment::Kind::Blocked);
+    EXPECT_EQ(path[3].reason, "startup");
+
+    // The path tiles [0,40] exactly: its length can never exceed the
+    // run's total cycles (the qmprof invariant).
+    EXPECT_EQ(profile.criticalPathCycles, 40);
+    EXPECT_LE(profile.criticalPathCycles, profile.totalCycles);
+}
+
+TEST(Analyze, BlockedTimeAttributionPerContext)
+{
+    Tracer tracer = syntheticTrace();
+    Profile profile = analyzeTrace(tracer.events());
+    ASSERT_EQ(profile.blockedTop.size(), 2u);
+    // ctx 0: 2 startup + 20 channel; ctx 1: 3 startup.
+    EXPECT_EQ(profile.blockedTop[0].ctx, 0u);
+    EXPECT_EQ(profile.blockedTop[0].total, 22);
+    EXPECT_EQ(profile.blockedTop[0].startup, 2);
+    EXPECT_EQ(profile.blockedTop[0].channel, 20);
+    EXPECT_EQ(profile.blockedTop[0].timer, 0);
+    EXPECT_EQ(profile.blockedTop[1].ctx, 1u);
+    EXPECT_EQ(profile.blockedTop[1].total, 3);
+    EXPECT_EQ(profile.blockedTop[1].startup, 3);
+    EXPECT_TRUE(profile.starved.empty());
+
+    // Per-PE busy totals come straight from the spans.
+    ASSERT_EQ(profile.peTimelines.size(), 2u);
+    EXPECT_EQ(profile.peTimelines[0].busy, 18);  // [2,10) + [30,40)
+    EXPECT_EQ(profile.peTimelines[1].busy, 17);  // [8,25)
+}
+
+TEST(Analyze, StarvationDigestFlagsUnfinishedContexts)
+{
+    Tracer tracer(enabledConfig());
+    tracer.ctxCreate(0, 0, 0, 0);
+    tracer.ctxDispatch(1, 0, 0);
+    tracer.peBusy(1, 5, 0, 0);
+    tracer.ctxFinish(5, 0, 0);
+    tracer.ctxCreate(2, 1, 7, 0);   // never dispatched
+    tracer.ctxCreate(3, 0, 8, 0);   // parked forever
+    tracer.ctxDispatch(4, 0, 8);
+    tracer.ctxPark(6, 0, 8, ParkReason::Channel);
+    Profile profile = analyzeTrace(tracer.events());
+    ASSERT_EQ(profile.starved.size(), 2u);
+    EXPECT_EQ(profile.starved[0].ctx, 7u);
+    EXPECT_FALSE(profile.starved[0].dispatched);
+    EXPECT_EQ(profile.starved[0].lastState, "never dispatched");
+    EXPECT_EQ(profile.starved[1].ctx, 8u);
+    EXPECT_TRUE(profile.starved[1].dispatched);
+    EXPECT_NE(profile.starved[1].lastState.find("parked (channel)"),
+              std::string::npos);
+    std::string report = profile.render();
+    EXPECT_NE(report.find("2 context(s) never finished"),
+              std::string::npos);
+}
+
+TEST(Analyze, ChromeJsonRoundTripPreservesTheAnalysis)
+{
+    Tracer tracer = syntheticTrace();
+    std::string path = testing::TempDir() + "/qm_roundtrip_trace.json";
+    writeChromeTraceFile(path, tracer);
+    std::uint64_t dropped = 123;
+    std::vector<Event> reloaded = loadChromeTrace(path, &dropped);
+    EXPECT_EQ(dropped, 0u);  // overwritten from the file
+    Profile live = analyzeTrace(tracer.events());
+    Profile fromFile = analyzeTrace(reloaded);
+    EXPECT_EQ(live.render(), fromFile.render());
+    EXPECT_EQ(fromFile.criticalPathCycles, live.criticalPathCycles);
+    std::remove(path.c_str());
+}
+
+TEST(Analyze, RenderSectionsArePresentAndDeterministic)
+{
+    Tracer tracer = syntheticTrace();
+    Profile profile = analyzeTrace(tracer.events());
+    std::string report = profile.render();
+    EXPECT_NE(report.find("critical path:"), std::string::npos);
+    EXPECT_NE(report.find("top contexts by blocked time:"),
+              std::string::npos);
+    EXPECT_NE(report.find("per-PE utilization"), std::string::npos);
+    EXPECT_NE(report.find("all 2 contexts finished"),
+              std::string::npos);
+    EXPECT_EQ(report, analyzeTrace(tracer.events()).render());
 }
 
 TEST(JsonWriter, EscapesAndNestsCorrectly)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json report against a committed baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance FRAC]
+
+Walks every (series, PE-count) cell present in the baseline and fails
+(exit 1) when the current report's cycle count regressed by more than
+the tolerance (default 0.10 = 10%), or when a baseline cell is missing
+or no longer verified in the current report. Improvements and
+within-tolerance drift are reported but pass. The simulator is fully
+deterministic, so any drift at all is a real behavior change; the
+tolerance only exists to keep intentional small costs (added checks,
+instrumentation) from blocking CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    """{(series name, pes): run dict} from one BENCH_*.json report."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    runs = {}
+    for series in doc.get("series", []):
+        for run in series.get("runs", []):
+            runs[(series.get("name", "?"), run.get("pes", 0))] = run
+    return doc.get("bench", "?"), runs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max allowed fractional cycle regression "
+                             "(default 0.10)")
+    args = parser.parse_args()
+
+    base_name, base_runs = load_runs(args.baseline)
+    cur_name, cur_runs = load_runs(args.current)
+    if base_name != cur_name:
+        print(f"FAIL: comparing different benches "
+              f"('{base_name}' vs '{cur_name}')")
+        return 1
+
+    failures = 0
+    for key in sorted(base_runs):
+        series, pes = key
+        base = base_runs[key]
+        cell = f"{series} @ {pes} PEs"
+        cur = cur_runs.get(key)
+        if cur is None:
+            print(f"FAIL: {cell}: missing from current report")
+            failures += 1
+            continue
+        if not cur.get("verified", False):
+            print(f"FAIL: {cell}: run no longer verifies")
+            failures += 1
+            continue
+        base_cycles = base.get("cycles", 0)
+        cur_cycles = cur.get("cycles", 0)
+        if base_cycles <= 0:
+            continue
+        delta = (cur_cycles - base_cycles) / base_cycles
+        if delta > args.tolerance:
+            print(f"FAIL: {cell}: cycles {base_cycles} -> {cur_cycles} "
+                  f"(+{delta:.1%} > {args.tolerance:.0%} tolerance)")
+            failures += 1
+        elif delta != 0:
+            word = "slower" if delta > 0 else "faster"
+            print(f"note: {cell}: cycles {base_cycles} -> {cur_cycles} "
+                  f"({abs(delta):.1%} {word})")
+        else:
+            print(f"ok:   {cell}: {cur_cycles} cycles (unchanged)")
+
+    extra = sorted(set(cur_runs) - set(base_runs))
+    for series, pes in extra:
+        print(f"note: {series} @ {pes} PEs: new cell, no baseline")
+
+    if failures:
+        print(f"{failures} cell(s) regressed past tolerance; "
+              f"if intentional, refresh the baseline "
+              f"(tools/baselines/) in the same change")
+        return 1
+    print(f"all {len(base_runs)} baseline cells within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
