@@ -47,6 +47,7 @@ main(int argc, char **argv)
         spec.config.busPartitions = partitions;
         spec.config.faultPlan = args.faults;
         spec.config.recovery = args.recovery;
+        spec.config.core = args.core;
         if (!args.traceDir.empty()) {
             // The sweep varies partitions at a fixed PE count, so the
             // partition count is what keeps the paths distinct.
@@ -114,7 +115,9 @@ main(int argc, char **argv)
                  "concurrency; at this message rate latency dominates, "
                  "matching the thesis choice of FEW partitions: 2 for "
                  "4 PEs in Fig 5.18)\n";
-    std::cout << "wrote " << sim::writeBenchJson("ch5_bus", {series})
+    std::cout << "wrote "
+              << sim::writeBenchJson("ch5_bus", {series}, "",
+                                     args.hostTime)
               << "\n";
     if (!args.metricsPath.empty()) {
         std::string where =

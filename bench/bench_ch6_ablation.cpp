@@ -85,6 +85,7 @@ main(int argc, char **argv)
             spec.pes = pes;
             spec.config.faultPlan = args.faults;
             spec.config.recovery = args.recovery;
+            spec.config.core = args.core;
             if (!args.traceDir.empty()) {
                 // The grid varies the compile options at a fixed PE
                 // count; the variant index keeps the paths distinct.
@@ -141,7 +142,9 @@ main(int argc, char **argv)
                  "all runs verified against reference results)\n"
               << "(JSON runs order: all-on, no live-value, no "
                  "input-seq, no priority-sched, all off)\n";
-    std::cout << "wrote " << sim::writeBenchJson("ch6_ablation", all)
+    std::cout << "wrote "
+              << sim::writeBenchJson("ch6_ablation", all, "",
+                                     args.hostTime)
               << "\n";
     if (!args.metricsPath.empty()) {
         std::string where = sim::writeMetricsJson("ch6_ablation", all,

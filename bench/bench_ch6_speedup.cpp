@@ -93,6 +93,7 @@ main(int argc, char **argv)
     mp::SystemConfig base_config;
     base_config.faultPlan = args.faults;
     base_config.recovery = args.recovery;
+    base_config.core = args.core;
     const std::vector<int> pe_counts = {1, 2, 3, 4, 5, 6, 7, 8};
 
     std::cout << "Queue-machine multiprocessor simulation study "
@@ -134,7 +135,9 @@ main(int argc, char **argv)
     reportSeries(iterative, "Fig 6.9 non-recursive");
     all.push_back(iterative);
 
-    std::cout << "wrote " << sim::writeBenchJson("ch6_speedup", all)
+    std::cout << "wrote "
+              << sim::writeBenchJson("ch6_speedup", all, "",
+                                     args.hostTime)
               << "\n";
     if (!args.metricsPath.empty()) {
         std::string where = sim::writeMetricsJson("ch6_speedup", all,

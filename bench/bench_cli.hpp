@@ -20,6 +20,13 @@
  * `--trace-dir DIR` records a Chrome trace per run into
  * DIR/<name>-pe<N>.json (distinct paths, so it composes with
  * parallel sweeps; DIR must exist).
+ * `--core tick|event` selects the simulation core: `event` (default)
+ * is the next-event calendar scheduler, `tick` the unit-tick scan it
+ * replaced. Both produce byte-identical reports; tick exists for the
+ * differential gate and for host-speed comparisons.
+ * `--host-time` adds host_wall_ms / sim_cycles_per_sec to the BENCH
+ * JSON. Off by default because those fields are machine-dependent and
+ * the default document must stay byte-stable.
  */
 #pragma once
 
@@ -27,6 +34,7 @@
 #include <string>
 
 #include "fault/fault.hpp"
+#include "mp/system.hpp"
 #include "support/cli.hpp"
 
 namespace qm::benchcli {
@@ -40,12 +48,15 @@ struct BenchArgs
     fault::RecoveryPlan recovery{}; ///< Disabled unless --recover given.
     std::string metricsPath;        ///< Empty = no metrics export.
     std::string traceDir;           ///< Empty = no per-run traces.
+    mp::SimCore core = mp::SimCore::Event; ///< --core tick|event.
+    bool hostTime = false;          ///< --host-time in BENCH JSON.
 };
 
 /**
  * Parse argv for
  * `[--jobs N] [--faults SPEC] [--recover] [--checkpoint-every N]
- *  [--metrics FILE] [--trace-dir DIR]`.
+ *  [--metrics FILE] [--trace-dir DIR] [--core tick|event]
+ *  [--host-time]`.
  * On malformed or unknown arguments prints a usage error and returns
  * ok=false.
  */
@@ -78,6 +89,20 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
             args.traceDir = argv[++i];
         } else if (arg == "--recover") {
             args.recovery.enabled = true;
+        } else if (arg == "--core" && i + 1 < argc) {
+            std::string core = argv[++i];
+            if (core == "tick") {
+                args.core = mp::SimCore::Tick;
+            } else if (core == "event") {
+                args.core = mp::SimCore::Event;
+            } else {
+                std::cerr << bench_name << ": --core expects 'tick' or "
+                             "'event', got '" << core << "'\n";
+                args.ok = false;
+                return args;
+            }
+        } else if (arg == "--host-time") {
+            args.hostTime = true;
         } else if (arg == "--checkpoint-every" && i + 1 < argc) {
             try {
                 args.recovery.checkpointEvery = parsePositiveIntArg(
@@ -93,7 +118,8 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
             std::cerr << "usage: " << bench_name
                       << " [--jobs N] [--faults SPEC] [--recover] "
                          "[--checkpoint-every N] [--metrics FILE] "
-                         "[--trace-dir DIR]\n";
+                         "[--trace-dir DIR] [--core tick|event] "
+                         "[--host-time]\n";
             args.ok = false;
             return args;
         }

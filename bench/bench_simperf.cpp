@@ -74,6 +74,50 @@ BM_SimulateMatmul(benchmark::State &state)
 BENCHMARK(BM_SimulateMatmul)->Arg(1)->Arg(8)->Unit(
     benchmark::kMillisecond);
 
+/**
+ * Core-vs-core host speed on the same workload: items processed is the
+ * SIMULATED cycle count, so items/sec reads directly as simulated
+ * cycles per host second - the number the calendar-queue rework is
+ * meant to multiply. The two benchmarks run the identical matmul (the
+ * cores are byte-identical in output), differing only in SimCore.
+ */
+void
+simCyclesRate(benchmark::State &state, mp::SimCore core)
+{
+    occam::CompiledProgram program =
+        occam::compileOccam(programs::matmulSource());
+    int pes = static_cast<int>(state.range(0));
+    std::int64_t total_cycles = 0;
+    for (auto _ : state) {
+        mp::SystemConfig config;
+        config.numPes = pes;
+        config.core = core;
+        mp::System system(program.object, config);
+        mp::RunResult result = system.run(program.mainLabel);
+        total_cycles += static_cast<std::int64_t>(result.cycles);
+    }
+    // Accumulated across iterations: SetItemsProcessed is the total
+    // for the whole run, so per-iteration counts would divide away
+    // the very speedup this benchmark exists to show.
+    state.SetItemsProcessed(total_cycles);
+}
+
+void
+BM_SimCyclesTick(benchmark::State &state)
+{
+    simCyclesRate(state, mp::SimCore::Tick);
+}
+BENCHMARK(BM_SimCyclesTick)->Arg(1)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_SimCyclesEvent(benchmark::State &state)
+{
+    simCyclesRate(state, mp::SimCore::Event);
+}
+BENCHMARK(BM_SimCyclesEvent)->Arg(1)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -110,11 +110,23 @@ struct FaultPlan
     /** PE to kill, modulo the PE count; -1 = the last PE. */
     int killPe = -1;
 
+    /**
+     * A pekill is scheduled. The kill is timer-driven, not drawn from
+     * the decision stream, so both simulation cores (the unit-tick scan
+     * and the event calendar) arm it the same way: it fires the first
+     * time the next dispatch cycle reaches killAt.
+     */
+    bool
+    killPlanned() const
+    {
+        return killAt > 0;
+    }
+
     bool
     enabled() const
     {
         return (rate > 0.0 && kinds != 0) ||
-               ((kinds & kPeKill) != 0 && killAt > 0);
+               ((kinds & kPeKill) != 0 && killPlanned());
     }
 };
 

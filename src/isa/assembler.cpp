@@ -3,6 +3,7 @@
 #include <cctype>
 #include <sstream>
 
+#include "support/cli.hpp"
 #include "support/diagnostics.hpp"
 
 namespace qm::isa {
@@ -145,7 +146,10 @@ class Parser
                std::isdigit(static_cast<unsigned char>(s[pos])))
             ++pos;
         fatalIf(pos == start, "line ", line, ": expected number");
-        return std::stol(s.substr(start, pos - start));
+        auto value = tryParseInt(s.substr(start, pos - start));
+        fatalIf(!value, "line ", line, ": number '",
+                s.substr(start, pos - start), "' out of range");
+        return *value;
     }
 
     static int
@@ -164,10 +168,16 @@ class Parser
         fatalIf(name.size() < 2 || name[0] != 'r' ||
                     !std::isdigit(static_cast<unsigned char>(name[1])),
                 "line ", line, ": expected register, got '", name, "'");
-        int n = std::stoi(name.substr(1));
-        fatalIf(n < 0 || n > 255, "line ", line, ": register r", n,
+        // std::stoi would throw std::out_of_range on "r99999999999"
+        // (killing the assembler with an uncaught exception) and
+        // silently accept trailing junk like "r12x"; parse the whole
+        // suffix and report through the usual line diagnostic.
+        auto n = tryParseInt(name.substr(1));
+        fatalIf(!n, "line ", line, ": expected register, got '", name,
+                "'");
+        fatalIf(*n < 0 || *n > 255, "line ", line, ": register r", *n,
                 " out of range");
-        return n;
+        return static_cast<int>(*n);
     }
 
     SrcToken

@@ -268,4 +268,29 @@ Instruction::toString() const
     return os.str();
 }
 
+DecodedProgram::DecodedProgram(const std::vector<Word> &words)
+    : words_(&words),
+      index_(words.size(), -1)
+{
+    ops_.reserve(64);
+}
+
+const DecodedOp &
+DecodedProgram::at(Word pc)
+{
+    panicIf(static_cast<std::size_t>(pc) >= index_.size(),
+            "PC out of code bounds: ", pc);
+    std::int32_t &slot = index_[pc];
+    if (slot < 0) {
+        std::size_t index = pc;
+        DecodedOp op;
+        op.instr = Instruction::decode(*words_, index);
+        op.nextPc = static_cast<Word>(index);
+        op.sizeWords = op.instr.sizeWords();
+        slot = static_cast<std::int32_t>(ops_.size());
+        ops_.push_back(op);
+    }
+    return ops_[static_cast<std::size_t>(slot)];
+}
+
 } // namespace qm::isa

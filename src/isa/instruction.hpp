@@ -5,6 +5,7 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,6 +82,44 @@ struct Instruction
 
     /** Render in the thesis assembly syntax. */
     std::string toString() const;
+};
+
+/** One predecoded instruction plus the decode-derived hot-path facts. */
+struct DecodedOp
+{
+    Instruction instr;
+    Word nextPc = 0;    ///< PC after the instruction and its immediates.
+    int sizeWords = 1;  ///< Cached instr.sizeWords().
+};
+
+/**
+ * Lazily-built decode cache over one object-code image: a per-PC index
+ * into a flat arena of DecodedOp entries. The event-driven core decodes
+ * each instruction once, on first execution, and replays the cached
+ * form on every later visit - the tick core re-decodes every step, and
+ * the two must stay observationally identical, so decoding stays lazy
+ * (a program whose cold path holds a truncated or garbage instruction
+ * panics at the same execution point in both cores, not at load time).
+ *
+ * Shared by every PE of a System: the instruction space is pure code.
+ */
+class DecodedProgram
+{
+  public:
+    explicit DecodedProgram(const std::vector<Word> &words);
+
+    /**
+     * The decoded instruction at @p pc (decoding and caching it on
+     * first visit). Panics exactly like the interpreter on an
+     * out-of-bounds PC or a truncated instruction. The reference is
+     * invalidated by the next at() call for a not-yet-decoded PC.
+     */
+    const DecodedOp &at(Word pc);
+
+  private:
+    const std::vector<Word> *words_;
+    std::vector<std::int32_t> index_;  ///< Per-PC arena slot; -1 = cold.
+    std::vector<DecodedOp> ops_;       ///< Flat arena, decode order.
 };
 
 } // namespace qm::isa

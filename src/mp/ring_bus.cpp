@@ -46,10 +46,10 @@ RingBus::transfer(int src, int dst, Cycle now)
 {
     if (src == dst) {
         // Intra-PE transfers stay inside the local message processor.
-        stats_.inc("bus.local_transfers");
+        counterSlot(counters_.localTransfers, "bus.local_transfers") += 1;
         return now + config_.messageOverhead;
     }
-    stats_.inc("bus.remote_transfers");
+    counterSlot(counters_.remoteTransfers, "bus.remote_transfers") += 1;
 
     Cycle t = now + config_.messageOverhead;
     // Reserve each partition along the path in order.
@@ -62,17 +62,23 @@ RingBus::transfer(int src, int dst, Cycle now)
         Cycle start = std::max(t, free_at);
         Cycle wait = start - t;
         if (wait > 0)
-            stats_.inc("bus.contention_cycles",
-                       static_cast<std::uint64_t>(wait));
+            counterSlot(counters_.contentionCycles,
+                        "bus.contention_cycles") +=
+                static_cast<std::uint64_t>(wait);
         waited += wait;
         t = start + config_.hopCycles;
         free_at = t;
     }
-    stats_.inc("bus.hop_count", static_cast<std::uint64_t>(hops));
-    stats_.inc("bus.transfer_cycles", static_cast<std::uint64_t>(t - now));
-    stats_.record("bus.hops", static_cast<std::uint64_t>(hops));
-    stats_.record("bus.queue_wait", static_cast<std::uint64_t>(waited));
-    stats_.record("bus.latency", static_cast<std::uint64_t>(t - now));
+    counterSlot(counters_.hopCount, "bus.hop_count") +=
+        static_cast<std::uint64_t>(hops);
+    counterSlot(counters_.transferCycles, "bus.transfer_cycles") +=
+        static_cast<std::uint64_t>(t - now);
+    histogramSlot(histograms_.hops, "bus.hops")
+        .sample(static_cast<std::uint64_t>(hops));
+    histogramSlot(histograms_.queueWait, "bus.queue_wait")
+        .sample(static_cast<std::uint64_t>(waited));
+    histogramSlot(histograms_.latency, "bus.latency")
+        .sample(static_cast<std::uint64_t>(t - now));
     if (tracer_)
         tracer_->busTransfer(now, t, src, dst, hops);
     return t;

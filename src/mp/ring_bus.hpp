@@ -117,13 +117,56 @@ class RingBus
     {
         partitionFree = snap.partitionFree;
         stats_ = snap.stats;
+        // The assignment rebuilt the stat maps; cached slot pointers
+        // into the old maps are dead.
+        counters_ = CounterHandles{};
+        histograms_ = HistogramHandles{};
     }
 
   private:
+    /**
+     * Cached map slots for transfer()'s per-message statistics (the
+     * rendezvous hot path). Resolved on first actual use - so a stat
+     * a run never emits still creates no map entry - and invalidated
+     * whenever stats_ is reassigned (restore()).
+     */
+    struct CounterHandles
+    {
+        std::uint64_t *localTransfers = nullptr;
+        std::uint64_t *remoteTransfers = nullptr;
+        std::uint64_t *contentionCycles = nullptr;
+        std::uint64_t *hopCount = nullptr;
+        std::uint64_t *transferCycles = nullptr;
+    };
+    struct HistogramHandles
+    {
+        Histogram *hops = nullptr;
+        Histogram *queueWait = nullptr;
+        Histogram *latency = nullptr;
+    };
+
+    std::uint64_t &
+    counterSlot(std::uint64_t *&slot, const char *name)
+    {
+        if (!slot)
+            slot = &stats_.counterRef(name);
+        return *slot;
+    }
+
+    Histogram &
+    histogramSlot(Histogram *&slot, const char *name)
+    {
+        if (!slot)
+            slot = &stats_.histogramRef(name);
+        return *slot;
+    }
+
     RingBusConfig config_;
     /** Earliest free cycle per partition. */
     std::vector<Cycle> partitionFree;
     StatSet stats_;
+    CounterHandles counters_;
+    HistogramHandles histograms_;
     trace::Tracer *tracer_ = nullptr;
     fault::FaultInjector *faults_ = nullptr;
     const fault::RecoveryPlan *recovery_ = nullptr;

@@ -96,6 +96,17 @@ struct System::PeSlot
     /** Fail-stopped by an injected pekill: never schedules again. */
     bool dead = false;
 
+    /**
+     * Time of this slot's live calendar entry (-1 = none). The event
+     * core keeps exactly one live entry per slot: a new registration
+     * only enters the heap when it improves on calAt, and a surfacing
+     * entry whose time differs from calAt is a superseded duplicate,
+     * dropped unexamined. Without this discipline every context wake
+     * would grow the heap and every stale entry would be re-corrected
+     * each scheduling round - quadratic churn on wake-heavy runs.
+     */
+    Cycle calAt = -1;
+
     // Span journal (populated only when recovery is enabled): the
     // completed host ops and the memory stores of the span currently
     // running on this PE. Committed (cleared) whenever the span's
@@ -184,7 +195,10 @@ struct System::Checkpoint
 
 System::System(const isa::ObjectCode &code, SystemConfig config)
     : code_(code), config_(config),
-      memory_(std::make_unique<pe::Memory>(config.memoryBytes)),
+      memory_(std::make_unique<pe::Memory>(
+          config.memoryBytes, config.core == SimCore::Event
+                                  ? pe::Memory::Alloc::Lazy
+                                  : pe::Memory::Alloc::Eager)),
       bus(config.busConfig()), cache(config.channelDepth),
       tracer_(config.traceConfig)
 {
@@ -192,13 +206,16 @@ System::System(const isa::ObjectCode &code, SystemConfig config)
     fatalIf(config_.pageWords < 32 || config_.pageWords > 256,
             "queue page words out of range");
 
+    if (config_.core == SimCore::Event)
+        decoded_ = std::make_unique<isa::DecodedProgram>(code_.words);
+
     if (config_.faultPlan.enabled())
         faults_ = std::make_unique<fault::FaultInjector>(
             config_.faultPlan);
 
     recoveryOn_ = config_.recovery.enabled;
     killArmed_ = faults_ && (config_.faultPlan.kinds & fault::kPeKill) &&
-                 config_.faultPlan.killAt > 0;
+                 config_.faultPlan.killPlanned();
 
     bus.setTracer(&tracer_);
     cache.setTracer(&tracer_);
@@ -216,6 +233,7 @@ System::System(const isa::ObjectCode &code, SystemConfig config)
             *memory_, code_, *slot->host, config_.peTiming);
         slot->pe->attachTrace(&tracer_, i, &slot->clock);
         slot->pe->setFaultInjector(faults_.get());
+        slot->pe->setDecoded(decoded_.get());
         slots.push_back(std::move(slot));
     }
 
@@ -255,6 +273,28 @@ void
 System::freeQueuePage(Addr page)
 {
     freePages.push_back(page);
+}
+
+void
+System::calSchedule(PeSlot &slot, Cycle at)
+{
+    if (slot.calAt >= 0 && at >= slot.calAt)
+        return;  // The live entry is already an equal-or-lower bound.
+    calendar_.push({at, slot.index});
+    slot.calAt = at;
+}
+
+void
+System::pushReady(PeSlot &slot, Cycle readyAt, CtxId ctx)
+{
+    slot.readyQ.push({readyAt, ctx});
+    if (config_.core == SimCore::Event)
+        // Register the wake as a lower bound. max() with the slot's
+        // clock saves one validation round-trip when the entry is
+        // already in the past; any remaining staleness (another queued
+        // context runs first, the clock advances during a quiesce) is
+        // corrected when the entry surfaces at the calendar top.
+        calSchedule(slot, std::max(slot.clock, readyAt));
 }
 
 int
@@ -333,14 +373,14 @@ System::createContext(Word codeAddr, Word inChan, Word outChan,
     tracer_.ctxCreate(now, ctx.homePe, ctx.id, forkingPe);
 
     if (shipped.delivered) {
-        slots[static_cast<size_t>(ctx.homePe)]->readyQ.push(
-            {ctx.readyAt, ctx.id});
+        pushReady(*slots[static_cast<size_t>(ctx.homePe)], ctx.readyAt,
+                  ctx.id);
         if (shipped.duplicated)
             // Duplicate descriptor delivery: a second ready-queue
             // entry for the same context, skipped as stale once the
             // first one dispatches (idempotent delivery).
-            slots[static_cast<size_t>(ctx.homePe)]->readyQ.push(
-                {shipped.duplicateAt, ctx.id});
+            pushReady(*slots[static_cast<size_t>(ctx.homePe)],
+                      shipped.duplicateAt, ctx.id);
     } else {
         // The descriptor was lost beyond the retry bound: the context
         // exists but can never start. The watchdog/starvation exit
@@ -359,8 +399,8 @@ System::wakeContext(CtxId id, Cycle at)
         return;  // Peer is mid-step on its own PE; it will observe.
     ctx.status = CtxStatus::Ready;
     ctx.readyAt = std::max(ctx.readyAt, at);
-    slots[static_cast<size_t>(ctx.homePe)]->readyQ.push(
-        {ctx.readyAt, ctx.id});
+    pushReady(*slots[static_cast<size_t>(ctx.homePe)], ctx.readyAt,
+              ctx.id);
 }
 
 HostStatus
@@ -685,7 +725,7 @@ System::preemptRunning(PeSlot &slot)
     park(slot, CtxStatus::Ready);
     Context &ctx = contexts[id];
     ctx.readyAt = std::max(ctx.readyAt, slot.clock);
-    slot.readyQ.push({ctx.readyAt, id});
+    pushReady(slot, ctx.readyAt, id);
 }
 
 void
@@ -744,6 +784,13 @@ System::resume(Cycle max_cycles)
 
 RunResult
 System::runLoop(Cycle max_cycles)
+{
+    return config_.core == SimCore::Event ? runLoopEvent(max_cycles)
+                                          : runLoopTick(max_cycles);
+}
+
+RunResult
+System::runLoopTick(Cycle max_cycles)
 {
     RunResult result;
     // Watchdog bound: explicit, or 1M cycles automatically when fault
@@ -871,7 +918,7 @@ System::runLoop(Cycle max_cycles)
                     CtxId id = slot.running;
                     park(slot, CtxStatus::BlockedTime);
                     contexts[id].status = CtxStatus::Ready;
-                    slot.readyQ.push({contexts[id].readyAt, id});
+                    pushReady(slot, contexts[id].readyAt, id);
                     slot.blockUntil.reset();
                 } else if (slot.readyQ.empty()) {
                     // Nothing else to run: stay resident (lazy switch).
@@ -895,6 +942,183 @@ System::runLoop(Cycle max_cycles)
         }
         if (recoveryOn_)
             memory_->setUndoLog(nullptr);
+    }
+
+    result.completed = true;
+    replayable_ = false;
+    finalizeRun(result);
+    return result;
+}
+
+RunResult
+System::runLoopEvent(Cycle max_cycles)
+{
+    RunResult result;
+    const Cycle watchdog =
+        config_.watchdogCycles > 0 ? config_.watchdogCycles
+        : faults_                  ? 1'000'000
+                                   : 0;
+    // (Re)build the calendar from scratch: one entry per schedulable
+    // slot. run() enters here after boot pushes, resume() after a
+    // restore() reassigned every ready queue; leftovers from an
+    // earlier loop invocation are meaningless either way.
+    calendar_ = {};
+    for (auto &slot : slots) {
+        slot->calAt = -1;
+        if (auto t = slot->nextTime())
+            calSchedule(*slot, *t);
+    }
+    while (liveContexts > 0) {
+        if (!pendingFailure_.empty())
+            return failRun(pendingFailure_, /*watchdog=*/false);
+        // Validated peek: drop entries whose slot is no longer
+        // schedulable, correct entries whose wake time moved, and stop
+        // at the first entry matching its slot's current nextTime().
+        // Every entry is a lower bound on its slot's wake (pushReady),
+        // so the first match IS the global minimum, and the (cycle,
+        // index) heap order picks the lowest PE index among ties -
+        // decision-for-decision what the tick core's scan returns.
+        PeSlot *best = nullptr;
+        Cycle best_time = 0;
+        while (!calendar_.empty()) {
+            CalEntry top = calendar_.top();
+            PeSlot &cand = *slots[static_cast<size_t>(top.pe)];
+            if (top.at != cand.calAt) {
+                // Superseded duplicate: a lower registration (or an
+                // act) replaced this entry while it was buried.
+                calendar_.pop();
+                continue;
+            }
+            auto t = cand.nextTime();
+            if (!t) {
+                calendar_.pop();
+                cand.calAt = -1;
+                continue;
+            }
+            if (*t != top.at) {
+                calendar_.pop();
+                cand.calAt = -1;
+                calSchedule(cand, *t);
+                continue;
+            }
+            best = &cand;
+            best_time = top.at;
+            break;
+        }
+        // The guard sequence below must stay in lock-step with
+        // runLoopTick: same conditions, same order, same exits. Guards
+        // that `continue` leave the validated top in place; it is
+        // re-validated (and survives or is corrected) next iteration.
+        if (killArmed_ && best &&
+            best_time >= config_.faultPlan.killAt) {
+            injectPeKill(config_.faultPlan.killAt);
+            continue;
+        }
+        if (pendingDeadPe_ >= 0 && recoveryOn_ &&
+            (!best || best_time >= deadDetectAt_)) {
+            recoverDeadPe(deadDetectAt_);
+            continue;
+        }
+        if (!best) {
+            if (faults_) {
+                if (traceEnabled())
+                    std::cerr << dumpState();
+                return failRun(
+                    cat("deadlock: ", liveContexts,
+                        " live contexts, none runnable (message lost "
+                        "beyond the retry bound?)"),
+                    /*watchdog=*/true);
+            }
+            fatal("deadlock: ", liveContexts,
+                  " live contexts, none runnable\n", dumpState());
+        }
+        if (best_time > max_cycles) {
+            result.completed = false;
+            result.failureReason =
+                cat("cycle limit reached (", max_cycles, ")");
+            replayable_ = false;
+            finalizeRun(result);
+            return result;
+        }
+        if (watchdog > 0 && best_time - lastProgress_ > watchdog)
+            return failRun(
+                cat("watchdog: no instruction retired in ", watchdog,
+                    " cycles (last progress at cycle ", lastProgress_,
+                    ")"),
+                /*watchdog=*/true);
+        bool replay_in_flight = false;
+        for (auto &slot : slots)
+            if (slot->replaying())
+                replay_in_flight = true;
+        if (nextCheckpointAt_ > 0 && best_time >= nextCheckpointAt_ &&
+            pendingDeadPe_ < 0 && !replay_in_flight) {
+            snapshot();
+            while (nextCheckpointAt_ <= best_time)
+                nextCheckpointAt_ += config_.recovery.checkpointEvery;
+            continue;
+        }
+
+        // Acting on the slot: consume its validated entry now and
+        // re-register its next wake (if any) after the batch.
+        PeSlot &slot = *best;
+        calendar_.pop();
+        slot.calAt = -1;
+        if (!dispatch(slot)) {
+            if (auto t = slot.nextTime())
+                calSchedule(slot, *t);
+            continue;
+        }
+        if (recoveryOn_)
+            memory_->setUndoLog(&slot.undoLog);
+
+        for (int batch = 0; batch < 16; ++batch) {
+            Cycle before = slot.clock;
+            StepResult step = slot.pe->stepFast();
+            slot.clock += step.cycles;
+            slot.busyCycles += slot.clock - before;
+            if (step.status != StepStatus::Blocked)
+                lastProgress_ = std::max(lastProgress_, slot.clock);
+            if (step.status == StepStatus::Executed) {
+                if (slot.clock > max_cycles)
+                    break;
+                continue;
+            }
+            if (step.status == StepStatus::ContextEnd) {
+                slot.clock += config_.exitCycles;
+                slot.switchCycles += config_.exitCycles;
+                finishContext(slot);
+            } else if (step.status == StepStatus::Blocked) {
+                if (slot.blockUntil) {
+                    Context &ctx = contexts[slot.running];
+                    ctx.readyAt = *slot.blockUntil;
+                    CtxId id = slot.running;
+                    park(slot, CtxStatus::BlockedTime);
+                    contexts[id].status = CtxStatus::Ready;
+                    pushReady(slot, contexts[id].readyAt, id);
+                    slot.blockUntil.reset();
+                } else if (slot.readyQ.empty()) {
+                    Context &ctx = contexts[slot.running];
+                    ctx.status = CtxStatus::BlockedChannel;
+                    recordResidency(slot);
+                    tracer_.peBusy(slot.spanStart, slot.clock,
+                                   slot.index, ctx.id);
+                    tracer_.ctxPark(slot.clock, slot.index, ctx.id,
+                                    trace::ParkReason::Resident);
+                    slot.residentBlocked = slot.running;
+                    slot.running = msg::kNoCtx;
+                } else {
+                    park(slot, CtxStatus::BlockedChannel);
+                }
+            } else {
+                panic("fret/rett executed inside a kernel-managed "
+                      "context");
+            }
+            break;
+        }
+        if (recoveryOn_)
+            memory_->setUndoLog(nullptr);
+        if (auto t = slot.nextTime())
+            calSchedule(slot, *t);
     }
 
     result.completed = true;
@@ -1003,11 +1227,11 @@ System::recoverDeadPe(Cycle at)
             continue;
         }
         ctx.readyAt = std::max(ctx.readyAt, shipped.at);
-        slots[static_cast<size_t>(target)]->readyQ.push(
-            {ctx.readyAt, ctx.id});
+        pushReady(*slots[static_cast<size_t>(target)], ctx.readyAt,
+                  ctx.id);
         if (shipped.duplicated)
-            slots[static_cast<size_t>(target)]->readyQ.push(
-                {shipped.duplicateAt, ctx.id});
+            pushReady(*slots[static_cast<size_t>(target)],
+                      shipped.duplicateAt, ctx.id);
     }
     if (moved > 0)
         stats_.inc("fault.pekill.recovered", moved);
@@ -1039,7 +1263,7 @@ System::snapshot()
                   << "\n";
     }
     auto cp = std::make_unique<Checkpoint>();
-    cp->memory = memory_->bytes();
+    memory_->snapshotTo(cp->memory);
     cp->contexts = contexts;
     cp->freePages = freePages;
     cp->nextChannel = nextChannel;
@@ -1056,11 +1280,15 @@ System::snapshot()
     cp->cache = cache.snapshot();
     cp->bus = bus.snapshot();
     cp->trace = tracer_.mark();
-    for (auto &slot : slots)
+    for (auto &slot : slots) {
+        // Event core: fold pending stepFast tallies in before the
+        // capture (no-op on the tick core, whose deltas stay zero).
+        slot->pe->flushStats();
         cp->slotStates.push_back({slot->clock, slot->busyCycles,
                                   slot->kernelCycles,
                                   slot->switchCycles, slot->dead,
                                   slot->readyQ, slot->pe->stats()});
+    }
     checkpoint_ = std::move(cp);
 }
 
@@ -1104,6 +1332,7 @@ System::restore()
         slot.dead = ss.dead;
         slot.readyQ = ss.readyQ;
         slot.pe->stats() = ss.peStats;
+        slot.pe->resetStatDeltas();
         slot.spanStart = slot.clock;
         slot.running = msg::kNoCtx;
         slot.residentBlocked = msg::kNoCtx;
@@ -1129,6 +1358,9 @@ System::finalizeRun(RunResult &result)
     std::uint64_t instructions = 0;
     Cycle busy_total = 0, kernel_total = 0, switch_total = 0;
     for (auto &slot : slots) {
+        // Event core: the per-PE registries are read (and merged)
+        // below, so fold pending stepFast tallies in first.
+        slot->pe->flushStats();
         finish = std::max(finish, slot->clock);
         instructions += slot->pe->stats().counter("pe.instructions");
         busy_total += slot->busyCycles;

@@ -50,6 +50,31 @@ enum class Placement
     Local,       ///< Always on the forking PE (degenerate baseline).
 };
 
+/**
+ * Simulation inner-loop implementation (see DESIGN.md "Event-driven
+ * simulation core"). Both cores produce byte-identical RunResult,
+ * statistics, metrics, and trace output - the differential test suite
+ * holds them to it across the fuzz/fault/recovery corpora.
+ */
+enum class SimCore
+{
+    /**
+     * The historical loop: every iteration linearly scans all PE slots
+     * for the lowest-clock schedulable one. Kept verbatim (including
+     * its eagerly-zeroed memory and per-step instruction decode) as
+     * the reference implementation and the host-performance baseline.
+     */
+    Tick,
+    /**
+     * Next-event calendar queue: each slot registers its next wake
+     * cycle in a min-heap keyed by (cycle, PE index) and the scheduler
+     * jumps straight to the earliest one, with a predecoded-instruction
+     * arena, plain-counter statistics, and lazily-zeroed memory on the
+     * hot path. The default.
+     */
+    Event,
+};
+
 /** Memory map constants shared with the compiler. */
 constexpr Addr kQueuePagePool = 0x0000'1000;  ///< Up to ~6 MB of pages.
 constexpr Addr kDataBase = 0x0060'0000;       ///< Compiler data segment.
@@ -65,6 +90,7 @@ struct SystemConfig
     int maxLiveContexts = 2048;  ///< Queue-page pool size.
     int channelDepth = 8;        ///< Message-cache tokens per channel.
     Placement placement = Placement::LeastLoaded;
+    SimCore core = SimCore::Event;  ///< Inner-loop implementation.
 
     // Kernel service costs in cycles (trap entry cost is charged by the
     // PE's own timing on top of these).
@@ -306,9 +332,31 @@ class System
     /** End the current run span: clear its host-op and undo logs. */
     void commitSpan(PeSlot &slot);
 
+    /**
+     * Enqueue @p ctx on @p slot's ready queue and, on the event core,
+     * register the slot's wake in the calendar. Every ready-queue push
+     * must go through here (or be followed by an explicit calendar
+     * re-registration): the calendar invariant is that whenever a slot
+     * has a nextTime(), at least one calendar entry is <= it.
+     */
+    void pushReady(PeSlot &slot, Cycle readyAt, CtxId ctx);
+
+    /**
+     * Register @p slot in the calendar at time @p at, unless its live
+     * entry (PeSlot::calAt) is already an equal-or-lower bound. Keeps
+     * at most one live entry per slot; an improved registration turns
+     * the old entry into a duplicate that the scheduler drops when it
+     * surfaces.
+     */
+    void calSchedule(PeSlot &slot, Cycle at);
+
     // --- Recovery (see DESIGN.md "Recoverable execution") ---------------
-    /** The simulation loop shared by run() and resume(). */
+    /** Dispatches on config_.core (shared by run() and resume()). */
     RunResult runLoop(Cycle max_cycles);
+    /** The historical scan-all-slots loop, kept verbatim. */
+    RunResult runLoopTick(Cycle max_cycles);
+    /** The calendar-queue loop (see DESIGN.md). */
+    RunResult runLoopEvent(Cycle max_cycles);
     void injectPeKill(Cycle at);
     /** Lease expired: re-dispatch the dead PE's contexts. */
     void recoverDeadPe(Cycle at);
@@ -340,6 +388,32 @@ class System
     std::string pendingFailure_;
 
     std::vector<std::unique_ptr<PeSlot>> slots;
+
+    /**
+     * Event-core calendar: lower-bound wake registrations, one or more
+     * per schedulable slot. Entries are never eagerly removed when a
+     * slot's wake time moves; the scheduler validates the top against
+     * the slot's current nextTime() and corrects or drops stale
+     * entries as they surface (a lazy min-heap). Ordered by (cycle,
+     * PE index) so ties resolve to the lowest index, exactly like the
+     * tick core's linear scan.
+     */
+    struct CalEntry
+    {
+        Cycle at = 0;
+        int pe = 0;
+        bool operator>(const CalEntry &o) const
+        {
+            if (at != o.at)
+                return at > o.at;
+            return pe > o.pe;
+        }
+    };
+    std::priority_queue<CalEntry, std::vector<CalEntry>, std::greater<>>
+        calendar_;
+    /** Shared lazy decode cache (event core only). */
+    std::unique_ptr<isa::DecodedProgram> decoded_;
+
     std::vector<Context> contexts;
     std::vector<Addr> freePages;
     Word nextChannel = 2;  ///< 0 reserved, allocate pairs from 2.

@@ -34,7 +34,7 @@ MessageCache::send(Word channel, CtxId ctx, Word value,
 {
     ChannelEntry &entry = entries[channel];
     ChannelOp op;
-    stats_.inc("msg.send_requests");
+    counterSlot(counters_.sendRequests, "msg.send_requests") += 1;
     if (static_cast<int>(entry.values.size()) >= capacity_) {
         entry.sendWaiters.push_back(ctx);
         op.blocked = true;
@@ -43,8 +43,8 @@ MessageCache::send(Word channel, CtxId ctx, Word value,
     std::uint64_t seq = entry.nextSeq++;
     entry.values.push_back(
         {value, tokenChecksum(value), seq, value, now});
-    stats_.record("msg.fifo_depth",
-                  static_cast<std::uint64_t>(entry.values.size()));
+    histogramSlot(histograms_.fifoDepth, "msg.fifo_depth")
+        .sample(static_cast<std::uint64_t>(entry.values.size()));
     if (faults_ && faults_->fire(fault::kCacheCorrupt)) {
         // Flip one bit of the slot just written, keeping the send-time
         // checksum (and the sender's pristine retransmit copy): the
@@ -82,7 +82,7 @@ MessageCache::recv(Word channel, CtxId ctx, trace::Cycle now)
 {
     ChannelEntry &entry = entries[channel];
     ChannelOp op;
-    stats_.inc("msg.recv_requests");
+    counterSlot(counters_.recvRequests, "msg.recv_requests") += 1;
     if (entry.values.empty()) {
         entry.recvWaiters.push_back(ctx);
         op.blocked = true;
@@ -113,14 +113,14 @@ MessageCache::recv(Word channel, CtxId ctx, trace::Cycle now)
                           static_cast<std::uint64_t>(op.penalty));
         }
     }
-    stats_.inc("msg.rendezvous");
+    counterSlot(counters_.rendezvous, "msg.rendezvous") += 1;
     // Send-to-rendezvous latency. The receiver's clock can lag the
     // sender's (PE clocks are only loosely synchronized), so clamp at
     // zero rather than recording a wrapped negative.
-    stats_.record("msg.latency",
-                  now >= token.sentAt
-                      ? static_cast<std::uint64_t>(now - token.sentAt)
-                      : 0);
+    histogramSlot(histograms_.latency, "msg.latency")
+        .sample(now >= token.sentAt
+                    ? static_cast<std::uint64_t>(now - token.sentAt)
+                    : 0);
     if (tracer_)
         tracer_->rendezvous(now, channel, ctx, *op.value);
     if (!entry.sendWaiters.empty()) {

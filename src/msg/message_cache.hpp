@@ -186,6 +186,10 @@ class MessageCache
     {
         entries = snap.entries;
         stats_ = snap.stats;
+        // The assignment rebuilt the stat maps; cached slot pointers
+        // into the old maps are dead.
+        counters_ = CounterHandles{};
+        histograms_ = HistogramHandles{};
     }
 
   private:
@@ -194,9 +198,44 @@ class MessageCache
         return recovery_ != nullptr && recovery_->enabled;
     }
 
+    /**
+     * Cached map slots for the send/recv hot-path statistics. Resolved
+     * on first use (creation order in the stat map is unchanged) and
+     * invalidated whenever stats_ is reassigned (restore()).
+     */
+    struct CounterHandles
+    {
+        std::uint64_t *sendRequests = nullptr;
+        std::uint64_t *recvRequests = nullptr;
+        std::uint64_t *rendezvous = nullptr;
+    };
+    struct HistogramHandles
+    {
+        Histogram *fifoDepth = nullptr;
+        Histogram *latency = nullptr;
+    };
+
+    std::uint64_t &
+    counterSlot(std::uint64_t *&slot, const char *name)
+    {
+        if (!slot)
+            slot = &stats_.counterRef(name);
+        return *slot;
+    }
+
+    Histogram &
+    histogramSlot(Histogram *&slot, const char *name)
+    {
+        if (!slot)
+            slot = &stats_.histogramRef(name);
+        return *slot;
+    }
+
     int capacity_;
     std::map<Word, ChannelEntry> entries;
     StatSet stats_;
+    CounterHandles counters_;
+    HistogramHandles histograms_;
     trace::Tracer *tracer_ = nullptr;
     fault::FaultInjector *faults_ = nullptr;
     const fault::RecoveryPlan *recovery_ = nullptr;

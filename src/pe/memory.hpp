@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "isa/fields.hpp"
@@ -66,9 +68,23 @@ struct UndoLog
 class Memory
 {
   public:
-    explicit Memory(std::size_t bytes);
+    /**
+     * Backing-store strategy. Eager value-initializes the whole store
+     * up front (a 32 MB memset per System - the historical behavior,
+     * kept for the tick core so its host cost stays the reference
+     * point). Lazy calloc()s instead, so untouched pages stay as
+     * kernel zero-pages and construction is near-free; both read as
+     * all-zeroes and are observationally identical.
+     */
+    enum class Alloc
+    {
+        Eager,
+        Lazy,
+    };
 
-    std::size_t size() const { return bytes_.size(); }
+    explicit Memory(std::size_t bytes, Alloc alloc = Alloc::Eager);
+
+    std::size_t size() const { return size_; }
 
     Word readWord(Addr addr) const;
     void writeWord(Addr addr, Word value);
@@ -88,13 +104,24 @@ class Memory
     void applyUndo(const UndoLog &undo);
 
     /** Whole-memory snapshot support (System checkpoints). */
-    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    void snapshotTo(std::vector<std::uint8_t> &out) const;
     void restoreBytes(const std::vector<std::uint8_t> &bytes);
 
+    /** Raw backing store (tests/differential comparisons). */
+    const std::uint8_t *data() const { return data_; }
+
   private:
+    struct FreeDeleter
+    {
+        void operator()(std::uint8_t *p) const { std::free(p); }
+    };
+
     void checkWord(Addr addr) const;
 
-    std::vector<std::uint8_t> bytes_;
+    std::vector<std::uint8_t> bytes_;  ///< Eager backing store.
+    std::unique_ptr<std::uint8_t[], FreeDeleter> lazy_;  ///< Lazy store.
+    std::uint8_t *data_ = nullptr;  ///< Whichever store is active.
+    std::size_t size_ = 0;
     UndoLog *undo_ = nullptr;
 };
 

@@ -454,4 +454,245 @@ ProcessingElement::step()
     return result;
 }
 
+Word
+ProcessingElement::readSrcFast(const Src &src, long &cycles)
+{
+    switch (src.kind) {
+      case SrcKind::None:
+        return 0;
+      case SrcKind::WindowReg: {
+        int phys = physicalIndex(src.reg);
+        if (presence_[static_cast<size_t>(phys)]) {
+            ++deltas_.windowHits;
+            return window_[static_cast<size_t>(phys)];
+        }
+        ++deltas_.windowMisses;
+        cycles += timing_.memoryCycles;
+        return memory_.readWord(windowAddress(src.reg));
+      }
+      case SrcKind::GlobalReg:
+        return readReg(src.reg);
+      case SrcKind::SmallImm:
+      case SrcKind::ImmWord:
+        return static_cast<Word>(src.imm);
+    }
+    panic("unreachable src kind");
+}
+
+// Keep every architectural decision, cycle charge, and panic in this
+// function in lock-step with step() above: the differential suite
+// holds the two to byte-identical run output.
+StepResult
+ProcessingElement::stepFast()
+{
+    if (faults_ && faults_->fire(fault::kPeStall)) {
+        // Stalls are rare; the slow-path stat strings are fine here.
+        long stall = static_cast<long>(faults_->stallCycles());
+        stats_.inc("fault.pe_stall");
+        stats_.inc("fault.pe_stall_cycles",
+                   static_cast<std::uint64_t>(stall));
+        stats_.record("fault.stall",
+                      static_cast<std::uint64_t>(stall));
+        if (tracer_)
+            tracer_->faultInject(clock_ ? *clock_ : 0, peIndex_,
+                                 fault::kPeStall,
+                                 static_cast<std::uint64_t>(stall));
+        StepResult stalled;
+        stalled.cycles = stall;
+        return stalled;
+    }
+    panicIf(!decoded_, "stepFast without a DecodedProgram attached");
+    const isa::DecodedOp &op = decoded_->at(pc_);
+    const Instruction &instr = op.instr;
+    Word next_pc = op.nextPc;
+
+    long cycles = timing_.simpleCycles +
+                  timing_.immWordCycles * (op.sizeWords - 1);
+    StepResult result;
+    ++deltas_.instructions;
+    pcWritten_ = false;
+
+    if (isDup(instr.op)) {
+        memory_.writeWord(windowAddress(instr.dupDst1), lastResult_);
+        cycles += timing_.memoryCycles;
+        if (instr.op == Opcode::Dup2 &&
+            instr.dupDst2 != instr.dupDst1) {
+            memory_.writeWord(windowAddress(instr.dupDst2), lastResult_);
+            cycles += timing_.memoryCycles;
+        }
+        ++deltas_.dups;
+        pc_ = next_pc;
+        result.cycles = cycles;
+        return result;
+    }
+
+    switch (instr.op) {
+      case Opcode::Send: {
+        Word channel = readSrcFast(instr.src1, cycles);
+        Word value = readSrcFast(instr.src2, cycles);
+        cycles += timing_.channelCycles;
+        if (host_->send(channel, value) == HostStatus::Blocked) {
+            result.status = StepStatus::Blocked;
+            result.cycles = cycles;
+            return result;  // PC/QP untouched: retried later.
+        }
+        bumpQp(instr.qpInc);
+        ++deltas_.sends;
+        break;
+      }
+      case Opcode::Recv: {
+        Word channel = readSrcFast(instr.src1, cycles);
+        Word value = 0;
+        cycles += timing_.channelCycles;
+        if (host_->recv(channel, value) == HostStatus::Blocked) {
+            result.status = StepStatus::Blocked;
+            result.cycles = cycles;
+            return result;
+        }
+        bumpQp(instr.qpInc);
+        writeDst(instr.dst1, value);
+        writeDst(instr.dst2, value);
+        lastResult_ = value;
+        ++deltas_.recvs;
+        break;
+      }
+      case Opcode::Store: {
+        Word addr = readSrcFast(instr.src1, cycles);
+        Word value = readSrcFast(instr.src2, cycles);
+        bumpQp(instr.qpInc);
+        memory_.writeWord(addr, value);
+        cycles += timing_.memoryCycles;
+        ++deltas_.stores;
+        break;
+      }
+      case Opcode::Storb: {
+        Word addr = readSrcFast(instr.src1, cycles);
+        Word value = readSrcFast(instr.src2, cycles);
+        bumpQp(instr.qpInc);
+        memory_.writeByte(addr, static_cast<std::uint8_t>(value));
+        cycles += timing_.memoryCycles;
+        ++deltas_.stores;
+        break;
+      }
+      case Opcode::Fetch: {
+        Word addr = readSrcFast(instr.src1, cycles);
+        bumpQp(instr.qpInc);
+        Word value = memory_.readWord(addr);
+        cycles += timing_.memoryCycles;
+        writeDst(instr.dst1, value);
+        writeDst(instr.dst2, value);
+        lastResult_ = value;
+        ++deltas_.fetches;
+        break;
+      }
+      case Opcode::Fchb: {
+        Word addr = readSrcFast(instr.src1, cycles);
+        bumpQp(instr.qpInc);
+        Word value = memory_.readByte(addr);
+        cycles += timing_.memoryCycles;
+        writeDst(instr.dst1, value);
+        writeDst(instr.dst2, value);
+        lastResult_ = value;
+        ++deltas_.fetches;
+        break;
+      }
+      case Opcode::Bne:
+      case Opcode::Beq: {
+        Word control = readSrcFast(instr.src1, cycles);
+        Word offset = readSrcFast(instr.src2, cycles);
+        bumpQp(instr.qpInc);
+        bool taken = (instr.op == Opcode::Bne) ? control != 0
+                                               : control == 0;
+        if (taken) {
+            next_pc = next_pc + offset;  // wraps mod 2^32 for negatives
+            cycles += timing_.branchTakenCycles;
+        }
+        ++deltas_.branches;
+        break;
+      }
+      case Opcode::Trap:
+      case Opcode::Ftrap: {
+        Word number = readSrcFast(instr.src1, cycles);
+        Word argument = readSrcFast(instr.src2, cycles);
+        cycles += timing_.trapCycles;
+        TrapOutcome outcome = host_->trap(number, argument);
+        if (outcome.status == HostStatus::Blocked) {
+            result.status = StepStatus::Blocked;
+            result.cycles = cycles;
+            return result;
+        }
+        cycles += outcome.kernelCycles;
+        deltas_.trapService.sample(
+            static_cast<std::uint64_t>(outcome.kernelCycles));
+        if (tracer_)
+            tracer_->trapEnter(clock_ ? *clock_ : 0, peIndex_, number,
+                               outcome.kernelCycles);
+        bumpQp(instr.qpInc);
+        if (outcome.result) {
+            writeDst(instr.dst1, *outcome.result);
+            writeDst(instr.dst2, *outcome.result);
+            lastResult_ = *outcome.result;
+        }
+        ++deltas_.traps;
+        if (outcome.endContext) {
+            result.status = StepStatus::ContextEnd;
+            result.cycles = cycles;
+            pc_ = next_pc;
+            return result;
+        }
+        break;
+      }
+      case Opcode::Fret:
+      case Opcode::Rett:
+        result.status = StepStatus::Returned;
+        result.cycles = cycles;
+        pc_ = next_pc;
+        return result;
+      default: {
+        // ALU / logical / comparison class.
+        Word a = readSrcFast(instr.src1, cycles);
+        Word b = readSrcFast(instr.src2, cycles);
+        bumpQp(instr.qpInc);
+        Word value = aluResult(instr.op, a, b);
+        writeDst(instr.dst1, value);
+        writeDst(instr.dst2, value);
+        lastResult_ = value;
+        ++deltas_.aluOps;
+        break;
+      }
+    }
+
+    if (!pcWritten_)
+        pc_ = next_pc;
+    result.cycles = cycles;
+    return result;
+}
+
+void
+ProcessingElement::flushStats()
+{
+    auto flush = [this](const char *name, std::uint64_t &delta) {
+        if (delta > 0) {
+            stats_.inc(name, delta);
+            delta = 0;
+        }
+    };
+    flush("pe.instructions", deltas_.instructions);
+    flush("pe.alu_ops", deltas_.aluOps);
+    flush("pe.dups", deltas_.dups);
+    flush("pe.sends", deltas_.sends);
+    flush("pe.recvs", deltas_.recvs);
+    flush("pe.stores", deltas_.stores);
+    flush("pe.fetches", deltas_.fetches);
+    flush("pe.branches", deltas_.branches);
+    flush("pe.traps", deltas_.traps);
+    flush("pe.window_hits", deltas_.windowHits);
+    flush("pe.window_misses", deltas_.windowMisses);
+    if (deltas_.trapService.count() > 0) {
+        stats_.histogramRef("pe.trap_service")
+            .merge(deltas_.trapService);
+        deltas_.trapService = Histogram{};
+    }
+}
+
 } // namespace qm::pe

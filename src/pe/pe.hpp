@@ -179,6 +179,38 @@ class ProcessingElement
     /** Execute one instruction (plus chained dups under continue). */
     StepResult step();
 
+    /**
+     * Attach the shared predecoded form of the object code. Required
+     * before stepFast(); step() keeps decoding on the fly.
+     */
+    void setDecoded(isa::DecodedProgram *decoded) { decoded_ = decoded; }
+
+    /**
+     * Event-core fast path: architecturally identical to step(), but
+     * fetches through the DecodedProgram arena instead of re-decoding
+     * and tallies per-instruction statistics in plain counters (see
+     * flushStats) instead of per-step string-map lookups. A System
+     * must call flushStats() before reading stats() from a PE stepped
+     * through this path.
+     */
+    StepResult stepFast();
+
+    /**
+     * Fold the stepFast() tallies into stats(). Only deltas that are
+     * actually non-zero touch the map, so a PE that never executed a
+     * given operation class creates no entry - exactly like step()'s
+     * create-on-first-use behavior, keeping rendered statistics
+     * byte-identical between the two cores.
+     */
+    void flushStats();
+
+    /**
+     * Drop unflushed stepFast() tallies. Used on checkpoint restore:
+     * the rolled-back stats() already exclude them, just as the tick
+     * core's post-snapshot increments are erased by the rollback.
+     */
+    void resetStatDeltas() { deltas_ = StatDeltas{}; }
+
     // Architectural state access (for the kernel and for tests).
     Word pc() const { return pc_; }
     void setPc(Word pc) { pc_ = pc; }
@@ -203,7 +235,26 @@ class ProcessingElement
     StatSet &stats() { return stats_; }
 
   private:
+    /** Plain-counter tallies accumulated by stepFast(). */
+    struct StatDeltas
+    {
+        std::uint64_t instructions = 0;
+        std::uint64_t aluOps = 0;
+        std::uint64_t dups = 0;
+        std::uint64_t sends = 0;
+        std::uint64_t recvs = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t fetches = 0;
+        std::uint64_t branches = 0;
+        std::uint64_t traps = 0;
+        std::uint64_t windowHits = 0;
+        std::uint64_t windowMisses = 0;
+        Histogram trapService;
+    };
+
     Word readSrc(const isa::Src &src, long &cycles);
+    /** readSrc with the hit/miss tallies in deltas_ (stepFast path). */
+    Word readSrcFast(const isa::Src &src, long &cycles);
     void writeDst(int reg, Word value);
     void bumpQp(int inc);
     Word aluResult(isa::Opcode op, Word a, Word b);
@@ -230,6 +281,8 @@ class ProcessingElement
     Word lastResult_ = 0;             ///< Feeds dup instructions.
     bool pcWritten_ = false;          ///< A dst wrote PC this step.
 
+    isa::DecodedProgram *decoded_ = nullptr;
+    StatDeltas deltas_;
     StatSet stats_;
 };
 

@@ -10,7 +10,7 @@ namespace qm::sim {
 std::string
 writeBenchJson(const std::string &bench,
                const std::vector<SpeedupSeries> &series,
-               const std::string &path)
+               const std::string &path, bool host_time)
 {
     std::string out_path =
         path.empty() ? "BENCH_" + bench + ".json" : path;
@@ -41,6 +41,14 @@ writeBenchJson(const std::string &bench,
                 .key("kernel_cycles").value(run.kernelCycles)
                 .key("blocked_cycles").value(run.blockedCycles)
                 .key("bus_cycles").value(run.busCycles);
+            // Host-side simulator speed, opt-in: machine-dependent, so
+            // it never appears in the determinism-compared documents.
+            if (host_time && run.hostWallMs >= 0.0) {
+                json.key("host_wall_ms").value(run.hostWallMs);
+                if (run.simCyclesPerSec >= 0.0)
+                    json.key("sim_cycles_per_sec")
+                        .value(run.simCyclesPerSec);
+            }
             // Fault/failure fields appear only when set, so fault-free
             // reports stay byte-identical to the historical format.
             if (run.watchdogTripped)

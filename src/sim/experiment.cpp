@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include <cctype>
+#include <chrono>
 #include <set>
 
 #include "support/diagnostics.hpp"
@@ -29,6 +30,19 @@ runOnce(const occam::CompiledProgram &program,
         const std::vector<std::int32_t> &expected, int pes,
         const mp::SystemConfig &base_config)
 {
+    // Host-side cost of the whole simulation, construction included:
+    // zeroing the simulated memory is part of what the run costs the
+    // host, so both cores are timed over the same span.
+    auto host_start = std::chrono::steady_clock::now();
+    auto stamp_host = [&](RunReport &r) {
+        std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - host_start;
+        r.hostWallMs = elapsed.count();
+        if (r.hostWallMs > 0.0 && r.cycles > 0)
+            r.simCyclesPerSec = static_cast<double>(r.cycles) /
+                                (r.hostWallMs / 1000.0);
+    };
+
     mp::SystemConfig config = base_config;
     config.numPes = pes;
     mp::System system(program.object, config);
@@ -55,9 +69,11 @@ runOnce(const occam::CompiledProgram &program,
         // A run that dies (e.g. kernel deadlock panic) still yields a
         // report row: the sweep survives and records the failure.
         report.failureReason = cat("fatal: ", e.what());
+        stamp_host(report);
         return report;
     } catch (const PanicError &e) {
         report.failureReason = cat("panic: ", e.what());
+        stamp_host(report);
         return report;
     }
     report.completed = result.completed;
@@ -77,6 +93,7 @@ runOnce(const occam::CompiledProgram &program,
     report.faultRecoveries = result.faultRecoveries;
     report.faultKinds = result.faultKinds;
     report.traceDropped = result.traceDropped;
+    stamp_host(report);
     report.stats = system.stats();
     report.verified = result.completed;
     if (report.verified && !expected.empty()) {

@@ -71,6 +71,15 @@ struct RunReport
      * fields above. Empty when the run died before finalizing.
      */
     StatSet stats;
+
+    // Host-side simulator performance: wall-clock time for this run
+    // (System construction + run + any checkpoint replays, measured on
+    // a steady clock) and the derived simulated-cycles-per-host-second
+    // rate. These describe the simulator, not the simulated machine -
+    // they are machine-dependent and excluded from every determinism
+    // comparison; BENCH JSON only carries them under --host-time.
+    double hostWallMs = -1.0;
+    double simCyclesPerSec = -1.0;
 };
 
 /** One benchmark swept over PE counts. */

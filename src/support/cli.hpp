@@ -10,11 +10,30 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "support/diagnostics.hpp"
 
 namespace qm {
+
+/**
+ * Parse @p text as a base-10 integer. Returns nullopt when the text is
+ * empty, is not entirely a number, or does not fit in a long - never
+ * throws. The building block behind parseIntArg for callers that want
+ * to handle malformed input themselves (e.g. tolerant trace loaders).
+ */
+inline std::optional<long>
+tryParseInt(const std::string &text)
+{
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    errno = 0;
+    long value = std::strtol(begin, &end, 10);
+    if (end == begin || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return value;
+}
 
 /**
  * Parse @p text as a base-10 integer in [@p min, @p max]. Throws

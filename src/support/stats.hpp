@@ -161,6 +161,26 @@ class StatSet
     /** Add a sample to a named histogram (created on first use). */
     void record(const std::string &name, std::uint64_t value);
 
+    /**
+     * Reference to the named counter's map slot (created on first
+     * use, exactly like inc()). Hot emit sites cache the returned
+     * reference to skip the string lookup per event; the reference is
+     * stable until the whole StatSet is assigned over (checkpoint
+     * restore), at which point cached references must be dropped.
+     */
+    std::uint64_t &
+    counterRef(const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    /** Histogram analogue of counterRef (created on first use). */
+    Histogram &
+    histogramRef(const std::string &name)
+    {
+        return histograms_[name];
+    }
+
     std::uint64_t counter(const std::string &name) const;
     double scalar(const std::string &name) const;
     const Distribution &distribution(const std::string &name) const;

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "support/cli.hpp"
 #include "support/diagnostics.hpp"
 #include "support/format.hpp"
 #include "support/json_parse.hpp"
@@ -16,7 +17,11 @@ namespace qm::trace {
 
 namespace {
 
-/** "pe3 -> pe5" -> 5; -1 when the pattern is absent. */
+/**
+ * "pe3 -> pe5" -> 5; -1 when the pattern is absent or the destination
+ * is not a plain integer ("pe3 -> pe", "pe3 -> peXL"). A malformed
+ * name must not silently attribute the transfer to PE 0.
+ */
 int
 parseBusDst(const std::string &name)
 {
@@ -24,7 +29,10 @@ parseBusDst(const std::string &name)
     std::size_t pos = name.find(arrow);
     if (pos == std::string::npos)
         return -1;
-    return std::atoi(name.c_str() + pos + arrow.size());
+    auto dst = tryParseInt(name.substr(pos + arrow.size()));
+    if (!dst || *dst < 0)
+        return -1;
+    return static_cast<int>(*dst);
 }
 
 /** "park (channel)" -> ParkReason::Channel (Channel on no match). */

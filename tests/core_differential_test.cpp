@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Differential gate between the two simulation cores: the event-driven
+ * calendar scheduler (SimCore::Event, the default) must be
+ * BYTE-IDENTICAL to the unit-tick scan it replaced (SimCore::Tick) on
+ * every observable surface - RunResult fields, the rendered statistics
+ * registry, the Chrome trace stream, the full simulated memory image,
+ * and the BENCH / metrics JSON documents - across the same corpora the
+ * fuzz suites run: plain programs, seeded fault injection, and the
+ * harsh recovery mix with fail-stops and checkpoint replay.
+ *
+ * Honors QM_FUZZ_ITERS like the fuzz suites (the nightly chaos job
+ * widens every corpus).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fault/fault.hpp"
+#include "fuzz_corpus.hpp"
+#include "isa/assembler.hpp"
+#include "mp/system.hpp"
+#include "occam/codegen.hpp"
+#include "occam/compiler.hpp"
+#include "occam/ift.hpp"
+#include "occam/parser.hpp"
+#include "sim/bench_json.hpp"
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+#include "trace/export.hpp"
+
+namespace {
+
+using namespace qm;
+using namespace qm::occam;
+using fuzz::corpusPes;
+using fuzz::corpusSeed;
+using fuzz::fuzzIters;
+using fuzz::ProgramGen;
+
+/** Everything one core produced that the other must reproduce. */
+struct CoreRun
+{
+    mp::RunResult result;
+    int replays = 0;
+    std::string stats;           ///< StatSet::render() of the system.
+    std::string trace;           ///< Chrome trace JSON, full stream.
+    std::vector<std::uint8_t> memory;
+};
+
+isa::ObjectCode
+compileCorpusProgram(int idx, std::string *main_label)
+{
+    ProgramGen gen(corpusSeed(idx));
+    std::string source = gen.generate();
+    Program ast = parse(source);
+    SymbolTable table = analyze(ast);
+    Ift ift = Ift::build(ast, table);
+    ContextProgram contexts = buildContextGraphs(ast, table, ift);
+    *main_label = contexts.mainLabel;
+    return isa::assemble(generateAssembly(contexts));
+}
+
+CoreRun
+runCore(const isa::ObjectCode &object, const std::string &main_label,
+        mp::SystemConfig config, mp::SimCore core)
+{
+    config.core = core;
+    // Record the full event stream so the comparison covers trace
+    // emission order and timestamps, not just the end state.
+    config.traceConfig.enabled = true;
+    mp::System system(object, config);
+    CoreRun run;
+    run.result = system.run(main_label);
+    while (!run.result.completed && config.recovery.enabled &&
+           system.replayable() && system.canRestore() &&
+           run.replays < config.recovery.maxReplays) {
+        system.restore();
+        ++run.replays;
+        run.result = system.resume();
+    }
+    run.stats = system.stats().render();
+    run.trace = trace::chromeTraceJson(system.tracer());
+    system.memory().snapshotTo(run.memory);
+    return run;
+}
+
+void
+expectIdentical(const CoreRun &tick, const CoreRun &event)
+{
+    const mp::RunResult &a = tick.result;
+    const mp::RunResult &b = event.result;
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.contexts, b.contexts);
+    EXPECT_EQ(a.rendezvous, b.rendezvous);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.computeCycles, b.computeCycles);
+    EXPECT_EQ(a.kernelCycles, b.kernelCycles);
+    EXPECT_EQ(a.blockedCycles, b.blockedCycles);
+    EXPECT_EQ(a.busCycles, b.busCycles);
+    EXPECT_EQ(a.watchdogTripped, b.watchdogTripped);
+    EXPECT_EQ(a.failureReason, b.failureReason);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.faultRecoveries, b.faultRecoveries);
+    EXPECT_EQ(a.traceDropped, b.traceDropped);
+    for (std::size_t k = 0; k < a.faultKinds.size(); ++k) {
+        EXPECT_EQ(a.faultKinds[k].injected, b.faultKinds[k].injected)
+            << "kind bit " << k;
+        EXPECT_EQ(a.faultKinds[k].detected, b.faultKinds[k].detected)
+            << "kind bit " << k;
+        EXPECT_EQ(a.faultKinds[k].recovered, b.faultKinds[k].recovered)
+            << "kind bit " << k;
+    }
+    EXPECT_EQ(tick.replays, event.replays);
+    EXPECT_EQ(tick.stats, event.stats);
+    EXPECT_EQ(tick.trace, event.trace);
+    EXPECT_EQ(tick.memory, event.memory);
+}
+
+class FuzzCoreDifferentialTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzCoreDifferentialTest, PlainCorpusByteIdentical)
+{
+    std::string main_label;
+    isa::ObjectCode object =
+        compileCorpusProgram(GetParam(), &main_label);
+    mp::SystemConfig config;
+    config.numPes = corpusPes(GetParam());
+    expectIdentical(
+        runCore(object, main_label, config, mp::SimCore::Tick),
+        runCore(object, main_label, config, mp::SimCore::Event));
+}
+
+INSTANTIATE_TEST_SUITE_P(PlainCorpus, FuzzCoreDifferentialTest,
+                         ::testing::Range(0, fuzzIters(80)));
+
+class FuzzCoreFaultDifferentialTest
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzCoreFaultDifferentialTest, FaultCorpusByteIdentical)
+{
+    // Same plans as FuzzFaultDifferentialTest: the injector's decision
+    // stream is consumed at the same sites in both cores, so even the
+    // injected fault schedule must line up event for event.
+    std::string main_label;
+    isa::ObjectCode object =
+        compileCorpusProgram(GetParam(), &main_label);
+    mp::SystemConfig config;
+    config.numPes = corpusPes(GetParam());
+    fault::FaultPlan plan;
+    plan.seed = 0xFA117 + static_cast<std::uint64_t>(GetParam());
+    plan.rate = 0.03;
+    plan.kinds = fault::kBusDrop | fault::kBusDelay | fault::kPeStall;
+    config.faultPlan = plan;
+    config.watchdogCycles = 200'000;
+    expectIdentical(
+        runCore(object, main_label, config, mp::SimCore::Tick),
+        runCore(object, main_label, config, mp::SimCore::Event));
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultCorpus, FuzzCoreFaultDifferentialTest,
+                         ::testing::Range(0, fuzzIters(40)));
+
+class FuzzCoreRecoveryDifferentialTest
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzCoreRecoveryDifferentialTest, RecoveryCorpusByteIdentical)
+{
+    // The harsh mix: loss past the retry bound, duplication,
+    // corruption, periodic fail-stop, recovery on, periodic
+    // checkpoints, bounded replay. Exercises snapshot/restore under
+    // both cores - the stat-delta flush points must make checkpoint
+    // contents (and everything downstream) agree exactly.
+    std::string main_label;
+    isa::ObjectCode object =
+        compileCorpusProgram(GetParam(), &main_label);
+    mp::SystemConfig config;
+    config.numPes = corpusPes(GetParam());
+    fault::FaultPlan plan;
+    plan.seed = 0x5EC0 + static_cast<std::uint64_t>(GetParam());
+    plan.rate = 0.25;
+    plan.kinds =
+        fault::kBusDrop | fault::kBusDup | fault::kCacheCorrupt;
+    plan.maxRetries = 1;
+    if (GetParam() % 3 == 0) {
+        plan.kinds |= fault::kPeKill;
+        plan.killAt = 200;
+        plan.killPe = GetParam() % 4;
+    }
+    config.faultPlan = plan;
+    config.watchdogCycles = 200'000;
+    config.recovery.enabled = true;
+    config.recovery.checkpointEvery = 300;
+    expectIdentical(
+        runCore(object, main_label, config, mp::SimCore::Tick),
+        runCore(object, main_label, config, mp::SimCore::Event));
+}
+
+INSTANTIATE_TEST_SUITE_P(RecoveryCorpus,
+                         FuzzCoreRecoveryDifferentialTest,
+                         ::testing::Range(0, fuzzIters(40)));
+
+TEST(CoreDifferential, WatchdogAccountingPinned)
+{
+    // Pinned chaos scenario engineered to end runs through the
+    // watchdog/starvation path: aggressive loss with a single link
+    // retry, no recovery layer, and a tight watchdog. Whatever the
+    // exact outcome per index, both cores must agree on the
+    // watchdog-tripped flag, the failure reason string, and the cycle
+    // the run died at.
+    bool saw_trip = false;
+    for (int idx = 0; idx < 6; ++idx) {
+        SCOPED_TRACE(idx);
+        std::string main_label;
+        isa::ObjectCode object = compileCorpusProgram(idx, &main_label);
+        mp::SystemConfig config;
+        config.numPes = 4;
+        fault::FaultPlan plan;
+        plan.seed = 0xD06 + static_cast<std::uint64_t>(idx);
+        plan.rate = 0.5;
+        plan.kinds = fault::kBusDrop;
+        plan.maxRetries = 1;
+        config.faultPlan = plan;
+        config.watchdogCycles = 3000;
+        CoreRun tick =
+            runCore(object, main_label, config, mp::SimCore::Tick);
+        CoreRun event =
+            runCore(object, main_label, config, mp::SimCore::Event);
+        expectIdentical(tick, event);
+        saw_trip = saw_trip || tick.result.watchdogTripped;
+    }
+    // The scenario must actually exercise the path it pins.
+    EXPECT_TRUE(saw_trip);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(CoreDifferential, BenchAndMetricsJsonByteIdentical)
+{
+    // The exported documents - the surfaces CI diffing actually
+    // consumes - compared byte for byte. Host timing is measured by
+    // runOnce either way but stays out of the default BENCH document,
+    // which is exactly why the comparison can be exact.
+    std::string source = ProgramGen(corpusSeed(0)).generate();
+    occam::CompiledProgram program = occam::compileOccam(source);
+
+    auto series_for = [&](mp::SimCore core) {
+        mp::SystemConfig config;
+        config.core = core;
+        sim::SpeedupSeries series;
+        series.name = "corpus0";
+        for (int pes : {1, 2, 4})
+            series.runs.push_back(
+                sim::runOnce(program, "", {}, pes, config));
+        return series;
+    };
+    sim::SpeedupSeries tick = series_for(mp::SimCore::Tick);
+    sim::SpeedupSeries event = series_for(mp::SimCore::Event);
+
+    // Host timing is machine-dependent by design; everything else in
+    // the report must match field for field.
+    for (std::size_t i = 0; i < tick.runs.size(); ++i) {
+        EXPECT_EQ(tick.runs[i].cycles, event.runs[i].cycles);
+        EXPECT_EQ(tick.runs[i].completed, event.runs[i].completed);
+        EXPECT_EQ(tick.runs[i].stats.render(),
+                  event.runs[i].stats.render());
+        EXPECT_GE(tick.runs[i].hostWallMs, 0.0);
+        EXPECT_GE(event.runs[i].hostWallMs, 0.0);
+    }
+
+    std::string tick_bench =
+        sim::writeBenchJson("corediff", {tick}, "core_diff_tick.json");
+    std::string event_bench = sim::writeBenchJson(
+        "corediff", {event}, "core_diff_event.json");
+    EXPECT_EQ(slurp(tick_bench), slurp(event_bench));
+    std::remove(tick_bench.c_str());
+    std::remove(event_bench.c_str());
+
+    std::string tick_metrics = sim::writeMetricsJson(
+        "corediff", {tick}, "core_diff_tick_metrics.json");
+    std::string event_metrics = sim::writeMetricsJson(
+        "corediff", {event}, "core_diff_event_metrics.json");
+    EXPECT_EQ(slurp(tick_metrics), slurp(event_metrics));
+    std::remove(tick_metrics.c_str());
+    std::remove(event_metrics.c_str());
+}
+
+} // namespace

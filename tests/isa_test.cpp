@@ -236,6 +236,32 @@ TEST(Assembler, Errors)
     EXPECT_THROW(assemble("plus r99,r1 :r0\n"), FatalError);
 }
 
+TEST(Assembler, NumberOverflowIsALineDiagnosticNotACrash)
+{
+    // r99999999999 used to escape as an uncaught std::out_of_range
+    // from std::stoi; both overflow forms must surface as ordinary
+    // assembler diagnostics carrying the offending line number.
+    try {
+        assemble("plus r99999999999,r1 :r0\n");
+        FAIL() << "expected a FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 1"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        assemble("plus r0,r1 :r0\nplus #99999999999999999999,r1 :r0\n");
+        FAIL() << "expected a FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+    // Trailing junk after the digits is a malformed register, not a
+    // silently truncated parse ("r12x" is not r12).
+    EXPECT_THROW(assemble("plus r12x,r1 :r0\n"), FatalError);
+}
+
 TEST(Assembler, DisassemblerRoundTripsText)
 {
     std::string source =

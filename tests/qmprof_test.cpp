@@ -211,4 +211,47 @@ TEST(Sweep, RunAllRefusesSharedTracePathsUnderParallelJobs)
     std::remove(spec.config.traceConfig.chromeJsonPath.c_str());
 }
 
+TEST(Qmprof, MalformedBusDestinationsAreIgnoredNotMisattributed)
+{
+    // Hand-written trace with bus-transfer names an exporter would
+    // never emit: a missing destination index, a non-numeric one, and
+    // one far past any integer range (which used to be undefined
+    // behavior in the std::atoi-based parser). The analyzer must load
+    // the file, drop the unattributable destinations, and size the
+    // machine from the well-formed events only - never credit PE 0
+    // with garbage transfers or crash.
+    std::string path = testing::TempDir() + "/qm_malformed_bus.json";
+    {
+        std::ofstream out(path);
+        out << "{\"traceEvents\":[\n"
+            << "{\"ph\":\"X\",\"cat\":\"run\",\"name\":\"ctx\","
+               "\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":10,"
+               "\"args\":{\"ctx\":0}},\n"
+            << "{\"ph\":\"X\",\"cat\":\"bus\",\"name\":"
+               "\"pe0 -> pe\",\"pid\":0,\"tid\":0,\"ts\":2,"
+               "\"dur\":4,\"args\":{\"hops\":1}},\n"
+            << "{\"ph\":\"X\",\"cat\":\"bus\",\"name\":"
+               "\"pe0 -> peXL\",\"pid\":0,\"tid\":0,\"ts\":3,"
+               "\"dur\":4,\"args\":{\"hops\":1}},\n"
+            << "{\"ph\":\"X\",\"cat\":\"bus\",\"name\":"
+               "\"pe0 -> pe99999999999999999999\",\"pid\":0,"
+               "\"tid\":0,\"ts\":4,\"dur\":4,\"args\":{\"hops\":1}},\n"
+            << "{\"ph\":\"X\",\"cat\":\"bus\",\"name\":"
+               "\"pe0 -> pe-7\",\"pid\":0,\"tid\":0,\"ts\":5,"
+               "\"dur\":4,\"args\":{\"hops\":1}},\n"
+            << "{\"ph\":\"X\",\"cat\":\"bus\",\"name\":"
+               "\"pe0 -> pe3\",\"pid\":0,\"tid\":0,\"ts\":6,"
+               "\"dur\":4,\"args\":{\"hops\":1}}\n"
+            << "]}\n";
+    }
+    std::vector<trace::Event> events = trace::loadChromeTrace(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(events.size(), 6u);
+    trace::Profile profile = trace::analyzeTrace(events);
+    // Sized by the run event (pid 1) and the one well-formed transfer
+    // destination (pe3); the malformed ones contribute nothing.
+    EXPECT_EQ(profile.numPes, 4);
+    EXPECT_FALSE(profile.render().empty());
+}
+
 } // namespace

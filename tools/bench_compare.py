@@ -2,6 +2,7 @@
 """Compare a BENCH_*.json report against a committed baseline.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance FRAC]
+                        [--host-tolerance FRAC] [--min-host-speedup X]
 
 Walks every (series, PE-count) cell present in the baseline and fails
 (exit 1) when the current report's cycle count regressed by more than
@@ -11,6 +12,21 @@ within-tolerance drift are reported but pass. The simulator is fully
 deterministic, so any drift at all is a real behavior change; the
 tolerance only exists to keep intentional small costs (added checks,
 instrumentation) from blocking CI.
+
+Host-time cells (host_wall_ms, emitted only under --host-time) are
+machine-dependent, so they are gated only when BOTH documents carry
+them - i.e. when both were produced on the same machine in the same CI
+job. A cell whose host_wall_ms grows past --host-tolerance (default
+0.25 = 25%) fails; host cells missing from either side are skipped
+silently.
+
+--min-host-speedup X switches to speedup mode: BASELINE and CURRENT
+are two --host-time reports from the same machine (e.g. the unit-tick
+core vs the event-driven core on one CI runner), and the check is that
+CURRENT's aggregate host time at --speedup-pes (default 8) is at least
+X times faster than BASELINE's, summed across every series present in
+both. Cycle and verification checks still run first - a faster core
+that changes results must not pass.
 """
 
 import argparse
@@ -29,6 +45,46 @@ def load_runs(path):
     return doc.get("bench", "?"), runs
 
 
+def check_host_speedup(base_runs, cur_runs, pes, minimum):
+    """Aggregate host-time speedup gate at one PE count.
+
+    Sums host_wall_ms across every series both reports measured at
+    `pes` and fails when baseline/current falls below `minimum`.
+    """
+    base_total = 0.0
+    cur_total = 0.0
+    cells = 0
+    for (series, cell_pes), base in sorted(base_runs.items()):
+        if cell_pes != pes:
+            continue
+        cur = cur_runs.get((series, cell_pes))
+        base_ms = base.get("host_wall_ms")
+        cur_ms = cur.get("host_wall_ms") if cur else None
+        if base_ms is None or cur_ms is None:
+            print(f"FAIL: {series} @ {pes} PEs: host_wall_ms missing "
+                  f"(rerun both sweeps with --host-time)")
+            return 1
+        base_total += base_ms
+        cur_total += cur_ms
+        cells += 1
+        per_cell = base_ms / cur_ms if cur_ms > 0 else float("inf")
+        print(f"note: {series} @ {pes} PEs: host "
+              f"{base_ms:.2f}ms -> {cur_ms:.2f}ms ({per_cell:.2f}x)")
+    if cells == 0:
+        print(f"FAIL: no cells at {pes} PEs to aggregate")
+        return 1
+    speedup = base_total / cur_total if cur_total > 0 else float("inf")
+    if speedup < minimum:
+        print(f"FAIL: aggregate host speedup at {pes} PEs is "
+              f"{speedup:.2f}x ({base_total:.2f}ms -> "
+              f"{cur_total:.2f}ms), below the {minimum:.2f}x floor")
+        return 1
+    print(f"aggregate host speedup at {pes} PEs: {speedup:.2f}x "
+          f"({base_total:.2f}ms -> {cur_total:.2f}ms) over "
+          f"{cells} series, floor {minimum:.2f}x")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -36,6 +92,18 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="max allowed fractional cycle regression "
                              "(default 0.10)")
+    parser.add_argument("--host-tolerance", type=float, default=0.25,
+                        help="max allowed fractional host_wall_ms "
+                             "regression when both reports carry it "
+                             "(default 0.25)")
+    parser.add_argument("--min-host-speedup", type=float, default=None,
+                        metavar="X",
+                        help="speedup mode: require CURRENT's aggregate "
+                             "host time at --speedup-pes to beat "
+                             "BASELINE's by at least X times")
+    parser.add_argument("--speedup-pes", type=int, default=8,
+                        help="PE count the speedup gate aggregates "
+                             "over (default 8)")
     args = parser.parse_args()
 
     base_name, base_runs = load_runs(args.baseline)
@@ -74,6 +142,17 @@ def main():
                   f"({abs(delta):.1%} {word})")
         else:
             print(f"ok:   {cell}: {cur_cycles} cycles (unchanged)")
+        # Host time is gated only when both sides measured it; a
+        # committed (machine-independent) baseline never carries it.
+        base_ms = base.get("host_wall_ms")
+        cur_ms = cur.get("host_wall_ms")
+        if base_ms is not None and cur_ms is not None and base_ms > 0:
+            host_delta = (cur_ms - base_ms) / base_ms
+            if host_delta > args.host_tolerance:
+                print(f"FAIL: {cell}: host {base_ms:.2f}ms -> "
+                      f"{cur_ms:.2f}ms (+{host_delta:.1%} > "
+                      f"{args.host_tolerance:.0%} host tolerance)")
+                failures += 1
 
     extra = sorted(set(cur_runs) - set(base_runs))
     for series, pes in extra:
@@ -85,6 +164,11 @@ def main():
               f"(tools/baselines/) in the same change")
         return 1
     print(f"all {len(base_runs)} baseline cells within tolerance")
+
+    if args.min_host_speedup is not None:
+        return check_host_speedup(base_runs, cur_runs,
+                                  args.speedup_pes,
+                                  args.min_host_speedup)
     return 0
 
 
