@@ -20,6 +20,11 @@
  * `--trace-dir DIR` records a Chrome trace per run into
  * DIR/<name>-pe<N>.json (distinct paths, so it composes with
  * parallel sweeps; DIR must exist).
+ * `--topology ring|ring:P|rings:KxM` overrides the ring-bus shape for
+ * every run of the sweep (see mp::parseTopology); without it each
+ * bench keeps its historical default.
+ * `--max-pes N` drops sweep points above N PEs - the sanitizer CI leg
+ * uses it to fit the partitioned sweep into its wall-clock budget.
  * `--core tick|event` selects the simulation core: `event` (default)
  * is the next-event calendar scheduler, `tick` the unit-tick scan it
  * replaced. Both produce byte-identical reports; tick exists for the
@@ -50,13 +55,16 @@ struct BenchArgs
     std::string traceDir;           ///< Empty = no per-run traces.
     mp::SimCore core = mp::SimCore::Event; ///< --core tick|event.
     bool hostTime = false;          ///< --host-time in BENCH JSON.
+    bool topologyGiven = false;     ///< --topology present.
+    mp::RingTopology topology{};    ///< Parsed --topology value.
+    int maxPes = 0;                 ///< 0 = no cap on sweep points.
 };
 
 /**
  * Parse argv for
  * `[--jobs N] [--faults SPEC] [--recover] [--checkpoint-every N]
  *  [--metrics FILE] [--trace-dir DIR] [--core tick|event]
- *  [--host-time]`.
+ *  [--topology SPEC] [--max-pes N] [--host-time]`.
  * On malformed or unknown arguments prints a usage error and returns
  * ok=false.
  */
@@ -103,6 +111,25 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
             }
         } else if (arg == "--host-time") {
             args.hostTime = true;
+        } else if (arg == "--topology" && i + 1 < argc) {
+            try {
+                args.topology = mp::parseTopology(argv[++i]);
+                args.topologyGiven = true;
+            } catch (const FatalError &e) {
+                std::cerr << bench_name << ": " << e.what() << "\n";
+                args.ok = false;
+                return args;
+            }
+        } else if (arg == "--max-pes" && i + 1 < argc) {
+            try {
+                args.maxPes = parsePositiveIntArg(argv[++i],
+                                                  "--max-pes",
+                                                  /*max=*/4096);
+            } catch (const FatalError &e) {
+                std::cerr << bench_name << ": " << e.what() << "\n";
+                args.ok = false;
+                return args;
+            }
         } else if (arg == "--checkpoint-every" && i + 1 < argc) {
             try {
                 args.recovery.checkpointEvery = parsePositiveIntArg(
@@ -119,6 +146,7 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
                       << " [--jobs N] [--faults SPEC] [--recover] "
                          "[--checkpoint-every N] [--metrics FILE] "
                          "[--trace-dir DIR] [--core tick|event] "
+                         "[--topology SPEC] [--max-pes N] "
                          "[--host-time]\n";
             args.ok = false;
             return args;

@@ -3,8 +3,8 @@
  * occamc - the OCCAM queue-machine compiler driver (thesis Fig 4.21).
  *
  * Usage: occamc [--asm] [--dot] [--run] [--pes N] [--stats]
- *               [--trace out.json] [--metrics out.json]
- *               [--faults SPEC] [--recover]
+ *               [--topology SPEC] [--trace out.json]
+ *               [--metrics out.json] [--faults SPEC] [--recover]
  *               [--checkpoint-every N] file.occ
  *
  * Compiles an OCCAM source file into queue-machine object code and, on
@@ -17,6 +17,10 @@
  * --metrics exports the run's full statistics registry (counters,
  * scalars, latency/occupancy histograms) as a schema-versioned JSON
  * document ("-" = stdout; see sim/metrics.hpp).
+ * --topology selects the ring-bus shape: "ring" (flat default),
+ * "ring:P" (flat with P partitions), or "rings:KxM" (K local rings of
+ * M partitions joined by bridges and a backbone; the kernel shards its
+ * ready queues, channel map, and placement per local ring).
  * --faults runs under seeded fault injection (see fault::parseFaultPlan
  * for the spec grammar, e.g. "seed=42,rate=0.05,kinds=drop+delay").
  * --recover enables the recovery layer on top of the fault plan
@@ -45,7 +49,8 @@ int
 usage()
 {
     std::cerr << "usage: occamc [--asm] [--dot] [--run] [--interp] "
-                 "[--pes N] [--stats] [--trace out.json] "
+                 "[--pes N] [--stats] [--topology ring|ring:P|rings:KxM] "
+                 "[--trace out.json] "
                  "[--metrics out.json] [--faults SPEC] [--recover] "
                  "[--checkpoint-every N] file.occ\n";
     return 2;
@@ -59,6 +64,8 @@ main(int argc, char **argv)
     bool show_asm = false, show_dot = false, run = false,
          stats = false, interp_mode = false;
     int pes = 1;
+    bool topology_given = false;
+    qm::mp::RingTopology topology;
     qm::fault::FaultPlan faults;
     qm::fault::RecoveryPlan recovery;
     std::string path, trace_path, metrics_path;
@@ -84,6 +91,15 @@ main(int argc, char **argv)
                 std::cerr << "occamc: " << e.what() << "\n";
                 return usage();
             }
+        } else if (arg == "--topology" && i + 1 < argc) {
+            try {
+                topology = qm::mp::parseTopology(argv[++i]);
+            } catch (const qm::FatalError &e) {
+                std::cerr << "occamc: " << e.what() << "\n";
+                return usage();
+            }
+            topology_given = true;
+            run = true;  // a topology only matters for a run
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
             run = true;  // tracing implies running
@@ -147,6 +163,11 @@ main(int argc, char **argv)
             config.traceConfig.enabled = !trace_path.empty();
             config.faultPlan = faults;
             config.recovery = recovery;
+            if (topology_given) {
+                config.setTopology(topology);
+                std::cout << "topology: "
+                          << qm::mp::topologyName(topology) << "\n";
+            }
             if (faults.enabled())
                 std::cout << "fault injection: "
                           << qm::fault::toString(faults) << "\n";

@@ -1,17 +1,32 @@
 /**
  * @file
- * Partitioned ring-bus interconnect (thesis section 5.6, Fig 5.18).
+ * Partitioned ring-bus interconnect (thesis section 5.6, Fig 5.18),
+ * optionally hierarchical.
  *
- * The PEs sit on a shared bus that is partitioned into segments and
- * closed into a ring. A message travels the ring in one direction,
- * crossing every partition between source and destination; each
- * partition is an independently arbitrated resource, so transfers
- * through disjoint partitions proceed concurrently while transfers
- * sharing a partition serialize.
+ * Flat topology (numRings == 1): the PEs sit on a shared bus that is
+ * partitioned into segments and closed into a ring. A message travels
+ * the ring in one direction, crossing every partition between source
+ * and destination; each partition is an independently arbitrated
+ * resource, so transfers through disjoint partitions proceed
+ * concurrently while transfers sharing a partition serialize.
+ *
+ * Hierarchical topology (numRings == K > 1, "rings:KxM"): the PEs are
+ * split into K local rings of M partitions each, joined by a backbone
+ * ring of K segments. Each local ring owns one bridge - the single
+ * entry/exit point between it and the backbone. A cross-ring message
+ * exits its local ring (crossing the segments between the source and
+ * the bridge), reserves the source bridge, rides the backbone segments
+ * to the destination ring, reserves the destination bridge, and enters
+ * the destination ring (crossing the segments up to the destination
+ * PE). Bridges and backbone segments are independently arbitrated
+ * resources like local segments, so saturation can now be attributed:
+ * local contention shows up in bus.queue_wait, bridge/backbone
+ * contention in bus.bridge_wait.
  */
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -40,30 +55,84 @@ struct BusDelivery
 struct RingBusConfig
 {
     int numPes = 4;
-    /** Bus partitions (Fig 5.18 shows 4 PEs on 2 partitions). */
+    /**
+     * Bus partitions (Fig 5.18 shows 4 PEs on 2 partitions). With
+     * numRings > 1 this is the partition count of EACH local ring
+     * (the M in "rings:KxM").
+     */
     int numPartitions = 2;
     /** Cycles to cross one partition segment. */
     Cycle hopCycles = 4;
     /** Fixed per-message overhead (arbitration + header). */
     Cycle messageOverhead = 2;
+    /**
+     * Local rings (the K in "rings:KxM"). 1 = the flat single ring,
+     * byte-identical to the pre-topology model.
+     */
+    int numRings = 1;
+    /** Cycles to cross one inter-ring bridge (hierarchical only). */
+    Cycle bridgeCycles = 1;
+    /** Cycles per backbone segment hop (hierarchical only). */
+    Cycle backboneHopCycles = 1;
 };
 
-/** Time-aware transfer model for the partitioned ring. */
+/**
+ * A parsed --topology specification. "ring" is the flat default,
+ * "ring:P" a flat ring with P partitions, "rings:KxM" the hierarchy
+ * of K local rings with M partitions each.
+ */
+struct RingTopology
+{
+    int rings = 1;
+    int partitions = 2;
+};
+
+/**
+ * Parse a --topology argument. Accepts "ring", "ring:P", and
+ * "rings:KxM"; throws FatalError (naming the flag) on anything else.
+ * Fitting the parsed machine onto a given PE count is validated by the
+ * RingBus constructor, which rejects impossible combinations instead
+ * of silently clamping them.
+ */
+RingTopology parseTopology(const std::string &text);
+
+/** Render a topology as its canonical --topology spelling. */
+std::string topologyName(const RingTopology &topology);
+
+/** Time-aware transfer model for the (optionally hierarchical) ring. */
 class RingBus
 {
   public:
     explicit RingBus(RingBusConfig config);
 
-    /** Partition index owning PE @p pe's bus tap. */
+    /** Local rings in the topology (1 = flat). */
+    int numRings() const { return config_.numRings; }
+
+    /** Local ring owning PE @p pe (always 0 when flat). */
+    int ringOf(int pe) const;
+
+    /** First PE of local ring @p ring. */
+    int ringBase(int ring) const;
+
+    /** PEs on local ring @p ring. */
+    int ringSize(int ring) const;
+
+    /** Partition index owning PE @p pe's bus tap (flat topology). */
     int partitionOf(int pe) const;
 
-    /** Partitions crossed travelling the ring from @p src to @p dst. */
+    /**
+     * Segments crossed travelling from @p src to @p dst: partition
+     * crossings on the flat ring, or local-exit + backbone + local-entry
+     * segment crossings in the hierarchy (bridges not included; they
+     * are counted by bus.bridge_transfers).
+     */
     int partitionsCrossed(int src, int dst) const;
 
     /**
      * Schedule a one-word message from PE @p src to PE @p dst entering
      * the bus at time @p now. Returns the delivery time; partition
-     * reservations serialize conflicting transfers.
+     * (and bridge/backbone) reservations serialize conflicting
+     * transfers.
      */
     Cycle transfer(int src, int dst, Cycle now);
 
@@ -79,6 +148,14 @@ class RingBus
      * additionally covered end-to-end: the sender waits out an ack
      * timeout and retransmits, up to RecoveryPlan::maxResends times,
      * before the delivery is finally reported lost.
+     *
+     * Accounting split (see DESIGN.md): every attempt occupies the
+     * ring and books occupancy-level statistics (contention, hop and
+     * transfer cycle counters, the trace span); only attempts that
+     * actually arrive sample the delivered-level distributions
+     * (bus.remote_transfers, bus.hops/queue_wait/latency). Attempts
+     * the fault model drops bump bus.dropped_attempt instead, so the
+     * latency histograms never count phantom deliveries.
      */
     BusDelivery deliver(int src, int dst, Cycle now);
 
@@ -103,19 +180,23 @@ class RingBus
     struct Snapshot
     {
         std::vector<Cycle> partitionFree;
+        std::vector<Cycle> bridgeFree;
+        std::vector<Cycle> backboneFree;
         StatSet stats;
     };
 
     Snapshot
     snapshot() const
     {
-        return {partitionFree, stats_};
+        return {partitionFree, bridgeFree, backboneFree, stats_};
     }
 
     void
     restore(const Snapshot &snap)
     {
         partitionFree = snap.partitionFree;
+        bridgeFree = snap.bridgeFree;
+        backboneFree = snap.backboneFree;
         stats_ = snap.stats;
         // The assignment rebuilt the stat maps; cached slot pointers
         // into the old maps are dead.
@@ -124,6 +205,30 @@ class RingBus
     }
 
   private:
+    /**
+     * One ring occupation: the timing outcome of pushing a message
+     * through every segment (and bridge) between src and dst, with the
+     * occupancy-level statistics already booked. deliver() books the
+     * delivered-level statistics (bookDelivered) only for the attempt
+     * that actually arrives.
+     */
+    struct Attempt
+    {
+        Cycle at = 0;       ///< Arrival time.
+        int hops = 0;       ///< Segments crossed.
+        Cycle waited = 0;   ///< Total arbitration wait along the path.
+        Cycle bridgeWaited = 0;  ///< Wait on bridges + backbone only.
+    };
+
+    /** Occupy every resource on the src->dst path starting at now. */
+    Attempt occupyRing(int src, int dst, Cycle now);
+
+    /** Book the delivered-level statistics for a landed attempt. */
+    void bookDelivered(const Attempt &attempt, Cycle now);
+
+    /** Local partition of @p pe within its ring (hierarchical). */
+    int localPartitionOf(int pe) const;
+
     /**
      * Cached map slots for transfer()'s per-message statistics (the
      * rendezvous hot path). Resolved on first actual use - so a stat
@@ -137,12 +242,15 @@ class RingBus
         std::uint64_t *contentionCycles = nullptr;
         std::uint64_t *hopCount = nullptr;
         std::uint64_t *transferCycles = nullptr;
+        std::uint64_t *bridgeTransfers = nullptr;
+        std::uint64_t *backboneHops = nullptr;
     };
     struct HistogramHandles
     {
         Histogram *hops = nullptr;
         Histogram *queueWait = nullptr;
         Histogram *latency = nullptr;
+        Histogram *bridgeWait = nullptr;
     };
 
     std::uint64_t &
@@ -162,8 +270,12 @@ class RingBus
     }
 
     RingBusConfig config_;
-    /** Earliest free cycle per partition. */
+    /** Earliest free cycle per local segment (ring-major order). */
     std::vector<Cycle> partitionFree;
+    /** Earliest free cycle per bridge (hierarchical only). */
+    std::vector<Cycle> bridgeFree;
+    /** Earliest free cycle per backbone segment (hierarchical only). */
+    std::vector<Cycle> backboneFree;
     StatSet stats_;
     CounterHandles counters_;
     HistogramHandles histograms_;

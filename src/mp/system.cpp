@@ -168,6 +168,9 @@ struct System::Checkpoint
     Word nextChannel = 2;
     Addr heapNext = kHeapBase;
     int rrNext = 0;
+    std::vector<int> shardRr;
+    std::vector<std::uint64_t> shardCtxLive;
+    std::map<Word, int> channelShard;
     std::uint64_t liveContexts = 0;
     std::uint64_t switches = 0;
     bool killArmed = false;
@@ -205,6 +208,11 @@ System::System(const isa::ObjectCode &code, SystemConfig config)
     fatalIf(config_.numPes < 1, "system needs at least one PE");
     fatalIf(config_.pageWords < 32 || config_.pageWords > 256,
             "queue page words out of range");
+
+    if (numShards() > 1) {
+        shardRr_.assign(static_cast<size_t>(numShards()), 0);
+        shardCtxLive_.assign(static_cast<size_t>(numShards()), 0);
+    }
 
     if (config_.core == SimCore::Event)
         decoded_ = std::make_unique<isa::DecodedProgram>(code_.words);
@@ -252,10 +260,18 @@ System::System(const isa::ObjectCode &code, SystemConfig config)
 System::~System() = default;
 
 Word
-System::allocChannelPair()
+System::allocChannelPair(int pe)
 {
     Word id = nextChannel;
     nextChannel += 2;
+    if (numShards() > 1) {
+        // Channel directory: both ends of the pair start out owned by
+        // the allocating PE's shard. Ifork placement consults it to
+        // home children near the consumers of their output channels.
+        int shard = shardOfPe(pe);
+        channelShard_[id] = shard;
+        channelShard_[id + 1] = shard;
+    }
     return id;
 }
 
@@ -298,7 +314,7 @@ System::pushReady(PeSlot &slot, Cycle readyAt, CtxId ctx)
 }
 
 int
-System::placeContext(int forkingPe)
+System::placeContext(int forkingPe, int preferredShard)
 {
     switch (config_.placement) {
       case Placement::Local:
@@ -316,9 +332,80 @@ System::placeContext(int forkingPe)
         panic("round-robin placement: no live PE");
       }
       case Placement::LeastLoaded:
+        if (numShards() > 1)
+            return placeSharded(preferredShard >= 0
+                                    ? preferredShard
+                                    : shardOfPe(forkingPe));
         return placeSurvivor();
     }
     panic("unreachable placement policy");
+}
+
+std::size_t
+System::shardLoad(int shard) const
+{
+    std::size_t load = 0;
+    int base = bus.ringBase(shard);
+    int size = bus.ringSize(shard);
+    for (int i = 0; i < size; ++i) {
+        const PeSlot &slot = *slots[static_cast<size_t>(base + i)];
+        if (slot.dead)
+            continue;
+        load += slot.readyQ.size() +
+                (slot.running != msg::kNoCtx ? 1 : 0);
+    }
+    return load;
+}
+
+int
+System::placeSharded(int shard)
+{
+    // Distance-aware placement: keep the context inside its preferred
+    // shard (local ring) unless every PE there is more than
+    // kShardSlack contexts busier than the machine-wide minimum, so
+    // its channel traffic avoids bridge hops. The slack biases fork
+    // subtrees toward staying on their parent's ring (a cross-ring
+    // rendezvous costs far more than one queued context); a genuinely
+    // saturated ring still spills to the global least-loaded PE.
+    constexpr std::size_t kShardSlack = 1;
+    const int base = bus.ringBase(shard);
+    const int size = bus.ringSize(shard);
+    int best = -1;
+    std::size_t best_load = 0;
+    for (int i = 0; i < size; ++i) {
+        int pe = base + (shardRr_[static_cast<size_t>(shard)] + i) %
+                            size;
+        const PeSlot &slot = *slots[static_cast<size_t>(pe)];
+        if (slot.dead)
+            continue;
+        std::size_t load = slot.readyQ.size() +
+                           (slot.running != msg::kNoCtx ? 1 : 0);
+        if (best < 0 || load < best_load) {
+            best = pe;
+            best_load = load;
+        }
+    }
+    std::size_t global_min = 0;
+    bool any_live = false;
+    for (int pe = 0; pe < config_.numPes; ++pe) {
+        const PeSlot &slot = *slots[static_cast<size_t>(pe)];
+        if (slot.dead)
+            continue;
+        std::size_t load = slot.readyQ.size() +
+                           (slot.running != msg::kNoCtx ? 1 : 0);
+        if (!any_live || load < global_min)
+            global_min = load;
+        any_live = true;
+    }
+    panicIf(!any_live, "context placement: no live PE");
+    if (best >= 0 && best_load <= global_min + kShardSlack) {
+        shardRr_[static_cast<size_t>(shard)] = (best - base + 1) % size;
+        return best;
+    }
+    // Preferred ring is saturated (or entirely fail-stopped): fall
+    // back to the global least-loaded policy.
+    stats_.inc("sys.shard_spills");
+    return placeSurvivor();
 }
 
 int
@@ -349,13 +436,13 @@ System::placeSurvivor()
 
 CtxId
 System::createContext(Word codeAddr, Word inChan, Word outChan,
-                      int forkingPe, Cycle now)
+                      int forkingPe, Cycle now, int preferredShard)
 {
     Context ctx;
     ctx.id = static_cast<CtxId>(contexts.size());
     ctx.inChan = inChan;
     ctx.outChan = outChan;
-    ctx.homePe = placeContext(forkingPe);
+    ctx.homePe = placeContext(forkingPe, preferredShard);
     ctx.queuePage = allocQueuePage();
     ctx.regs.pc = codeAddr;
     ctx.regs.qp = ctx.queuePage;
@@ -371,6 +458,23 @@ System::createContext(Word codeAddr, Word inChan, Word outChan,
     ++liveContexts;
     stats_.inc("sys.contexts_created");
     tracer_.ctxCreate(now, ctx.homePe, ctx.id, forkingPe);
+    if (numShards() > 1) {
+        // Shard bookkeeping: the descriptor ship above IS the explicit
+        // cross-shard migration message when the shards differ - it
+        // paid the bridge hops in bus.deliver. The directory learns
+        // the child's channels so later iforks chase the consumer.
+        int from = shardOfPe(forkingPe);
+        int to = shardOfPe(ctx.homePe);
+        int preferred = preferredShard >= 0 ? preferredShard : from;
+        ++shardCtxLive_[static_cast<size_t>(to)];
+        channelShard_[inChan] = to;
+        stats_.inc(to == preferred ? "sys.shard_local_placements"
+                                   : "sys.shard_remote_placements");
+        if (to != from) {
+            stats_.inc("sys.shard_migrations");
+            tracer_.ctxMigrate(now, ctx.homePe, ctx.id, forkingPe);
+        }
+    }
 
     if (shipped.delivered) {
         pushReady(*slots[static_cast<size_t>(ctx.homePe)], ctx.readyAt,
@@ -554,7 +658,7 @@ System::trapService(PeSlot &slot, Word number, Word argument)
         outcome.kernelCycles = config_.exitCycles;
         return outcome;
       case isa::TrapRfork: {
-        Word in = allocChannelPair();
+        Word in = allocChannelPair(slot.index);
         createContext(argument, in, in + 1, slot.index, slot.clock);
         outcome.result = in;
         outcome.kernelCycles = config_.forkCycles;
@@ -562,9 +666,20 @@ System::trapService(PeSlot &slot, Word number, Word argument)
         return outcome;
       }
       case isa::TrapIfork: {
-        Word in = allocChannelPair();
+        Word in = allocChannelPair(slot.index);
+        // Distance-aware placement: the child inherits this context's
+        // output channel, so home it in the shard of that channel's
+        // consumer (per the directory) rather than the forker's -
+        // pipeline stages chase their consumers across rings instead
+        // of piling up where they were forked.
+        int preferred = -1;
+        if (numShards() > 1) {
+            auto it = channelShard_.find(self.outChan);
+            if (it != channelShard_.end())
+                preferred = it->second;
+        }
         createContext(argument, in, self.outChan, slot.index,
-                      slot.clock);
+                      slot.clock, preferred);
         outcome.result = in;
         outcome.kernelCycles = config_.forkCycles;
         stats_.inc("sys.iforks");
@@ -599,7 +714,7 @@ System::trapService(PeSlot &slot, Word number, Word argument)
         outcome.status = HostStatus::Blocked;
         return outcome;
       case isa::TrapChan:
-        outcome.result = allocChannelPair();
+        outcome.result = allocChannelPair(slot.index);
         outcome.kernelCycles = config_.queryCycles;
         return outcome;
       default:
@@ -753,6 +868,8 @@ System::finishContext(PeSlot &slot)
     freeQueuePage(ctx.queuePage);
     slot.running = msg::kNoCtx;
     --liveContexts;
+    if (numShards() > 1)
+        --shardCtxLive_[static_cast<size_t>(shardOfPe(ctx.homePe))];
     stats_.inc("sys.contexts_finished");
     commitSpan(slot);
 }
@@ -763,7 +880,7 @@ System::run(const std::string &entry, Cycle max_cycles)
     panicIf(booted, "System::run may only be called once per instance");
     booted = true;
     Addr entry_addr = code_.labelAddr(entry);
-    Word in = allocChannelPair();
+    Word in = allocChannelPair(/*pe=*/0);
     createContext(entry_addr, in, in + 1, /*forkingPe=*/0, /*now=*/0);
     if (recoveryOn_) {
         if (config_.recovery.checkpointEvery > 0)
@@ -1213,11 +1330,27 @@ System::recoverDeadPe(Cycle at)
     // ready descriptor to its new home rides the (still faulty) ring
     // like any other kernel message.
     std::uint64_t moved = 0;
+    const int dead_shard = numShards() > 1 ? shardOfPe(dead_pe) : 0;
     for (Context &ctx : contexts) {
         if (ctx.homePe != dead_pe || ctx.status == CtxStatus::Done)
             continue;
-        int target = placeSurvivor();
+        // Sharded kernel: prefer a survivor in the dead PE's own shard
+        // so re-homing does not scatter a ring's working set across
+        // the backbone; placeSharded spills only when every shard-local
+        // PE is worse than the global best (or the shard is wiped out).
+        int target = numShards() > 1 ? placeSharded(dead_shard)
+                                     : placeSurvivor();
         ctx.homePe = target;
+        if (numShards() > 1) {
+            int to = shardOfPe(target);
+            if (to != dead_shard) {
+                --shardCtxLive_[static_cast<size_t>(dead_shard)];
+                ++shardCtxLive_[static_cast<size_t>(to)];
+                channelShard_[ctx.inChan] = to;
+                stats_.inc("sys.shard_migrations");
+                tracer_.ctxMigrate(at, target, ctx.id, dead_pe);
+            }
+        }
         ++moved;
         if (ctx.status != CtxStatus::Ready)
             continue;  // Blocked: its wake lands on the new home.
@@ -1269,6 +1402,9 @@ System::snapshot()
     cp->nextChannel = nextChannel;
     cp->heapNext = heapNext;
     cp->rrNext = rrNext;
+    cp->shardRr = shardRr_;
+    cp->shardCtxLive = shardCtxLive_;
+    cp->channelShard = channelShard_;
     cp->liveContexts = liveContexts;
     cp->switches = switches;
     cp->killArmed = killArmed_;
@@ -1311,6 +1447,9 @@ System::restore()
     nextChannel = cp.nextChannel;
     heapNext = cp.heapNext;
     rrNext = cp.rrNext;
+    shardRr_ = cp.shardRr;
+    shardCtxLive_ = cp.shardCtxLive;
+    channelShard_ = cp.channelShard;
     liveContexts = cp.liveContexts;
     switches = cp.switches;
     killArmed_ = cp.killArmed;

@@ -17,9 +17,11 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -84,7 +86,18 @@ constexpr Addr kHeapBase = 0x0100'0000;       ///< TrapAlloc heap.
 struct SystemConfig
 {
     int numPes = 1;
+    /**
+     * Bus partitions - per local ring when busRings > 1. The default
+     * is adaptive: it is clamped to numPes by busConfig() so the
+     * 1-PE default machine stays valid. An explicit --topology sets
+     * busTopologyExplicit and is validated strictly instead (the
+     * RingBus constructor rejects machines that cannot exist).
+     */
     int busPartitions = 2;
+    /** Local rings ("rings:KxM" topology); 1 = the flat single ring. */
+    int busRings = 1;
+    /** Set by --topology: skip the adaptive default clamp above. */
+    bool busTopologyExplicit = false;
     std::size_t memoryBytes = 32u << 20;
     int pageWords = 256;         ///< Operand-queue page size per context.
     int maxLiveContexts = 2048;  ///< Queue-page pool size.
@@ -106,8 +119,20 @@ struct SystemConfig
     {
         RingBusConfig bus;
         bus.numPes = numPes;
-        bus.numPartitions = busPartitions;
+        bus.numRings = busRings;
+        bus.numPartitions =
+            busTopologyExplicit ? busPartitions
+                                : std::min(busPartitions, numPes);
         return bus;
+    }
+
+    /** Apply a parsed --topology spec (see mp::parseTopology). */
+    void
+    setTopology(const RingTopology &topology)
+    {
+        busRings = topology.rings;
+        busPartitions = topology.partitions;
+        busTopologyExplicit = true;
     }
 
     pe::PeTiming peTiming{};
@@ -305,13 +330,33 @@ class System
     struct PeSlot;
 
     // --- Kernel services -------------------------------------------------
+    /**
+     * @p preferredShard steers distance-aware placement in sharded
+     * (multi-ring) mode: -1 means "the forking PE's shard". Ignored on
+     * the flat ring.
+     */
     CtxId createContext(Word codeAddr, Word inChan, Word outChan,
-                        int forkingPe, Cycle now);
-    Word allocChannelPair();
+                        int forkingPe, Cycle now,
+                        int preferredShard = -1);
+    /** @p pe records the allocating shard in the channel directory. */
+    Word allocChannelPair(int pe);
     Addr allocQueuePage();
     void freeQueuePage(Addr page);
-    int placeContext(int forkingPe);
+    int placeContext(int forkingPe, int preferredShard = -1);
     void wakeContext(CtxId ctx, Cycle at);
+
+    // --- Sharded kernel (hierarchical topologies; see DESIGN.md) ---------
+    /** Shards in the kernel = local rings in the topology. */
+    int numShards() const { return config_.busRings; }
+    int shardOfPe(int pe) const { return bus.ringOf(pe); }
+    /**
+     * Least-loaded live PE within @p shard (per-shard rotation cursor
+     * breaks ties); spills to the global least-loaded PE only when
+     * every PE of the shard is busier than the global minimum.
+     */
+    int placeSharded(int shard);
+    /** Sum of ready-queue depths + running flags over a shard's PEs. */
+    std::size_t shardLoad(int shard) const;
 
     // Host operations, invoked from the PE mid-step.
     pe::HostStatus hostSend(int pe, Word channel, Word value);
@@ -419,6 +464,17 @@ class System
     Word nextChannel = 2;  ///< 0 reserved, allocate pairs from 2.
     Addr heapNext = kHeapBase;
     int rrNext = 0;        ///< Round-robin placement cursor.
+
+    // Sharded-kernel state (sized/maintained only when numShards() > 1
+    // so flat-ring runs stay byte-identical on every surface).
+    std::vector<int> shardRr_;           ///< Per-shard tie cursors.
+    std::vector<std::uint64_t> shardCtxLive_;  ///< Live ctx per shard.
+    /**
+     * Channel directory: channel id -> shard of the allocating PE.
+     * Ifork consults it to place a child near the consumer of its
+     * output channel (distance-aware placement).
+     */
+    std::map<Word, int> channelShard_;
     bool booted = false;
     std::uint64_t liveContexts = 0;
     std::uint64_t switches = 0;

@@ -150,7 +150,12 @@ loadChromeTrace(const std::string &path, std::uint64_t *dropped)
                 e.kind = EventKind::BusTransfer;
                 e.pe = static_cast<std::int16_t>(row.intval("tid", 0));
                 e.a = static_cast<std::uint64_t>(parseBusDst(name));
-                e.b = static_cast<std::uint64_t>(args.intval("hops", 0));
+                // Reconstruct the tracer's payload packing: hops in the
+                // low 16 bits, bridge/backbone wait above them.
+                e.b = static_cast<std::uint64_t>(args.intval("hops", 0)) |
+                      (static_cast<std::uint64_t>(
+                           args.intval("bridge_wait", 0))
+                       << 16);
             } else {
                 continue;  // unknown span category
             }
@@ -174,6 +179,12 @@ loadChromeTrace(const std::string &path, std::uint64_t *dropped)
                 e.pe = static_cast<std::int16_t>(row.intval("pid", 0));
                 e.a = parseTrailingInt(name);
                 e.b = static_cast<std::uint64_t>(args.intval("info", 0));
+            } else if (category == "shard") {
+                e.kind = EventKind::CtxMigrate;
+                e.pe = static_cast<std::int16_t>(row.intval("pid", 0));
+                e.ctx = static_cast<CtxId>(args.intval("ctx", kNoCtx));
+                e.a = static_cast<std::uint64_t>(
+                    args.intval("from_pe", 0));
             } else {
                 continue;
             }
@@ -242,6 +253,12 @@ analyzeTrace(const std::vector<Event> &events,
             break;
           case EventKind::BusTransfer:
             max_pe = std::max(max_pe, static_cast<int>(e.a));
+            ++profile.busTransfers;
+            profile.busCycles += e.end - e.at;
+            profile.bridgeWaitCycles += static_cast<Cycle>(e.b >> 16);
+            break;
+          case EventKind::CtxMigrate:
+            ++profile.migrations;
             break;
           default:
             break;
@@ -495,6 +512,23 @@ Profile::render(const AnalyzeOptions &options) const
         os << "\n";
     }
     os << "\n";
+
+    // Bus / topology attribution.
+    if (busTransfers > 0 || migrations > 0) {
+        os << "ring bus: " << busTransfers << " remote transfers, "
+           << busCycles << " cycles on the wire\n";
+        if (bridgeWaitCycles > 0)
+            os << "  bridge/backbone wait: " << bridgeWaitCycles
+               << " cycles ("
+               << fixed(100.0 * static_cast<double>(bridgeWaitCycles) /
+                            static_cast<double>(
+                                std::max<Cycle>(busCycles, 1)),
+                        1)
+               << "% of bus time)\n";
+        if (migrations > 0)
+            os << "  cross-shard migrations: " << migrations << "\n";
+        os << "\n";
+    }
 
     // Blocked-time table.
     os << "top contexts by blocked time:\n";

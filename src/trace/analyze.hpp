@@ -105,6 +105,12 @@ struct Profile
     std::uint64_t finished = 0;
     std::uint64_t dropped = 0; ///< Events the tracer discarded.
 
+    /** Ring-bus / topology attribution (zero on bus-quiet traces). */
+    std::uint64_t busTransfers = 0;  ///< Remote transfer spans.
+    Cycle busCycles = 0;             ///< Summed transfer span lengths.
+    Cycle bridgeWaitCycles = 0;      ///< Bridge/backbone arbitration wait.
+    std::uint64_t migrations = 0;    ///< Cross-shard context placements.
+
     /** Latest-first chain; sum of lengths <= totalCycles. */
     std::vector<PathSegment> criticalPath;
     Cycle criticalPathCycles = 0;  ///< Sum of segment lengths.

@@ -121,15 +121,19 @@ writeChromeTrace(std::ostream &os, const Tracer &tracer)
                 .endObject()
                 .endObject();
             break;
-          case EventKind::BusTransfer:
+          case EventKind::BusTransfer: {
             spanEvent(json,
                       cat("pe", e.pe, " -> pe", e.a), "bus", bus_pid,
                       e.pe, e.at, e.end - e.at);
             json.key("args").beginObject()
-                .key("hops").value(e.b)
-                .endObject()
-                .endObject();
+                .key("hops").value(e.b & 0xFFFFu);
+            // Hierarchical payload packing; zero on the flat ring so
+            // flat traces keep their historical bytes.
+            if ((e.b >> 16) != 0)
+                json.key("bridge_wait").value(e.b >> 16);
+            json.endObject().endObject();
             break;
+          }
           case EventKind::Rendezvous:
             json.beginObject()
                 .key("name").value(cat("ch ", e.a))
@@ -173,6 +177,21 @@ writeChromeTrace(std::ostream &os, const Tracer &tracer)
                 .key("tid").value(0)
                 .key("args").beginObject()
                 .key("info").value(e.b)
+                .endObject()
+                .endObject();
+            break;
+          case EventKind::CtxMigrate:
+            json.beginObject()
+                .key("name").value(cat("migrate ctx ", e.ctx))
+                .key("cat").value("shard")
+                .key("ph").value("i")
+                .key("s").value("t")
+                .key("ts").value(e.at)
+                .key("pid").value(e.pe < 0 ? 0 : e.pe)
+                .key("tid").value(0)
+                .key("args").beginObject()
+                .key("ctx").value(e.ctx)
+                .key("from_pe").value(e.a)
                 .endObject()
                 .endObject();
             break;

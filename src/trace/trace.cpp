@@ -38,6 +38,7 @@ toString(EventKind kind)
       case EventKind::PeBusy: return "pe-busy";
       case EventKind::FaultInject: return "fault-inject";
       case EventKind::FaultRecover: return "fault-recover";
+      case EventKind::CtxMigrate: return "ctx-migrate";
     }
     return "?";
 }
@@ -76,7 +77,13 @@ renderEvent(std::ostream &os, const Event &e)
            << static_cast<std::int64_t>(static_cast<std::int32_t>(e.b));
         break;
       case EventKind::BusTransfer:
-        os << " ->pe" << e.a << " hops=" << e.b << " arrives=" << e.end;
+        os << " ->pe" << e.a << " hops=" << (e.b & 0xFFFFu);
+        if ((e.b >> 16) != 0)
+            os << " bridge-wait=" << (e.b >> 16);
+        os << " arrives=" << e.end;
+        break;
+      case EventKind::CtxMigrate:
+        os << " from-pe" << e.a;
         break;
       case EventKind::TrapEnter:
         os << " #" << e.a << " service=" << e.b;

@@ -42,14 +42,20 @@ enum class EventKind : std::uint8_t
     CtxPark,     ///< Context left the PE still live (a = ParkReason).
     CtxFinish,   ///< Context terminated (kernel exit).
     Rendezvous,  ///< Receive completed on a channel (a = channel, b = value).
-    BusTransfer, ///< Remote ring-bus message (a = dst PE, b = hops).
+    /**
+     * Remote ring-bus message (a = dst PE, b = hops in the low 16
+     * bits; hierarchical topologies pack the bridge/backbone wait
+     * into the bits above, zero on the flat ring).
+     */
+    BusTransfer,
     TrapEnter,   ///< Kernel trap serviced (a = trap number, b = cycles).
     PeBusy,      ///< One context's uninterrupted run span on a PE.
     FaultInject, ///< Injected fault (a = fault-kind bit, b = payload).
     FaultRecover,///< Recovery action (a = fault-kind bit, b = payload).
+    CtxMigrate,  ///< Context placed across shards (a = source PE).
 };
 
-constexpr int kEventKinds = 10;
+constexpr int kEventKinds = 11;
 
 /** Why a context left its PE (payload of CtxPark). */
 enum class ParkReason : std::uint8_t
@@ -137,12 +143,30 @@ class Tracer
     }
 
     void
-    busTransfer(Cycle start, Cycle end, int src, int dst, int hops)
+    busTransfer(Cycle start, Cycle end, int src, int dst, int hops,
+                Cycle bridgeWait = 0)
     {
         if (enabled_)
+            // Hops stay in the low 16 bits so flat-ring traces (bridge
+            // wait always zero) keep their historical payload bytes.
             push({EventKind::BusTransfer, static_cast<std::int16_t>(src),
                   kNoCtx, start, end, static_cast<std::uint64_t>(dst),
-                  static_cast<std::uint64_t>(hops)});
+                  static_cast<std::uint64_t>(hops) |
+                      (static_cast<std::uint64_t>(bridgeWait) << 16)});
+    }
+
+    /**
+     * A context descriptor crossed a shard boundary: distance-aware
+     * placement or fail-stop recovery homed @p ctx on a PE in a
+     * different local ring than @p fromPe's (hierarchical topologies
+     * only; never emitted on the flat ring).
+     */
+    void
+    ctxMigrate(Cycle at, int pe, CtxId ctx, int fromPe)
+    {
+        if (enabled_)
+            push({EventKind::CtxMigrate, static_cast<std::int16_t>(pe),
+                  ctx, at, 0, static_cast<std::uint64_t>(fromPe), 0});
     }
 
     void

@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "fault/fault.hpp"
@@ -210,6 +211,72 @@ TEST_P(FuzzCoreRecoveryDifferentialTest, RecoveryCorpusByteIdentical)
 INSTANTIATE_TEST_SUITE_P(RecoveryCorpus,
                          FuzzCoreRecoveryDifferentialTest,
                          ::testing::Range(0, fuzzIters(40)));
+
+class FuzzCorePartitionedDifferentialTest
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzCorePartitionedDifferentialTest,
+       PartitionedPlainCorpusByteIdentical)
+{
+    // The plain corpus again, but on hierarchical multi-partition
+    // machines: cross-ring transfers, bridge arbitration, and sharded
+    // kernel placement must be byte-identical under both cores.
+    std::string main_label;
+    isa::ObjectCode object =
+        compileCorpusProgram(GetParam(), &main_label);
+    mp::SystemConfig config;
+    config.numPes = 8 + 8 * (GetParam() % 2);  // 8 or 16 PEs
+    static const mp::RingTopology kShapes[] = {
+        {2, 2}, {4, 1}, {2, 4}, {4, 2}};
+    config.setTopology(kShapes[GetParam() % 4]);
+    expectIdentical(
+        runCore(object, main_label, config, mp::SimCore::Tick),
+        runCore(object, main_label, config, mp::SimCore::Event));
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionedPlainCorpus,
+                         FuzzCorePartitionedDifferentialTest,
+                         ::testing::Range(0, fuzzIters(24)));
+
+class PartitionedRecoveryDifferentialTest
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PartitionedRecoveryDifferentialTest,
+       PinnedPartitionedCorpusByteIdentical)
+{
+    // The pinned multi-partition recovery corpus (fuzz_corpus.hpp):
+    // PE kills plus loss on hierarchical machines, so checkpoint
+    // replay, cross-shard re-dispatch, and bridge-crossing
+    // retransmits all run under both cores.
+    const fuzz::PartitionedRecoverySpec &entry =
+        fuzz::kPartitionedRecoveryCorpus[static_cast<std::size_t>(
+            GetParam())];
+    SCOPED_TRACE(entry.faults);
+    std::string main_label;
+    isa::ObjectCode object =
+        compileCorpusProgram(GetParam(), &main_label);
+    mp::SystemConfig config;
+    config.numPes = entry.pes;
+    config.setTopology({entry.rings, entry.partitions});
+    config.faultPlan = fault::parseFaultPlan(entry.faults);
+    config.watchdogCycles = 200'000;
+    config.recovery.enabled = true;
+    config.recovery.checkpointEvery = 300;
+    config.recovery.maxResends = 64;
+    expectIdentical(
+        runCore(object, main_label, config, mp::SimCore::Tick),
+        runCore(object, main_label, config, mp::SimCore::Event));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PinnedPartitionedCorpus, PartitionedRecoveryDifferentialTest,
+    ::testing::Range(0,
+                     static_cast<int>(std::size(
+                         fuzz::kPartitionedRecoveryCorpus))));
 
 TEST(CoreDifferential, WatchdogAccountingPinned)
 {

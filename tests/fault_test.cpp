@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fuzz_corpus.hpp"
 #include "isa/assembler.hpp"
+#include "mp/ring_bus.hpp"
 #include "mp/system.hpp"
 #include "occam/compiler.hpp"
 #include "programs/benchmarks.hpp"
@@ -163,6 +165,41 @@ TEST(FaultInjector, CorruptWordFlipsExactlyOneBit)
         EXPECT_NE(corrupted, value);
         EXPECT_EQ(__builtin_popcount(corrupted ^ value), 1);
     }
+}
+
+TEST(FaultInjector, DroppedAttemptsStayOutOfDeliveredAccounting)
+{
+    // The delivered-level distributions (bus.remote_transfers and the
+    // hops/queue_wait/latency histograms) must count only messages
+    // that actually arrived; attempts the fault model eats go to
+    // bus.dropped_attempt. Booking per attempt instead of per delivery
+    // was the historical bug: dropped attempts inflated the latency
+    // distributions with phantom deliveries.
+    FaultPlan plan = parseFaultPlan("seed=11,rate=0.4,kinds=drop");
+    plan.maxRetries = 2;
+    FaultInjector injector(plan);
+    mp::RingBus bus({4, 2, 4, 2});
+    bus.setFaultInjector(&injector);
+    std::uint64_t delivered = 0;
+    for (int i = 0; i < 300; ++i) {
+        mp::BusDelivery d = bus.deliver(0, 2, i * 64);
+        if (d.delivered)
+            ++delivered;
+    }
+    const StatSet &stats = bus.stats();
+    EXPECT_EQ(stats.counter("bus.remote_transfers"), delivered);
+    EXPECT_EQ(stats.histogram("bus.hops").count(), delivered);
+    EXPECT_EQ(stats.histogram("bus.queue_wait").count(), delivered);
+    EXPECT_EQ(stats.histogram("bus.latency").count(), delivered);
+    // Every drop the injector recorded is a dropped attempt, and with
+    // rate=0.4 over 300 sends there must be plenty of them.
+    EXPECT_EQ(stats.counter("bus.dropped_attempt"),
+              stats.counter("fault.bus_drop"));
+    EXPECT_GT(stats.counter("bus.dropped_attempt"), 0u);
+    // Occupancy-level accounting still covers every attempt: the ring
+    // was busy for dropped attempts too.
+    EXPECT_GE(stats.counter("bus.hop_count"),
+              stats.histogram("bus.hops").count());
 }
 
 // ---------------------------------------------------------------------
@@ -687,6 +724,35 @@ TEST(FaultRecovery, PinnedCorpusRecoversExactly)
         EXPECT_TRUE(report.completed)
             << spec << ": " << report.failureReason;
         EXPECT_TRUE(report.verified) << spec;
+    }
+}
+
+TEST(FaultRecovery, PartitionedPinnedCorpusRecoversExactly)
+{
+    // The multi-partition half of the pinned corpus: hierarchical
+    // machines where recovery retransmits and fail-stop re-dispatch
+    // must cross ring bridges. Shared with core_differential_test,
+    // which replays the same entries under both simulation cores.
+    programs::Benchmark bench = programs::thesisBenchmarks()[0];
+    occam::CompiledProgram program = occam::compileOccam(bench.source);
+    for (const fuzz::PartitionedRecoverySpec &entry :
+         fuzz::kPartitionedRecoveryCorpus) {
+        SCOPED_TRACE(entry.faults);
+        mp::SystemConfig config;
+        config.faultPlan = parseFaultPlan(entry.faults);
+        config.setTopology({entry.rings, entry.partitions});
+        config.recovery.enabled = true;
+        config.recovery.checkpointEvery = 500;
+        config.recovery.maxResends = 64;
+        sim::RunReport report =
+            sim::runOnce(program, bench.resultArray, bench.expected,
+                         entry.pes, config);
+        EXPECT_TRUE(report.completed) << report.failureReason;
+        EXPECT_TRUE(report.verified);
+        if (config.faultPlan.kinds & fault::kPeKill) {
+            // The kill must actually have fired and been recovered.
+            EXPECT_GT(report.stats.counter("fault.pe_kill"), 0u);
+        }
     }
 }
 

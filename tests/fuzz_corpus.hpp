@@ -179,6 +179,39 @@ corpusPes(int idx)
 }
 
 /**
+ * One pinned multi-partition recovery scenario: a machine big enough
+ * for a real "rings:KxM" hierarchy plus a fault plan whose recovery
+ * (retransmits, fail-stop re-dispatch) must push traffic across ring
+ * bridges. Replayed by the fault suite (must recover exactly) and by
+ * core_differential_test (both simulation cores byte-identical).
+ */
+struct PartitionedRecoverySpec
+{
+    const char *faults;  ///< fault::parseFaultPlan spec.
+    int pes;             ///< Machine size (>= 8: real hierarchies).
+    int rings;           ///< K local rings...
+    int partitions;      ///< ...of M partitions each.
+};
+
+/**
+ * The pinned multi-partition recovery corpus. Every entry either kills
+ * a PE (homed on a different ring than the boot context, so recovery
+ * re-dispatch migrates across a bridge) or loses heavily enough that
+ * end-to-end retransmits repeatedly re-cross bridges.
+ */
+inline const PartitionedRecoverySpec kPartitionedRecoveryCorpus[] = {
+    {"seed=3,rate=0.5,kinds=drop,retries=1", 8, 2, 2},
+    {"seed=9,rate=0.6,kinds=drop+dup,retries=0", 8, 4, 1},
+    {"seed=2,killat=600,killpe=5", 8, 2, 2},
+    {"seed=13,rate=0.3,kinds=drop,retries=1,killat=900,killpe=9", 16,
+     4, 2},
+    {"seed=21,rate=0.5,kinds=drop+dup+corrupt,retries=0,killat=800,"
+     "killpe=12", 16, 2, 4},
+    {"seed=30,rate=0.4,kinds=drop,retries=0,killat=700,killpe=20", 24,
+     8, 1},
+};
+
+/**
  * Corpus width: @p fallback by default, overridable with the
  * QM_FUZZ_ITERS environment variable (used by the nightly chaos CI
  * job to soak far wider than a developer checkout).

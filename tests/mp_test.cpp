@@ -131,6 +131,141 @@ TEST(RingBus, BackoffShiftSaturatesAtLargeRetryCounts)
               static_cast<std::uint64_t>(plan.maxRetries + 1));
 }
 
+/**
+ * The original PE-by-PE reference walk partitionsCrossed replaced
+ * with closed-form partition arithmetic: walk the ring upward from
+ * src to dst counting partition boundaries crossed (inclusive of the
+ * destination's partition entry), capped at the partition count.
+ */
+int
+walkCrossings(int src, int dst, int pes, int partitions)
+{
+    if (src == dst)
+        return 0;
+    auto part = [&](int pe) { return pe * partitions / pes; };
+    int crossings = 1;
+    int pe = src;
+    while (pe != dst) {
+        int next = (pe + 1) % pes;
+        if (part(next) != part(pe))
+            ++crossings;
+        pe = next;
+    }
+    return std::min(crossings, partitions);
+}
+
+TEST(RingBus, ClosedFormCrossingsMatchTheReferenceWalk)
+{
+    // Exhaustive over every (src, dst) pair for machines up to 256
+    // PEs, including partition counts that do not divide the PE count
+    // (uneven partition blocks are where the arithmetic is easy to
+    // get wrong).
+    for (int pes : {2, 3, 4, 5, 7, 8, 16, 63, 64, 256}) {
+        for (int partitions : {1, 2, 3, 5, 7, 8, pes}) {
+            if (partitions > pes)
+                continue;
+            RingBus bus({pes, partitions, 4, 2});
+            for (int src = 0; src < pes; ++src)
+                for (int dst = 0; dst < pes; ++dst)
+                    ASSERT_EQ(bus.partitionsCrossed(src, dst),
+                              walkCrossings(src, dst, pes, partitions))
+                        << "pes=" << pes
+                        << " partitions=" << partitions
+                        << " src=" << src << " dst=" << dst;
+        }
+    }
+}
+
+TEST(RingBus, ConstructorRejectsImpossibleMachines)
+{
+    // Flat ring with more partitions than PEs: used to be silently
+    // clamped, now a hard configuration error.
+    EXPECT_THROW(RingBus({4, 8, 4, 2}), FatalError);
+    // More local rings than PEs.
+    EXPECT_THROW(RingBus({4, 1, 4, 2, /*rings=*/8}), FatalError);
+    // 4 rings over 8 PEs leaves 2-PE rings: 3 partitions cannot seat.
+    EXPECT_THROW(RingBus({8, 3, 4, 2, /*rings=*/4}), FatalError);
+    EXPECT_THROW(RingBus({0, 1, 4, 2}), FatalError);
+    EXPECT_THROW(RingBus({4, 0, 4, 2}), FatalError);
+    // The same shapes one PE bigger are all buildable.
+    EXPECT_NO_THROW(RingBus({8, 8, 4, 2}));
+    EXPECT_NO_THROW(RingBus({8, 2, 4, 2, /*rings=*/4}));
+}
+
+TEST(RingBus, ParseTopologySpellings)
+{
+    RingTopology flat = parseTopology("ring");
+    EXPECT_EQ(flat.rings, 1);
+    EXPECT_EQ(flat.partitions, 2);
+    RingTopology wide = parseTopology("ring:8");
+    EXPECT_EQ(wide.rings, 1);
+    EXPECT_EQ(wide.partitions, 8);
+    RingTopology hier = parseTopology("rings:4x2");
+    EXPECT_EQ(hier.rings, 4);
+    EXPECT_EQ(hier.partitions, 2);
+    EXPECT_EQ(topologyName(flat), "ring");
+    EXPECT_EQ(topologyName(wide), "ring:8");
+    EXPECT_EQ(topologyName(hier), "rings:4x2");
+    for (const char *bad :
+         {"grid:2x2", "rings:4", "rings:x2", "rings:4x", "ring:0",
+          "rings:1x2", "rings:4x0", "", "ring:"})
+        EXPECT_THROW(parseTopology(bad), FatalError) << bad;
+}
+
+TEST(RingBus, HierarchicalGeometryAndCrossRingPath)
+{
+    // 8 PEs as 2 rings of 4, 2 partitions each; 1-cycle bridges and
+    // backbone hops to make the pinned arithmetic easy to audit.
+    RingBus bus({8, 2, 4, 2, /*rings=*/2, /*bridge=*/1,
+                 /*backbone=*/1});
+    EXPECT_EQ(bus.numRings(), 2);
+    EXPECT_EQ(bus.ringOf(3), 0);
+    EXPECT_EQ(bus.ringOf(4), 1);
+    EXPECT_EQ(bus.ringBase(1), 4);
+    EXPECT_EQ(bus.ringSize(0), 4);
+    // Same ring: the flat closed form on local indices.
+    EXPECT_EQ(bus.partitionsCrossed(0, 3), 2);
+    // Cross ring: 2 exit segments + 1 backbone hop + 1 entry segment.
+    EXPECT_EQ(bus.partitionsCrossed(0, 4), 4);
+    // Wrap direction: 2 exit + 1 backbone + 2 entry.
+    EXPECT_EQ(bus.partitionsCrossed(5, 2), 5);
+    // Uncontended cross-ring latency: overhead 2 + exit 2*4 + bridge 1
+    // + backbone 1 + bridge 1 + entry 1*4 = 17.
+    EXPECT_EQ(bus.transfer(0, 4, 0), 17);
+    EXPECT_EQ(bus.stats().counter("bus.bridge_transfers"), 1u);
+    EXPECT_EQ(bus.stats().counter("bus.backbone_hops"), 1u);
+    EXPECT_TRUE(bus.stats().hasHistogram("bus.bridge_wait"));
+}
+
+TEST(RingBus, BridgeSerializesCrossRingTraffic)
+{
+    RingBus bus({8, 2, 4, 2, /*rings=*/2, /*bridge=*/1,
+                 /*backbone=*/1});
+    // Two messages out of different source partitions of ring 0 share
+    // nothing locally but both need ring 0's bridge.
+    Cycle a = bus.transfer(3, 4, 0);   // exit 1 segment, bridge at t=6
+    Cycle b = bus.transfer(3, 4, 0);
+    EXPECT_GT(b, a);
+    EXPECT_GT(bus.stats().counter("bus.contention_cycles"), 0u);
+    // Traffic inside ring 1 never touches ring 0's segments or bridge.
+    RingBus quiet({8, 2, 4, 2, 2, 1, 1});
+    Cycle local0 = quiet.transfer(0, 3, 0);
+    Cycle local1 = quiet.transfer(4, 7, 0);
+    EXPECT_EQ(local0, local1);  // disjoint rings, no serialization
+}
+
+TEST(RingBus, HierarchicalSnapshotRestoresTimingState)
+{
+    RingBus bus({8, 2, 4, 2, /*rings=*/2, /*bridge=*/1,
+                 /*backbone=*/1});
+    bus.transfer(0, 4, 0);
+    RingBus::Snapshot snap = bus.snapshot();
+    Cycle contended = bus.transfer(0, 4, 0);
+    bus.restore(snap);
+    EXPECT_EQ(bus.transfer(0, 4, 0), contended);
+    EXPECT_EQ(bus.stats().counter("bus.remote_transfers"), 2u);
+}
+
 /** Boot assembly that exits immediately. */
 const char *kExitProgram =
     "main:\n"

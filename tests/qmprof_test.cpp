@@ -113,6 +113,49 @@ TEST(Qmprof, ReportIsDeterministicAndFileRoundTripsExactly)
               std::string::npos);
 }
 
+TEST(Qmprof, HierarchicalTraceAttributesBusAndMigrations)
+{
+    // On a hierarchical machine the profile gains the ring-bus
+    // section: wire cycles, bridge/backbone wait, and (when recovery
+    // migrates contexts) cross-shard migrations. It must survive the
+    // file round-trip like every other section.
+    occam::CompiledProgram program =
+        occam::compileOccam(kPipelineSource);
+    mp::SystemConfig config;
+    config.numPes = 8;
+    config.setTopology({4, 1});
+    config.traceConfig.enabled = true;
+    mp::System system(program.object, config);
+    ASSERT_TRUE(system.run(program.mainLabel).completed);
+
+    trace::Profile profile =
+        trace::analyzeTrace(system.tracer().events());
+    EXPECT_GT(profile.busTransfers, 0u);
+    EXPECT_GT(profile.busCycles, 0);
+    std::string render = profile.render();
+    EXPECT_NE(render.find("ring bus:"), std::string::npos);
+    EXPECT_NE(render.find("cycles on the wire"), std::string::npos);
+
+    std::string path = testing::TempDir() + "/qmprof_hier.json";
+    trace::writeChromeTraceFile(path, system.tracer());
+    trace::Profile from_file =
+        trace::analyzeTrace(trace::loadChromeTrace(path));
+    EXPECT_EQ(from_file.render(), render);
+    std::remove(path.c_str());
+
+    // Flat two-PE traces stay bus-quiet in the report: the section is
+    // gated, so pre-topology renders are unchanged.
+    mp::SystemConfig flat;
+    flat.numPes = 1;
+    flat.traceConfig.enabled = true;
+    mp::System local(program.object, flat);
+    ASSERT_TRUE(local.run(program.mainLabel).completed);
+    EXPECT_EQ(trace::analyzeTrace(local.tracer().events())
+                  .render()
+                  .find("ring bus:"),
+              std::string::npos);
+}
+
 TEST(Metrics, JsonIsByteIdenticalAcrossJobCounts)
 {
     std::vector<sim::SpeedupSeries> series_by_jobs;
