@@ -94,6 +94,7 @@ main(int argc, char **argv)
     base_config.faultPlan = args.faults;
     base_config.recovery = args.recovery;
     base_config.core = args.core;
+    base_config.hostThreads = args.threads;
     const std::vector<int> pe_counts = {1, 2, 3, 4, 5, 6, 7, 8};
 
     std::cout << "Queue-machine multiprocessor simulation study "
@@ -137,7 +138,8 @@ main(int argc, char **argv)
 
     std::cout << "wrote "
               << sim::writeBenchJson("ch6_speedup", all, "",
-                                     args.hostTime)
+                                     args.hostTime,
+                                     args.threads)
               << "\n";
     if (!args.metricsPath.empty()) {
         std::string where = sim::writeMetricsJson("ch6_speedup", all,

@@ -25,6 +25,11 @@
  * bench keeps its historical default.
  * `--max-pes N` drops sweep points above N PEs - the sanitizer CI leg
  * uses it to fit the partitioned sweep into its wall-clock budget.
+ * `--threads N` runs every simulation of the sweep on N host worker
+ * threads (the event core's PDES window scheduler; see
+ * SystemConfig::hostThreads). Reports stay byte-identical for any
+ * value; the chosen value is recorded as host_threads in the BENCH
+ * JSON metadata so speedup tooling can compare like against like.
  * `--core tick|event` selects the simulation core: `event` (default)
  * is the next-event calendar scheduler, `tick` the unit-tick scan it
  * replaced. Both produce byte-identical reports; tick exists for the
@@ -58,6 +63,7 @@ struct BenchArgs
     bool topologyGiven = false;     ///< --topology present.
     mp::RingTopology topology{};    ///< Parsed --topology value.
     int maxPes = 0;                 ///< 0 = no cap on sweep points.
+    int threads = 1;                ///< Host threads per simulation.
 };
 
 /**
@@ -130,6 +136,16 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
                 args.ok = false;
                 return args;
             }
+        } else if (arg == "--threads" && i + 1 < argc) {
+            try {
+                args.threads = parsePositiveIntArg(argv[++i],
+                                                   "--threads",
+                                                   /*max=*/1024);
+            } catch (const FatalError &e) {
+                std::cerr << bench_name << ": " << e.what() << "\n";
+                args.ok = false;
+                return args;
+            }
         } else if (arg == "--checkpoint-every" && i + 1 < argc) {
             try {
                 args.recovery.checkpointEvery = parsePositiveIntArg(
@@ -147,7 +163,7 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
                          "[--checkpoint-every N] [--metrics FILE] "
                          "[--trace-dir DIR] [--core tick|event] "
                          "[--topology SPEC] [--max-pes N] "
-                         "[--host-time]\n";
+                         "[--threads N] [--host-time]\n";
             args.ok = false;
             return args;
         }

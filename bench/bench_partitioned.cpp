@@ -137,6 +137,7 @@ main(int argc, char **argv)
     base_config.faultPlan = args.faults;
     base_config.recovery = args.recovery;
     base_config.core = args.core;
+    base_config.hostThreads = args.threads;
 
     std::vector<mp::RingTopology> topologies;
     if (args.topologyGiven) {
@@ -275,7 +276,8 @@ main(int argc, char **argv)
 
     std::cout << "wrote "
               << sim::writeBenchJson("partitioned", all, "",
-                                     args.hostTime)
+                                     args.hostTime,
+                                     args.threads)
               << "\n";
     if (!args.metricsPath.empty()) {
         std::string where = sim::writeMetricsJson("partitioned", all,

@@ -2,8 +2,8 @@
  * @file
  * occamc - the OCCAM queue-machine compiler driver (thesis Fig 4.21).
  *
- * Usage: occamc [--asm] [--dot] [--run] [--pes N] [--stats]
- *               [--topology SPEC] [--trace out.json]
+ * Usage: occamc [--asm] [--dot] [--run] [--pes N] [--threads N]
+ *               [--stats] [--topology SPEC] [--trace out.json]
  *               [--metrics out.json] [--faults SPEC] [--recover]
  *               [--checkpoint-every N] file.occ
  *
@@ -49,7 +49,8 @@ int
 usage()
 {
     std::cerr << "usage: occamc [--asm] [--dot] [--run] [--interp] "
-                 "[--pes N] [--stats] [--topology ring|ring:P|rings:KxM] "
+                 "[--pes N] [--threads N] [--stats] "
+                 "[--topology ring|ring:P|rings:KxM] "
                  "[--trace out.json] "
                  "[--metrics out.json] [--faults SPEC] [--recover] "
                  "[--checkpoint-every N] file.occ\n";
@@ -64,6 +65,7 @@ main(int argc, char **argv)
     bool show_asm = false, show_dot = false, run = false,
          stats = false, interp_mode = false;
     int pes = 1;
+    int threads = 1;
     bool topology_given = false;
     qm::mp::RingTopology topology;
     qm::fault::FaultPlan faults;
@@ -87,6 +89,15 @@ main(int argc, char **argv)
             try {
                 pes = qm::parsePositiveIntArg(argv[++i], "--pes",
                                               /*max=*/4096);
+            } catch (const qm::FatalError &e) {
+                std::cerr << "occamc: " << e.what() << "\n";
+                return usage();
+            }
+        } else if (arg == "--threads" && i + 1 < argc) {
+            try {
+                threads = qm::parsePositiveIntArg(argv[++i],
+                                                  "--threads",
+                                                  /*max=*/1024);
             } catch (const qm::FatalError &e) {
                 std::cerr << "occamc: " << e.what() << "\n";
                 return usage();
@@ -160,6 +171,7 @@ main(int argc, char **argv)
         if (run) {
             qm::mp::SystemConfig config;
             config.numPes = pes;
+            config.hostThreads = threads;
             config.traceConfig.enabled = !trace_path.empty();
             config.faultPlan = faults;
             config.recovery = recovery;

@@ -270,9 +270,8 @@ Instruction::toString() const
 
 DecodedProgram::DecodedProgram(const std::vector<Word> &words)
     : words_(&words),
-      index_(words.size(), -1)
+      index_(words.size())
 {
-    ops_.reserve(64);
 }
 
 const DecodedOp &
@@ -280,17 +279,25 @@ DecodedProgram::at(Word pc)
 {
     panicIf(static_cast<std::size_t>(pc) >= index_.size(),
             "PC out of code bounds: ", pc);
-    std::int32_t &slot = index_[pc];
-    if (slot < 0) {
+    // Warm path: one acquire load pairing with the release store
+    // below, so a PE seeing the pointer also sees the decoded entry.
+    const DecodedOp *cached =
+        index_[pc].load(std::memory_order_acquire);
+    if (cached != nullptr)
+        return *cached;
+    std::lock_guard<std::mutex> lock(decodeMutex_);
+    cached = index_[pc].load(std::memory_order_relaxed);
+    if (cached == nullptr) {
         std::size_t index = pc;
         DecodedOp op;
         op.instr = Instruction::decode(*words_, index);
         op.nextPc = static_cast<Word>(index);
         op.sizeWords = op.instr.sizeWords();
-        slot = static_cast<std::int32_t>(ops_.size());
-        ops_.push_back(op);
+        ops_.push_back(op);  // deque: stable address
+        cached = &ops_.back();
+        index_[pc].store(cached, std::memory_order_release);
     }
-    return ops_[static_cast<std::size_t>(slot)];
+    return *cached;
 }
 
 } // namespace qm::isa

@@ -5,7 +5,10 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -94,7 +97,7 @@ struct DecodedOp
 
 /**
  * Lazily-built decode cache over one object-code image: a per-PC index
- * into a flat arena of DecodedOp entries. The event-driven core decodes
+ * into an arena of DecodedOp entries. The event-driven core decodes
  * each instruction once, on first execution, and replays the cached
  * form on every later visit - the tick core re-decodes every step, and
  * the two must stay observationally identical, so decoding stays lazy
@@ -102,6 +105,10 @@ struct DecodedOp
  * panics at the same execution point in both cores, not at load time).
  *
  * Shared by every PE of a System: the instruction space is pure code.
+ * Thread-safe: PEs stepped concurrently by the PDES windows race only
+ * on first decode of a PC, which takes a mutex; the warm path is a
+ * single acquire load, and arena entries have stable addresses (deque)
+ * so a returned reference is valid for the program's lifetime.
  */
 class DecodedProgram
 {
@@ -111,15 +118,17 @@ class DecodedProgram
     /**
      * The decoded instruction at @p pc (decoding and caching it on
      * first visit). Panics exactly like the interpreter on an
-     * out-of-bounds PC or a truncated instruction. The reference is
-     * invalidated by the next at() call for a not-yet-decoded PC.
+     * out-of-bounds PC or a truncated instruction. The returned
+     * reference stays valid for the lifetime of this object.
      */
     const DecodedOp &at(Word pc);
 
   private:
     const std::vector<Word> *words_;
-    std::vector<std::int32_t> index_;  ///< Per-PC arena slot; -1 = cold.
-    std::vector<DecodedOp> ops_;       ///< Flat arena, decode order.
+    /** Per-PC decoded entry; null until first execution decodes it. */
+    std::vector<std::atomic<const DecodedOp *>> index_;
+    std::deque<DecodedOp> ops_;  ///< Stable-address arena, decode order.
+    std::mutex decodeMutex_;     ///< Serializes cold-path decodes.
 };
 
 } // namespace qm::isa

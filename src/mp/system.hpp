@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <map>
 #include <memory>
 #include <optional>
@@ -36,6 +37,7 @@
 #include "pe/memory.hpp"
 #include "pe/pe.hpp"
 #include "support/stats.hpp"
+#include "support/thread_pool.hpp"
 #include "trace/trace.hpp"
 
 namespace qm::mp {
@@ -104,6 +106,17 @@ struct SystemConfig
     int channelDepth = 8;        ///< Message-cache tokens per channel.
     Placement placement = Placement::LeastLoaded;
     SimCore core = SimCore::Event;  ///< Inner-loop implementation.
+
+    /**
+     * Host worker threads for one run (--threads): the event core
+     * advances PEs in bounded synchronous windows (lookahead = minimum
+     * unloaded ring-bus latency) and speculates the pure compute
+     * portion of each window's batches across this many threads,
+     * byte-identical to the sequential core on every surface for any
+     * value. 1 = the plain sequential event loop. Ignored by the tick
+     * reference core (which stays serial), and capped at numPes.
+     */
+    int hostThreads = 1;
 
     // Kernel service costs in cycles (trap entry cost is charged by the
     // PE's own timing on top of these).
@@ -402,6 +415,78 @@ class System
     RunResult runLoopTick(Cycle max_cycles);
     /** The calendar-queue loop (see DESIGN.md). */
     RunResult runLoopEvent(Cycle max_cycles);
+
+    // --- PDES window scheduler (hostThreads > 1; see DESIGN.md) ----------
+    /**
+     * Conservative synchronous windowed loop: byte-identical to
+     * runLoopEvent for any thread count. Windows are [T0, W) with
+     * W - T0 bounded by the bus lookahead and by every guard the
+     * sequential loop evaluates between batches (kill/lease/
+     * checkpoint/watchdog/budget), so those guards can only fire at
+     * window boundaries - exactly where the sequential loop would
+     * fire them.
+     */
+    RunResult runLoopThreaded(Cycle max_cycles);
+    /**
+     * Speculation record: one 16-step batch run ahead of its global
+     * order on a worker thread, with every system-global side effect
+     * (stats samples, the dispatch trace event, the context-switch
+     * counter, progress watermark) staged for ordered replay by the
+     * window drain. Slot-local and context-local state is mutated in
+     * place - proven equivalent because cross-PE influence inside a
+     * window is impossible (lookahead) and host ops are deferred.
+     */
+    struct SpecRec
+    {
+        Cycle start = 0;      ///< Selection key (slot nextTime()).
+        int stepsDone = 0;    ///< Executed steps (batch resumes here).
+        bool deferred = false;    ///< Ended on a deferred host op.
+        bool poppedEntry = false; ///< Dispatch consumed a ready entry.
+        bool hadRunningBefore = false;  ///< Slot was mid-context.
+        CtxId dispatchCtx = static_cast<CtxId>(-1);  ///< Trace event.
+        Cycle dispatchAt = 0;
+        bool residentResume = false;
+        bool evicted = false;
+        int switchesDelta = 0;
+        Cycle lastProgress = -1;  ///< Watermark after the last step.
+        std::optional<std::uint64_t> readyWait;  ///< Queue-wait sample.
+        std::exception_ptr error;  ///< Rethrown at drain position.
+    };
+    /**
+     * Speculate one slot ahead of the committed timeline (worker
+     * thread). Dispatches are bounded by @p window_end (they consult
+     * the ready queue, which is only lookahead-stable inside the
+     * window); continuation batches of a running context are bounded
+     * by @p spec_horizon, which the caller widens to the cycle budget
+     * when no time-triggered guard needs window-exact state - that
+     * "banking" lets one gang round cover many windows.
+     */
+    void specSlot(PeSlot &slot, Cycle window_end, Cycle spec_horizon,
+                  Cycle max_cycles);
+    /**
+     * Staged twin of dispatch(): true if a batch should run. False
+     * ends speculation for the slot *without* consuming anything -
+     * taken when the top ready entry is not plainly dispatchable
+     * (stale or superseded), which only the drain can decide.
+     */
+    bool dispatchSpec(PeSlot &slot, SpecRec &rec);
+    /** Replay one record's staged effects (+ continuation batch). */
+    void commitSpec(PeSlot &slot, Cycle max_cycles);
+    /**
+     * The 16-step batch body shared verbatim by runLoopEvent, the
+     * window drain's live selections, and deferred-batch
+     * continuations (which resume at @p first_step).
+     */
+    void runBatchEvent(PeSlot &slot, Cycle max_cycles, int first_step);
+    /**
+     * Scheduling load of one slot as the sequential core would see it
+     * at the drain's current position: uncommitted speculation has
+     * already popped ready entries and possibly started a context, so
+     * those effects are added back.
+     */
+    std::size_t slotLoad(const PeSlot &slot) const;
+    /** Is @p ctx Running only because of uncommitted speculation? */
+    bool speculativelyRunning(const Context &ctx) const;
     void injectPeKill(Cycle at);
     /** Lease expired: re-dispatch the dead PE's contexts. */
     void recoverDeadPe(Cycle at);
@@ -478,6 +563,14 @@ class System
     bool booted = false;
     std::uint64_t liveContexts = 0;
     std::uint64_t switches = 0;
+
+    // PDES state (inert unless config_.hostThreads > 1 on the event
+    // core; see DESIGN.md "Deterministic intra-run parallelism").
+    Cycle lookahead_ = 0;   ///< bus.minCrossLatency(), cached at init.
+    bool threadedRun_ = false;  ///< Inside runLoopThreaded (skips the
+                                ///< calendar bookkeeping in pushReady).
+    std::unique_ptr<WorkerGang> gang_;  ///< Started on first windowed run.
+    std::vector<std::vector<int>> partitions_;  ///< Worker -> owned PEs.
 
     // Recovery state (all inert unless config_.recovery.enabled).
     bool recoveryOn_ = false;

@@ -93,6 +93,110 @@ TEST(ParallelFor, PropagatesBodyException)
                  std::logic_error);
 }
 
+TEST(ThreadPool, WaitOnEmptyPoolReturnsImmediately)
+{
+    // No submitted tasks: wait() must not block or throw.
+    ThreadPool pool(3);
+    EXPECT_NO_THROW(pool.wait());
+    // And stays usable afterwards.
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, MoreWorkersThanTasks)
+{
+    // Idle workers must neither steal nor duplicate the few tasks.
+    ThreadPool pool(8);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 3; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ParallelFor, MoreJobsThanItems)
+{
+    // The pool is clamped to the item count; every index still runs
+    // exactly once.
+    std::vector<std::atomic<int>> hits(3);
+    parallelFor(hits.size(), 16,
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, ZeroItemsWithParallelJobsIsANoOp)
+{
+    // The zero-count early-out must fire before any pool is built.
+    bool called = false;
+    parallelFor(0, 16, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SerialExceptionPropagates)
+{
+    // jobs <= 1 takes the inline path, whose throw must escape
+    // directly (not via the pool's capture-and-rethrow).
+    EXPECT_THROW(parallelFor(4, 1,
+                             [](std::size_t i) {
+                                 if (i == 2)
+                                     throw std::runtime_error("inline");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(WorkerGang, RunsEveryWorkerEachRound)
+{
+    WorkerGang gang(4);
+    EXPECT_EQ(gang.workers(), 4u);
+    std::vector<std::atomic<int>> hits(4);
+    for (int round = 0; round < 50; ++round)
+        gang.run([&](unsigned w) { hits[w].fetch_add(1); });
+    for (std::size_t w = 0; w < hits.size(); ++w)
+        EXPECT_EQ(hits[w].load(), 50) << "worker " << w;
+}
+
+TEST(WorkerGang, SingleWorkerRunsInline)
+{
+    WorkerGang gang(1);
+    std::thread::id caller = std::this_thread::get_id();
+    std::thread::id seen;
+    gang.run([&](unsigned w) {
+        EXPECT_EQ(w, 0u);
+        seen = std::this_thread::get_id();
+    });
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(WorkerGang, RethrowsFirstWorkerException)
+{
+    WorkerGang gang(3);
+    EXPECT_THROW(gang.run([](unsigned w) {
+        if (w == 1)
+            throw std::runtime_error("worker 1 failed");
+    }),
+                 std::runtime_error);
+    // The gang survives a failed round and keeps running.
+    std::atomic<int> ran{0};
+    gang.run([&](unsigned) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(WorkerGang, JoinBarrierPublishesWorkerWrites)
+{
+    // Writes made by gang members before the join barrier must be
+    // visible to the caller without extra synchronization.
+    WorkerGang gang(4);
+    std::vector<long> out(4, 0);
+    for (int round = 1; round <= 20; ++round) {
+        gang.run([&](unsigned w) { out[w] = round * (w + 1); });
+        for (unsigned w = 0; w < 4; ++w)
+            ASSERT_EQ(out[w], long(round) * (w + 1));
+    }
+}
+
 TEST(ParallelFor, ResultsIndependentOfJobCount)
 {
     auto compute = [](unsigned jobs) {
