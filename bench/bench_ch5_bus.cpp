@@ -59,7 +59,10 @@ main(int argc, char **argv)
         }
         specs.push_back(std::move(spec));
     }
-    std::vector<sim::RunReport> reports = sim::runAll(specs, args.jobs);
+    sim::RunPolicy policy = args.runPolicy();
+    policy.journalLabel = "ch5_bus";
+    std::vector<sim::RunReport> reports =
+        sim::runAll(specs, args.jobs, policy);
 
     std::cout << "Ring-bus partition sweep (Fig 5.18 axis): "
               << bench.name << " at " << pes << " PEs\n";
@@ -104,6 +107,12 @@ main(int argc, char **argv)
                       << " recovered after " << report.replays
                       << " checkpoint replay(s)\n";
     for (const sim::RunReport &report : reports)
+        if (report.quarantined)
+            std::cout << "  partitions="
+                      << partition_counts[&report - reports.data()]
+                      << " quarantined after " << report.attempts
+                      << " attempt(s)\n";
+    for (const sim::RunReport &report : reports)
         if (report.traceDropped > 0)
             std::cout << "  partitions="
                       << partition_counts[&report - reports.data()]
@@ -125,5 +134,5 @@ main(int argc, char **argv)
         if (args.metricsPath != "-")
             std::cout << "wrote " << where << "\n";
     }
-    return 0;
+    return benchcli::benchExitCode();
 }

@@ -98,7 +98,10 @@ main(int argc, char **argv)
             specs.push_back(std::move(spec));
         }
     }
-    std::vector<sim::RunReport> reports = sim::runAll(specs, args.jobs);
+    sim::RunPolicy policy = args.runPolicy();
+    policy.journalLabel = "ch6_ablation";
+    std::vector<sim::RunReport> reports =
+        sim::runAll(specs, args.jobs, policy);
 
     TextTable table({"program", "baseline cycles", "live-value",
                      "input-seq", "priority-sched", "all off"});
@@ -132,6 +135,12 @@ main(int argc, char **argv)
                       << " recovered after " << reports[i].replays
                       << " checkpoint replay(s)\n";
     for (std::size_t i = 0; i < reports.size(); ++i)
+        if (reports[i].quarantined)
+            std::cout << "  " << benches[i / variants.size()].name
+                      << " variant " << i % variants.size()
+                      << " quarantined after " << reports[i].attempts
+                      << " attempt(s)\n";
+    for (std::size_t i = 0; i < reports.size(); ++i)
         if (reports[i].traceDropped > 0)
             std::cout << "  " << benches[i / variants.size()].name
                       << " variant " << i % variants.size()
@@ -152,5 +161,5 @@ main(int argc, char **argv)
         if (args.metricsPath != "-")
             std::cout << "wrote " << where << "\n";
     }
-    return 0;
+    return benchcli::benchExitCode();
 }

@@ -73,6 +73,10 @@ reportSeries(const sim::SpeedupSeries &series,
             std::cout << "  PEs=" << run.pes << " recovered after "
                       << run.replays << " checkpoint replay(s)\n";
     for (const sim::RunReport &run : series.runs)
+        if (run.quarantined)
+            std::cout << "  PEs=" << run.pes << " quarantined after "
+                      << run.attempts << " attempt(s)\n";
+    for (const sim::RunReport &run : series.runs)
         if (run.traceDropped > 0)
             std::cout << "  PEs=" << run.pes
                       << " WARNING: trace truncated ("
@@ -95,6 +99,7 @@ main(int argc, char **argv)
     base_config.recovery = args.recovery;
     base_config.core = args.core;
     base_config.hostThreads = args.threads;
+    const sim::RunPolicy policy = args.runPolicy();
     const std::vector<int> pe_counts = {1, 2, 3, 4, 5, 6, 7, 8};
 
     std::cout << "Queue-machine multiprocessor simulation study "
@@ -117,7 +122,8 @@ main(int argc, char **argv)
          programs::thesisBenchmarks()) {
         sim::SpeedupSeries series = sim::runSpeedupSweep(
             bench.name, bench.source, bench.resultArray, bench.expected,
-            pe_counts, {}, base_config, args.jobs, args.traceDir);
+            pe_counts, {}, base_config, args.jobs, args.traceDir,
+            policy);
         reportSeries(series, bench.thesisFigure);
         all.push_back(series);
     }
@@ -126,13 +132,13 @@ main(int argc, char **argv)
     sim::SpeedupSeries recursive = sim::runSpeedupSweep(
         "binary fan-out (recursive)", programs::binaryFanRecursiveSource(),
         "v", programs::expectedBinaryFan(), pe_counts, {}, base_config,
-        args.jobs, args.traceDir);
+        args.jobs, args.traceDir, policy);
     reportSeries(recursive, "Fig 6.9 recursive");
     all.push_back(recursive);
     sim::SpeedupSeries iterative = sim::runSpeedupSweep(
         "binary fan-out (iterative)", programs::binaryFanIterativeSource(),
         "v", programs::expectedBinaryFan(), pe_counts, {}, base_config,
-        args.jobs, args.traceDir);
+        args.jobs, args.traceDir, policy);
     reportSeries(iterative, "Fig 6.9 non-recursive");
     all.push_back(iterative);
 
@@ -147,5 +153,5 @@ main(int argc, char **argv)
         if (args.metricsPath != "-")
             std::cout << "wrote " << where << "\n";
     }
-    return 0;
+    return benchcli::benchExitCode();
 }

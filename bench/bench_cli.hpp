@@ -37,6 +37,23 @@
  * `--host-time` adds host_wall_ms / sim_cycles_per_sec to the BENCH
  * JSON. Off by default because those fields are machine-dependent and
  * the default document must stay byte-stable.
+ * `--resume-dir DIR` makes the sweep crash-safe resumable: every
+ * finished run is appended (fsync'd) to DIR/<series>.journal, and a
+ * re-run after a mid-sweep kill replays the journaled rows instead of
+ * re-simulating them - final stdout and BENCH/metrics JSON are
+ * byte-identical to a sweep that was never interrupted. DIR must
+ * exist. A journal for a different sweep configuration is refused.
+ * `--deadline-ms N` bounds each run's host wall-clock time; a run
+ * that exceeds it becomes a structured `deadline:` failed row instead
+ * of wedging the sweep.
+ * `--retries N` re-drives a failed run up to N extra times (host-side
+ * transients only - simulated failures are deterministic), with
+ * `--backoff-ms M` deterministic exponential backoff between
+ * attempts; a spec still failing after the budget is quarantined as
+ * a structured failed row.
+ * Benches install a SIGINT/SIGTERM handler: on the first signal the
+ * running simulations wind down, finished rows are already durable in
+ * the journal, and the bench exits 128+signo after flushing.
  */
 #pragma once
 
@@ -45,7 +62,9 @@
 
 #include "fault/fault.hpp"
 #include "mp/system.hpp"
+#include "sim/experiment.hpp"
 #include "support/cli.hpp"
+#include "support/shutdown.hpp"
 
 namespace qm::benchcli {
 
@@ -64,7 +83,35 @@ struct BenchArgs
     mp::RingTopology topology{};    ///< Parsed --topology value.
     int maxPes = 0;                 ///< 0 = no cap on sweep points.
     int threads = 1;                ///< Host threads per simulation.
+    std::string resumeDir;          ///< Empty = no completion journal.
+    long deadlineMs = 0;            ///< 0 = no per-run deadline.
+    int retries = 0;                ///< Extra attempts per failed run.
+    int backoffMs = 0;              ///< Base backoff between attempts.
+
+    /** The self-healing policy these flags select (see sim::RunPolicy). */
+    sim::RunPolicy
+    runPolicy() const
+    {
+        sim::RunPolicy policy;
+        policy.journalDir = resumeDir;
+        policy.deadlineMs = deadlineMs;
+        policy.maxAttempts = 1 + retries;
+        policy.backoffMs = backoffMs;
+        return policy;
+    }
 };
+
+/**
+ * Exit status for a finished sweep: 128+signo when a shutdown signal
+ * interrupted it (after flushing), otherwise 0. Call last, after every
+ * report/JSON flush.
+ */
+inline int
+benchExitCode()
+{
+    int sig = support::shutdownSignal();
+    return sig > 0 ? 128 + sig : 0;
+}
 
 /**
  * Parse argv for
@@ -77,6 +124,8 @@ struct BenchArgs
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, const char *bench_name)
 {
+    // First signal = wind down and flush; second = die immediately.
+    support::installShutdownSignals();
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -146,6 +195,36 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
                 args.ok = false;
                 return args;
             }
+        } else if (arg == "--resume-dir" && i + 1 < argc) {
+            args.resumeDir = argv[++i];
+        } else if (arg == "--deadline-ms" && i + 1 < argc) {
+            try {
+                args.deadlineMs = parsePositiveIntArg(
+                    argv[++i], "--deadline-ms", /*max=*/1'000'000'000);
+            } catch (const FatalError &e) {
+                std::cerr << bench_name << ": " << e.what() << "\n";
+                args.ok = false;
+                return args;
+            }
+        } else if (arg == "--retries" && i + 1 < argc) {
+            try {
+                args.retries = parsePositiveIntArg(argv[++i],
+                                                   "--retries",
+                                                   /*max=*/100);
+            } catch (const FatalError &e) {
+                std::cerr << bench_name << ": " << e.what() << "\n";
+                args.ok = false;
+                return args;
+            }
+        } else if (arg == "--backoff-ms" && i + 1 < argc) {
+            try {
+                args.backoffMs = parsePositiveIntArg(
+                    argv[++i], "--backoff-ms", /*max=*/60'000);
+            } catch (const FatalError &e) {
+                std::cerr << bench_name << ": " << e.what() << "\n";
+                args.ok = false;
+                return args;
+            }
         } else if (arg == "--checkpoint-every" && i + 1 < argc) {
             try {
                 args.recovery.checkpointEvery = parsePositiveIntArg(
@@ -163,7 +242,9 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
                          "[--checkpoint-every N] [--metrics FILE] "
                          "[--trace-dir DIR] [--core tick|event] "
                          "[--topology SPEC] [--max-pes N] "
-                         "[--threads N] [--host-time]\n";
+                         "[--threads N] [--host-time] "
+                         "[--resume-dir DIR] [--deadline-ms N] "
+                         "[--retries N] [--backoff-ms N]\n";
             args.ok = false;
             return args;
         }

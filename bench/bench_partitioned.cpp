@@ -120,6 +120,10 @@ reportSeries(const sim::SpeedupSeries &series)
         if (!run.failureReason.empty())
             std::cout << "  PEs=" << run.pes
                       << " failed: " << run.failureReason << "\n";
+    for (const sim::RunReport &run : series.runs)
+        if (run.quarantined)
+            std::cout << "  PEs=" << run.pes << " quarantined after "
+                      << run.attempts << " attempt(s)\n";
     std::cout << "\n";
 }
 
@@ -219,7 +223,9 @@ main(int argc, char **argv)
                 }
                 specs.push_back(std::move(spec));
             }
-            series.runs = sim::runAll(specs, args.jobs);
+            sim::RunPolicy policy = args.runPolicy();
+            policy.journalLabel = series.name;
+            series.runs = sim::runAll(specs, args.jobs, policy);
             reportSeries(series);
             all.push_back(std::move(series));
         }
@@ -285,5 +291,5 @@ main(int argc, char **argv)
         if (args.metricsPath != "-")
             std::cout << "wrote " << where << "\n";
     }
-    return 0;
+    return benchcli::benchExitCode();
 }

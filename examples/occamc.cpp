@@ -5,7 +5,8 @@
  * Usage: occamc [--asm] [--dot] [--run] [--pes N] [--threads N]
  *               [--stats] [--topology SPEC] [--trace out.json]
  *               [--metrics out.json] [--faults SPEC] [--recover]
- *               [--checkpoint-every N] file.occ
+ *               [--checkpoint-every N] [--checkpoint-file ckpt.qmc]
+ *               [--resume ckpt.qmc] [--deadline-ms N] file.occ
  *
  * Compiles an OCCAM source file into queue-machine object code and, on
  * request, prints the generated assembly, dumps each context's data-flow
@@ -27,6 +28,23 @@
  * (end-to-end retransmission, checksum heal, dedup, fail-stop
  * re-dispatch, and bounded replay from the last checkpoint);
  * --checkpoint-every N adds periodic snapshots on top of the boot one.
+ * --checkpoint-file persists every snapshot durably (atomic write) so a
+ * killed run can be warm-started with --resume, byte-identically to an
+ * uninterrupted run on every deterministic surface (result line, stats,
+ * trace, metrics). A corrupt or mismatched --resume file is refused
+ * with a one-line diagnostic and the run falls back to a cold start.
+ * --deadline-ms bounds the run's host wall-clock time.
+ *
+ * Exit codes are structured per failure class:
+ *   0  success
+ *   2  usage / bad arguments / unreadable input
+ *   3  OCCAM compile error
+ *   4  watchdog trip (simulated watchdog or host deadline)
+ *   5  run failed for a structured simulated reason (e.g. lost
+ *      message, fault-starved) without recovering
+ *   6  fatal error / kernel panic during the run
+ *   128+N  interrupted by signal N (SIGINT -> 130, SIGTERM -> 143)
+ *      after flushing trace/metrics
  */
 #include <fstream>
 #include <iostream>
@@ -36,14 +54,25 @@
 #include "fault/fault.hpp"
 #include "mp/system.hpp"
 #include "occam/compiler.hpp"
+#include "persist/io.hpp"
 #include "sim/metrics.hpp"
 #include "support/cli.hpp"
+#include "support/shutdown.hpp"
 #include "trace/export.hpp"
 #include "occam/graph_interp.hpp"
 #include "occam/ift.hpp"
 #include "occam/parser.hpp"
 
 namespace {
+
+// Structured exit codes, one per failure class (documented above and
+// asserted by tests/occamc_cli_test.py).
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitCompile = 3;
+constexpr int kExitWatchdog = 4;
+constexpr int kExitRunFailed = 5;
+constexpr int kExitFatal = 6;
 
 int
 usage()
@@ -53,8 +82,26 @@ usage()
                  "[--topology ring|ring:P|rings:KxM] "
                  "[--trace out.json] "
                  "[--metrics out.json] [--faults SPEC] [--recover] "
-                 "[--checkpoint-every N] file.occ\n";
-    return 2;
+                 "[--checkpoint-every N] [--checkpoint-file ckpt.qmc] "
+                 "[--resume ckpt.qmc] [--deadline-ms N] file.occ\n";
+    return kExitUsage;
+}
+
+/** Map a finished run onto its exit-code class. */
+int
+exitCodeFor(const qm::mp::RunResult &result)
+{
+    if (result.completed)
+        return kExitOk;
+    if (result.hostAborted) {
+        int sig = qm::support::shutdownSignal();
+        if (sig > 0)
+            return 128 + sig;  // interrupted: flushed, then signal code
+        return kExitWatchdog;  // host deadline = a wall-clock watchdog
+    }
+    if (result.watchdogTripped)
+        return kExitWatchdog;
+    return kExitRunFailed;
 }
 
 } // namespace
@@ -70,7 +117,9 @@ main(int argc, char **argv)
     qm::mp::RingTopology topology;
     qm::fault::FaultPlan faults;
     qm::fault::RecoveryPlan recovery;
-    std::string path, trace_path, metrics_path;
+    long deadline_ms = 0;
+    std::string path, trace_path, metrics_path, checkpoint_file,
+        resume_file;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--asm") {
@@ -139,6 +188,23 @@ main(int argc, char **argv)
             }
             recovery.enabled = true;
             run = true;
+        } else if (arg == "--checkpoint-file" && i + 1 < argc) {
+            checkpoint_file = argv[++i];
+            recovery.enabled = true;  // checkpoints require snapshots
+            run = true;
+        } else if (arg == "--resume" && i + 1 < argc) {
+            resume_file = argv[++i];
+            recovery.enabled = true;
+            run = true;
+        } else if (arg == "--deadline-ms" && i + 1 < argc) {
+            try {
+                deadline_ms = qm::parsePositiveIntArg(
+                    argv[++i], "--deadline-ms", /*max=*/1'000'000'000);
+            } catch (const qm::FatalError &e) {
+                std::cerr << "occamc: " << e.what() << "\n";
+                return usage();
+            }
+            run = true;
         } else if (!arg.empty() && arg[0] != '-') {
             path = arg;
         } else {
@@ -151,16 +217,23 @@ main(int argc, char **argv)
     std::ifstream in(path);
     if (!in) {
         std::cerr << "occamc: cannot open " << path << "\n";
-        return 1;
+        return kExitUsage;
     }
     std::ostringstream source;
     source << in.rdbuf();
 
+    qm::occam::CompiledProgram program;
     try {
         qm::occam::CompileOptions options;
         options.emitDot = show_dot;
-        qm::occam::CompiledProgram program =
-            qm::occam::compileOccam(source.str(), options);
+        program = qm::occam::compileOccam(source.str(), options);
+    } catch (const std::exception &e) {
+        std::cerr << "occamc: " << e.what() << "\n";
+        return kExitCompile;
+    }
+
+    int exit_code = kExitOk;
+    try {
         std::cout << "; " << program.contextCount << " contexts, "
                   << program.object.words.size() << " code words\n";
         if (show_asm)
@@ -172,9 +245,13 @@ main(int argc, char **argv)
             qm::mp::SystemConfig config;
             config.numPes = pes;
             config.hostThreads = threads;
+            config.hostDeadlineMs = deadline_ms;
             config.traceConfig.enabled = !trace_path.empty();
             config.faultPlan = faults;
             config.recovery = recovery;
+            // One chance to flush trace/metrics on SIGINT/SIGTERM;
+            // the run loop notices the flag and winds down.
+            qm::support::installShutdownSignals();
             if (topology_given) {
                 config.setTopology(topology);
                 std::cout << "topology: "
@@ -191,7 +268,32 @@ main(int argc, char **argv)
                 std::cout << "\n";
             }
             qm::mp::System system(program.object, config);
-            qm::mp::RunResult result = system.run(program.mainLabel);
+            if (!checkpoint_file.empty())
+                system.setCheckpointSink([&](qm::mp::System &s) {
+                    qm::persist::Status st =
+                        s.saveCheckpoint(checkpoint_file);
+                    if (!st.ok())
+                        std::cerr << "occamc: checkpoint save failed: "
+                                  << st.toString() << "\n";
+                });
+            bool resumed = false;
+            if (!resume_file.empty()) {
+                qm::persist::Status st =
+                    system.loadCheckpoint(resume_file);
+                if (st.ok()) {
+                    resumed = true;
+                    // stderr only: a resumed run's stdout must be
+                    // byte-identical to an uninterrupted one.
+                    std::cerr << "occamc: resumed from " << resume_file
+                              << "\n";
+                } else {
+                    std::cerr << "occamc: cannot resume from "
+                              << resume_file << " (" << st.toString()
+                              << "); starting cold\n";
+                }
+            }
+            qm::mp::RunResult result =
+                resumed ? system.resume() : system.run(program.mainLabel);
             int replays = 0;
             while (!result.completed && recovery.enabled &&
                    system.replayable() && system.canRestore() &&
@@ -220,6 +322,7 @@ main(int argc, char **argv)
             if (!result.failureReason.empty())
                 std::cout << "failure: " << result.failureReason
                           << "\n";
+            exit_code = exitCodeFor(result);
             std::cout << "breakdown: compute=" << result.computeCycles
                       << " kernel=" << result.kernelCycles
                       << " blocked=" << result.blockedCycles
@@ -290,7 +393,7 @@ main(int argc, char **argv)
         }
     } catch (const std::exception &e) {
         std::cerr << "occamc: " << e.what() << "\n";
-        return 1;
+        return kExitFatal;
     }
-    return 0;
+    return exit_code;
 }

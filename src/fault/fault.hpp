@@ -215,6 +215,44 @@ class FaultInjector
     std::uint64_t injected() const { return injected_; }
     std::uint64_t injectedOf(FaultKind kind) const;
 
+    /**
+     * Raw generator + counter state for durable checkpoints. Saving
+     * the stream positions at snapshot time is what makes a resumed
+     * fault-injected run draw the same decisions an uninterrupted run
+     * would from that point on - i.e. byte-identical.
+     */
+    struct PersistState
+    {
+        std::array<std::uint64_t, kNumRandomKinds> streams{};
+        std::uint64_t payload = 0;
+        std::array<std::uint64_t, kNumFaultKinds> counts{};
+        std::uint64_t injected = 0;
+    };
+
+    PersistState
+    persistState() const
+    {
+        PersistState s;
+        for (int i = 0; i < kNumRandomKinds; ++i)
+            s.streams[static_cast<std::size_t>(i)] =
+                streams_[static_cast<std::size_t>(i)].rawState();
+        s.payload = payload_.rawState();
+        s.counts = counts_;
+        s.injected = injected_;
+        return s;
+    }
+
+    void
+    restorePersistState(const PersistState &s)
+    {
+        for (int i = 0; i < kNumRandomKinds; ++i)
+            streams_[static_cast<std::size_t>(i)].setRawState(
+                s.streams[static_cast<std::size_t>(i)]);
+        payload_.setRawState(s.payload);
+        counts_ = s.counts;
+        injected_ = s.injected;
+    }
+
   private:
     FaultPlan plan_;
     /** One decision stream per stochastic kind + one payload stream. */

@@ -1,9 +1,13 @@
 #include "mp/system.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+
+#include "persist/state_codec.hpp"
+#include "support/shutdown.hpp"
 
 namespace {
 bool traceEnabled() {
@@ -964,6 +968,9 @@ System::resume(Cycle max_cycles)
 RunResult
 System::runLoop(Cycle max_cycles)
 {
+    // The host deadline budget covers one loop entry (run or resume).
+    runStart_ = std::chrono::steady_clock::now();
+    hostGuardTick_ = 0;
     if (config_.core != SimCore::Event)
         return runLoopTick(max_cycles);
     // The windowed loop needs a positive lookahead to form windows,
@@ -990,6 +997,8 @@ System::runLoopTick(Cycle max_cycles)
     while (liveContexts > 0) {
         if (!pendingFailure_.empty())
             return failRun(pendingFailure_, /*watchdog=*/false);
+        if (std::string why; hostAbortDue(why))
+            return abortRun(why);
         // Pick the PE able to act soonest.
         PeSlot *best = nullptr;
         Cycle best_time = 0;
@@ -1062,9 +1071,14 @@ System::runLoopTick(Cycle max_cycles)
                 replay_in_flight = true;
         if (nextCheckpointAt_ > 0 && best_time >= nextCheckpointAt_ &&
             pendingDeadPe_ < 0 && !replay_in_flight) {
-            snapshot();
+            // Advance the schedule *before* capturing: the snapshot
+            // then carries the next boundary, so a run warm-started
+            // from it (durable resume or checkpoint replay) continues
+            // to the next checkpoint instead of immediately
+            // re-snapshotting the boundary it was saved at.
             while (nextCheckpointAt_ <= best_time)
                 nextCheckpointAt_ += config_.recovery.checkpointEvery;
+            snapshot();
             continue;
         }
 
@@ -1158,6 +1172,8 @@ System::runLoopEvent(Cycle max_cycles)
     while (liveContexts > 0) {
         if (!pendingFailure_.empty())
             return failRun(pendingFailure_, /*watchdog=*/false);
+        if (std::string why; hostAbortDue(why))
+            return abortRun(why);
         // Validated peek: drop entries whose slot is no longer
         // schedulable, correct entries whose wake time moved, and stop
         // at the first entry matching its slot's current nextTime().
@@ -1239,9 +1255,14 @@ System::runLoopEvent(Cycle max_cycles)
                 replay_in_flight = true;
         if (nextCheckpointAt_ > 0 && best_time >= nextCheckpointAt_ &&
             pendingDeadPe_ < 0 && !replay_in_flight) {
-            snapshot();
+            // Advance the schedule *before* capturing: the snapshot
+            // then carries the next boundary, so a run warm-started
+            // from it (durable resume or checkpoint replay) continues
+            // to the next checkpoint instead of immediately
+            // re-snapshotting the boundary it was saved at.
             while (nextCheckpointAt_ <= best_time)
                 nextCheckpointAt_ += config_.recovery.checkpointEvery;
+            snapshot();
             continue;
         }
 
@@ -1538,6 +1559,8 @@ System::runLoopThreaded(Cycle max_cycles)
     while (liveContexts > 0) {
         if (!pendingFailure_.empty())
             return failRun(pendingFailure_, /*watchdog=*/false);
+        if (std::string why; hostAbortDue(why))
+            return abortRun(why);
         // Window top: the global minimum (virtual time, PE index) over
         // all slots - the same selection the sequential calendar peek
         // makes, found by scan since the calendar is idle here. A slot
@@ -1594,9 +1617,14 @@ System::runLoopThreaded(Cycle max_cycles)
                 replay_in_flight = true;
         if (nextCheckpointAt_ > 0 && best_time >= nextCheckpointAt_ &&
             pendingDeadPe_ < 0 && !replay_in_flight) {
-            snapshot();
+            // Advance the schedule *before* capturing: the snapshot
+            // then carries the next boundary, so a run warm-started
+            // from it (durable resume or checkpoint replay) continues
+            // to the next checkpoint instead of immediately
+            // re-snapshotting the boundary it was saved at.
             while (nextCheckpointAt_ <= best_time)
                 nextCheckpointAt_ += config_.recovery.checkpointEvery;
+            snapshot();
             continue;
         }
 
@@ -1901,6 +1929,11 @@ System::snapshot()
                                   slot->readyQ, slot->pe->stats()});
     }
     checkpoint_ = std::move(cp);
+    // Durable persistence point: occamc's --checkpoint-file sink
+    // serializes the fresh checkpoint here, so every boot/periodic
+    // snapshot boundary is also a crash-recovery point on disk.
+    if (checkpointSink_)
+        checkpointSink_(*this);
 }
 
 bool
@@ -1963,6 +1996,450 @@ System::restore()
     // fault schedule, so a deterministic failure is not simply
     // re-executed forever; injected counters keep accumulating across
     // replays.
+}
+
+// ---------------------------------------------------------------------------
+// Durable checkpoints (see DESIGN.md "Durable checkpoints & resume").
+//
+// The on-disk image is the in-memory Checkpoint, serialized as a
+// versioned container of individually-checksummed sections and written
+// atomically. The fault injector's stream state IS persisted (unlike
+// the in-memory restore note above): a cross-process resume continues
+// the decision streams exactly where the snapshot left them, which is
+// what makes a resumed fault-injected run byte-identical to an
+// uninterrupted one from the snapshot point on - including any
+// in-memory replays either run performs later, since both machines
+// advance the same streams identically.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char *kCheckpointMagic = "QMCKPT01";
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+} // namespace
+
+std::string
+configFingerprint(const SystemConfig &c)
+{
+    const pe::PeTiming &t = c.peTiming;
+    const fault::RecoveryPlan &r = c.recovery;
+    return cat(
+        "pes=", c.numPes, ";rings=", c.busRings, ";parts=", c.busPartitions,
+        ";topoexp=", int(c.busTopologyExplicit), ";mem=", c.memoryBytes,
+        ";page=", c.pageWords, ";live=", c.maxLiveContexts,
+        ";depth=", c.channelDepth, ";place=", int(c.placement),
+        ";fork=", c.forkCycles, ";exit=", c.exitCycles,
+        ";query=", c.queryCycles, ";alloc=", c.allocCycles,
+        ";cload=", c.contextLoadCycles, ";csave=", c.contextSaveCycles,
+        ";tim=", t.simpleCycles, ",", t.immWordCycles, ",", t.memoryCycles,
+        ",", t.branchTakenCycles, ",", t.channelCycles, ",", t.trapCycles,
+        ",", t.rollOutCyclesPerReg, ";wd=", c.watchdogCycles,
+        ";faults=", fault::toString(c.faultPlan),
+        ";rec=", int(r.enabled), ",", r.maxResends, ",", r.ackTimeout, ",",
+        r.leaseCycles, ",", r.nackPenalty, ",", r.checkpointEvery, ",",
+        r.maxReplays, ",", r.maxLogOps, ",", r.maxUndoWords,
+        ";trace=", int(c.traceConfig.enabled), ",", c.traceConfig.maxEvents);
+}
+
+std::string
+System::configFingerprint() const
+{
+    return cat(mp::configFingerprint(config_), ";code=",
+               persist::crc32(code_.words.data(),
+                              code_.words.size() * sizeof(Word)));
+}
+
+persist::Status
+System::saveCheckpoint(const std::string &path) const
+{
+    using persist::ErrCode;
+    using persist::Status;
+    if (!checkpoint_)
+        return Status::error(
+            ErrCode::Mismatch,
+            "no snapshot to persist (checkpoints require recovery mode)");
+    const Checkpoint &cp = *checkpoint_;
+    std::vector<persist::Section> sections;
+
+    {
+        persist::Encoder enc;
+        enc.str(configFingerprint());
+        sections.push_back({"META", enc.take()});
+    }
+    {
+        persist::Encoder enc;
+        enc.u64(cp.contexts.size());
+        for (const Context &ctx : cp.contexts)
+            persist::encodeContext(enc, ctx);
+        enc.u64(cp.freePages.size());
+        for (Addr p : cp.freePages)
+            enc.u32(p);
+        enc.u32(cp.nextChannel);
+        enc.u32(cp.heapNext);
+        enc.i64(cp.rrNext);
+        enc.u64(cp.shardRr.size());
+        for (int v : cp.shardRr)
+            enc.i64(v);
+        enc.u64(cp.shardCtxLive.size());
+        for (std::uint64_t v : cp.shardCtxLive)
+            enc.u64(v);
+        enc.u64(cp.channelShard.size());
+        for (const auto &[chan, shard] : cp.channelShard) {
+            enc.u32(chan);
+            enc.i64(shard);
+        }
+        enc.u64(cp.liveContexts);
+        enc.u64(cp.switches);
+        enc.u8(cp.killArmed ? 1 : 0);
+        enc.i64(cp.pendingDeadPe);
+        enc.i64(cp.deadDetectAt);
+        enc.i64(cp.nextCheckpointAt);
+        enc.i64(cp.lastProgress);
+        sections.push_back({"KERN", enc.take()});
+    }
+    {
+        persist::Encoder enc;
+        persist::encodeSparseMemory(enc, cp.memory);
+        sections.push_back({"MEMS", enc.take()});
+    }
+    {
+        persist::Encoder enc;
+        persist::encodeStatSet(enc, cp.stats);
+        sections.push_back({"STAT", enc.take()});
+    }
+    {
+        persist::Encoder enc;
+        persist::encodeCacheSnapshot(enc, cp.cache);
+        sections.push_back({"CACH", enc.take()});
+    }
+    {
+        persist::Encoder enc;
+        persist::encodeBusSnapshot(enc, cp.bus);
+        sections.push_back({"BUSS", enc.take()});
+    }
+    {
+        persist::Encoder enc;
+        enc.u64(cp.slotStates.size());
+        for (const Checkpoint::SlotState &ss : cp.slotStates) {
+            enc.i64(ss.clock);
+            enc.i64(ss.busyCycles);
+            enc.i64(ss.kernelCycles);
+            enc.i64(ss.switchCycles);
+            enc.u8(ss.dead ? 1 : 0);
+            // Flatten the ready queue by draining a copy. Rebuilding
+            // by pushes is order-exact: entries are totally ordered by
+            // (readyAt, ctx), so heap pop order is reproducible.
+            auto q = ss.readyQ;
+            enc.u64(q.size());
+            while (!q.empty()) {
+                enc.i64(q.top().readyAt);
+                enc.u32(q.top().ctx);
+                q.pop();
+            }
+            persist::encodeStatSet(enc, ss.peStats);
+        }
+        sections.push_back({"SLOT", enc.take()});
+    }
+    {
+        // Recorder content up to the checkpoint mark, so a resumed
+        // process exports the same trace an uninterrupted one would.
+        persist::Encoder enc;
+        persist::TraceState ts;
+        const auto &events = tracer_.events();
+        std::size_t upto = std::min(cp.trace.events, events.size());
+        ts.events.assign(events.begin(),
+                         events.begin() + static_cast<std::ptrdiff_t>(upto));
+        ts.dropped = cp.trace.dropped;
+        ts.kindCounts = cp.trace.kindCounts;
+        persist::encodeTraceState(enc, ts);
+        sections.push_back({"TRAC", enc.take()});
+    }
+    {
+        persist::Encoder enc;
+        enc.u8(faults_ ? 1 : 0);
+        if (faults_) {
+            fault::FaultInjector::PersistState s = faults_->persistState();
+            for (std::uint64_t v : s.streams)
+                enc.u64(v);
+            enc.u64(s.payload);
+            for (std::uint64_t v : s.counts)
+                enc.u64(v);
+            enc.u64(s.injected);
+        }
+        sections.push_back({"FALT", enc.take()});
+    }
+
+    std::vector<std::uint8_t> image = persist::buildContainer(
+        kCheckpointMagic, kCheckpointVersion, sections);
+    return persist::writeFileAtomic(path, image);
+}
+
+persist::Status
+System::loadCheckpoint(const std::string &path)
+{
+    using persist::ErrCode;
+    using persist::Status;
+    if (booted)
+        return Status::error(
+            ErrCode::Mismatch,
+            "loadCheckpoint is only valid on a system that has not run");
+    std::vector<std::uint8_t> image;
+    Status st = persist::readFile(path, image);
+    if (!st.ok())
+        return st;
+    std::vector<persist::Section> sections;
+    st = persist::parseContainer(image, kCheckpointMagic, kCheckpointVersion,
+                                 sections);
+    if (!st.ok())
+        return st;
+
+    auto find = [&](const char *tag) -> const persist::Section * {
+        for (const auto &s : sections)
+            if (s.tag == tag)
+                return &s;
+        return nullptr;
+    };
+    auto missing = [](const char *tag) {
+        return Status::error(ErrCode::BadFormat,
+                             cat("missing section ", tag));
+    };
+    auto bad = [](const char *tag, const std::string &why) {
+        return Status::error(ErrCode::BadFormat,
+                             cat("section ", tag, ": ", why));
+    };
+
+    const persist::Section *meta = find("META");
+    if (!meta)
+        return missing("META");
+    {
+        persist::Decoder dec(meta->payload);
+        std::string fp = dec.str();
+        if (!dec.ok())
+            return bad("META", dec.error());
+        std::string want = configFingerprint();
+        if (fp != want)
+            return Status::error(
+                ErrCode::Mismatch,
+                cat("checkpoint was written for a different configuration "
+                    "(file: ", fp, " | machine: ", want, ")"));
+    }
+
+    // Decode every section into locals first: the machine mutates only
+    // after the whole file has been decoded and validated, so a bad
+    // checkpoint leaves this system cold and perfectly runnable.
+    auto cp = std::make_unique<Checkpoint>();
+
+    const persist::Section *kern = find("KERN");
+    if (!kern)
+        return missing("KERN");
+    {
+        persist::Decoder dec(kern->payload);
+        std::size_t nctx = dec.length(dec.remaining());
+        cp->contexts.reserve(nctx);
+        for (std::size_t i = 0; i < nctx && dec.ok(); ++i)
+            cp->contexts.push_back(persist::decodeContext(dec));
+        std::size_t npages = dec.length(dec.remaining());
+        cp->freePages.reserve(npages);
+        for (std::size_t i = 0; i < npages && dec.ok(); ++i)
+            cp->freePages.push_back(dec.u32());
+        cp->nextChannel = dec.u32();
+        cp->heapNext = dec.u32();
+        cp->rrNext = static_cast<int>(dec.i64());
+        std::size_t nrr = dec.length(dec.remaining());
+        for (std::size_t i = 0; i < nrr && dec.ok(); ++i)
+            cp->shardRr.push_back(static_cast<int>(dec.i64()));
+        std::size_t nlive = dec.length(dec.remaining());
+        for (std::size_t i = 0; i < nlive && dec.ok(); ++i)
+            cp->shardCtxLive.push_back(dec.u64());
+        std::size_t nshard = dec.length(dec.remaining());
+        for (std::size_t i = 0; i < nshard && dec.ok(); ++i) {
+            Word chan = dec.u32();
+            int shard = static_cast<int>(dec.i64());
+            if (dec.ok())
+                cp->channelShard[chan] = shard;
+        }
+        cp->liveContexts = dec.u64();
+        cp->switches = dec.u64();
+        cp->killArmed = dec.u8() != 0;
+        cp->pendingDeadPe = static_cast<int>(dec.i64());
+        cp->deadDetectAt = dec.i64();
+        cp->nextCheckpointAt = dec.i64();
+        cp->lastProgress = dec.i64();
+        if (!dec.ok())
+            return bad("KERN", dec.error());
+        if (!dec.atEnd())
+            return bad("KERN", "trailing bytes");
+        // Semantic validation: the CRC only proves the bytes were
+        // written together, not that they describe this machine.
+        std::uint64_t live = 0;
+        for (std::size_t i = 0; i < cp->contexts.size(); ++i) {
+            const Context &ctx = cp->contexts[i];
+            if (ctx.id != i)
+                return bad("KERN", cat("context ", i, " carries id ",
+                                       ctx.id));
+            if (ctx.homePe < 0 || ctx.homePe >= config_.numPes)
+                return bad("KERN", cat("context ", i, " homed on PE ",
+                                       ctx.homePe, " of a ",
+                                       config_.numPes, "-PE machine"));
+            if (ctx.status == CtxStatus::Running)
+                return bad("KERN", cat("context ", i,
+                                       " claims to be Running (snapshots "
+                                       "are quiesced)"));
+            if (ctx.status != CtxStatus::Done)
+                ++live;
+        }
+        if (live != cp->liveContexts)
+            return bad("KERN", cat("liveContexts says ", cp->liveContexts,
+                                   ", context records say ", live));
+        for (const auto &[chan, shard] : cp->channelShard)
+            if (shard < 0 || shard >= numShards())
+                return bad("KERN", cat("channel ", chan,
+                                       " mapped to shard ", shard, " of ",
+                                       numShards()));
+        if (cp->pendingDeadPe >= config_.numPes)
+            return bad("KERN", cat("pendingDeadPe ", cp->pendingDeadPe,
+                                   " out of range"));
+    }
+
+    const persist::Section *mems = find("MEMS");
+    if (!mems)
+        return missing("MEMS");
+    {
+        persist::Decoder dec(mems->payload);
+        cp->memory = persist::decodeSparseMemory(dec, memory_->size());
+        if (!dec.ok())
+            return bad("MEMS", dec.error());
+        if (!dec.atEnd())
+            return bad("MEMS", "trailing bytes");
+    }
+
+    const persist::Section *stat = find("STAT");
+    if (!stat)
+        return missing("STAT");
+    {
+        persist::Decoder dec(stat->payload);
+        cp->stats = persist::decodeStatSet(dec);
+        if (!dec.ok())
+            return bad("STAT", dec.error());
+        if (!dec.atEnd())
+            return bad("STAT", "trailing bytes");
+    }
+
+    const persist::Section *cach = find("CACH");
+    if (!cach)
+        return missing("CACH");
+    {
+        persist::Decoder dec(cach->payload);
+        cp->cache = persist::decodeCacheSnapshot(dec);
+        if (!dec.ok())
+            return bad("CACH", dec.error());
+        if (!dec.atEnd())
+            return bad("CACH", "trailing bytes");
+    }
+
+    const persist::Section *buss = find("BUSS");
+    if (!buss)
+        return missing("BUSS");
+    {
+        persist::Decoder dec(buss->payload);
+        cp->bus = persist::decodeBusSnapshot(dec);
+        if (!dec.ok())
+            return bad("BUSS", dec.error());
+        if (!dec.atEnd())
+            return bad("BUSS", "trailing bytes");
+        RingBus::Snapshot shape = bus.snapshot();
+        if (cp->bus.partitionFree.size() != shape.partitionFree.size() ||
+            cp->bus.bridgeFree.size() != shape.bridgeFree.size() ||
+            cp->bus.backboneFree.size() != shape.backboneFree.size())
+            return bad("BUSS", "ring shape does not match this topology");
+    }
+
+    const persist::Section *slot_sec = find("SLOT");
+    if (!slot_sec)
+        return missing("SLOT");
+    {
+        persist::Decoder dec(slot_sec->payload);
+        std::size_t nslots = dec.length(dec.remaining());
+        if (dec.ok() && nslots != slots.size())
+            return bad("SLOT", cat("file has ", nslots,
+                                   " PE slots, this machine has ",
+                                   slots.size()));
+        for (std::size_t i = 0; i < nslots && dec.ok(); ++i) {
+            Checkpoint::SlotState ss;
+            ss.clock = dec.i64();
+            ss.busyCycles = dec.i64();
+            ss.kernelCycles = dec.i64();
+            ss.switchCycles = dec.i64();
+            ss.dead = dec.u8() != 0;
+            std::size_t nready = dec.length(dec.remaining());
+            for (std::size_t r = 0; r < nready && dec.ok(); ++r) {
+                Cycle readyAt = dec.i64();
+                CtxId ctx = dec.u32();
+                if (!dec.ok())
+                    break;
+                if (ctx >= cp->contexts.size())
+                    return bad("SLOT", cat("ready entry names context ",
+                                           ctx, " of ",
+                                           cp->contexts.size()));
+                ss.readyQ.push({readyAt, ctx});
+            }
+            ss.peStats = persist::decodeStatSet(dec);
+            if (dec.ok())
+                cp->slotStates.push_back(std::move(ss));
+        }
+        if (!dec.ok())
+            return bad("SLOT", dec.error());
+        if (!dec.atEnd())
+            return bad("SLOT", "trailing bytes");
+    }
+
+    persist::TraceState ts;
+    const persist::Section *trac = find("TRAC");
+    if (!trac)
+        return missing("TRAC");
+    {
+        persist::Decoder dec(trac->payload);
+        ts = persist::decodeTraceState(dec);
+        if (!dec.ok())
+            return bad("TRAC", dec.error());
+        if (!dec.atEnd())
+            return bad("TRAC", "trailing bytes");
+    }
+
+    bool has_faults = false;
+    fault::FaultInjector::PersistState fstate;
+    const persist::Section *falt = find("FALT");
+    if (!falt)
+        return missing("FALT");
+    {
+        persist::Decoder dec(falt->payload);
+        has_faults = dec.u8() != 0;
+        if (has_faults) {
+            for (std::uint64_t &v : fstate.streams)
+                v = dec.u64();
+            fstate.payload = dec.u64();
+            for (std::uint64_t &v : fstate.counts)
+                v = dec.u64();
+            fstate.injected = dec.u64();
+        }
+        if (!dec.ok())
+            return bad("FALT", dec.error());
+        if (!dec.atEnd())
+            return bad("FALT", "trailing bytes");
+        if (has_faults != (faults_ != nullptr))
+            return bad("FALT", "fault-injector presence does not match");
+    }
+
+    // Commit: everything decoded and validated; no failure paths below.
+    if (faults_)
+        faults_->restorePersistState(fstate);
+    tracer_.restoreStream(std::move(ts.events), ts.dropped, ts.kindCounts);
+    cp->trace = tracer_.mark();
+    checkpoint_ = std::move(cp);
+    booted = true;
+    restore();
+    return Status::okStatus();
 }
 
 void
@@ -2081,6 +2558,43 @@ System::failRun(const std::string &reason, bool watchdog)
     result.watchdogTripped = watchdog;
     result.failureReason = reason;
     finalizeRun(result);
+    return result;
+}
+
+bool
+System::hostAbortDue(std::string &why)
+{
+    if (config_.hostDeadlineMs <= 0 &&
+        !support::shutdownSignalsInstalled())
+        return false;
+    if ((++hostGuardTick_ & 0x3FFu) != 0)
+        return false;
+    if (support::shutdownRequested()) {
+        why = cat("interrupted: ", support::shutdownSignalName(),
+                  " received");
+        return true;
+    }
+    if (config_.hostDeadlineMs > 0) {
+        auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - runStart_)
+                           .count();
+        if (elapsed >= config_.hostDeadlineMs) {
+            why = cat("deadline: run exceeded its host wall-clock budget (",
+                      config_.hostDeadlineMs, " ms)");
+            return true;
+        }
+    }
+    return false;
+}
+
+RunResult
+System::abortRun(const std::string &reason)
+{
+    RunResult result = failRun(reason, /*watchdog=*/false);
+    // Host aborts depend on wall-clock timing, not simulated state: a
+    // checkpoint replay would be non-deterministic, so never offer one.
+    replayable_ = false;
+    result.hostAborted = true;
     return result;
 }
 

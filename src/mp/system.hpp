@@ -19,9 +19,11 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -36,6 +38,7 @@
 #include "msg/message_cache.hpp"
 #include "pe/memory.hpp"
 #include "pe/pe.hpp"
+#include "persist/io.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/trace.hpp"
@@ -172,7 +175,29 @@ struct SystemConfig
      * so fault-free runs behave byte-identically to before.
      */
     Cycle watchdogCycles = 0;
+
+    /**
+     * Host wall-clock deadline for one run-loop entry (run() or
+     * resume()), in milliseconds. 0 = no deadline. When the budget is
+     * exhausted the run ends with a structured `deadline:` failure
+     * (hostAborted set) instead of wedging a sweep forever. Checked
+     * coarsely (every ~1k scheduling rounds) so the fault-free hot
+     * path pays nothing measurable. Host-side only: never part of the
+     * simulated timeline or the checkpoint fingerprint.
+     */
+    long hostDeadlineMs = 0;
 };
+
+/**
+ * Deterministic textual digest of every simulation-relevant field of
+ * @p config: machine shape, kernel costs, timing, fault/recovery
+ * plans, and trace enablement. Host-side choices that are byte-inert
+ * by invariant (SimCore, hostThreads, hostDeadlineMs) are deliberately
+ * excluded. System::configFingerprint() extends this with a CRC of
+ * the loaded object code; the sweep journal combines it with per-spec
+ * program/verification digests.
+ */
+std::string configFingerprint(const SystemConfig &config);
 
 /** Context lifecycle states (thesis Fig 6.4). */
 enum class CtxStatus
@@ -262,6 +287,14 @@ struct RunResult
      * trace-derived analyses (qmprof) undercount.
      */
     std::uint64_t traceDropped = 0;
+    /**
+     * The run was cut short by the *host*, not the simulated machine:
+     * a wall-clock deadline expired or a shutdown signal arrived.
+     * Host-aborted results are non-deterministic by nature (they
+     * depend on host timing) and are therefore never journaled by the
+     * sweep runner and never worth a checkpoint replay.
+     */
+    bool hostAborted = false;
     /** Unified per-kind accounting, indexed by FaultKind bit index. */
     struct FaultKindCounts
     {
@@ -327,6 +360,52 @@ class System
      * an exhausted cycle budget, which a replay would only re-spend).
      */
     bool replayable() const { return replayable_; }
+
+    // --- Durable checkpoints (see DESIGN.md "Durable checkpoints") -------
+
+    /**
+     * Serialize the last snapshot() to @p path: a versioned,
+     * per-section-checksummed container written atomically (temp file
+     * + fsync + rename), so a crash mid-write leaves either the old
+     * file or the new one, never a torn hybrid. Requires a prior
+     * snapshot(). Returns a structured Status instead of throwing; a
+     * failed write leaves any existing file at @p path untouched.
+     */
+    persist::Status saveCheckpoint(const std::string &path) const;
+
+    /**
+     * Warm-start this (un-run) system from a checkpoint file: verify
+     * magic/version/section checksums and the configuration
+     * fingerprint, rebuild the in-memory checkpoint, and restore() to
+     * it. On any failure the system is left untouched (still cold,
+     * still runnable) and a structured Status says why - corruption is
+     * detected and refused, never a crash or a silently-wrong resume.
+     * On success, drive the machine with resume().
+     */
+    persist::Status loadCheckpoint(const std::string &path);
+
+    /**
+     * Hook invoked after every snapshot() (boot and periodic), with
+     * this system as the argument - the persistence point for
+     * `occamc --checkpoint-file`. Exceptions from the sink propagate
+     * out of the run loop.
+     */
+    void
+    setCheckpointSink(std::function<void(System &)> sink)
+    {
+        checkpointSink_ = std::move(sink);
+    }
+
+    /**
+     * Canonical description of everything that must match for a
+     * checkpoint to be resumable on this system: machine shape,
+     * kernel costs, timing, fault/recovery plans, trace enablement,
+     * and a CRC of the object code. Host-side choices that are
+     * byte-inert by invariant (SimCore, hostThreads, deadline) are
+     * deliberately excluded, so a checkpoint saved under --core tick
+     * resumes under --core event --threads 4 and vice versa.
+     */
+    std::string configFingerprint() const;
 
     /** Aggregate statistics from the last run. */
     const StatSet &stats() const { return stats_; }
@@ -507,6 +586,17 @@ class System
      */
     RunResult failRun(const std::string &reason, bool watchdog);
 
+    /**
+     * Throttled host-side abort check shared by all three run loops:
+     * true (with @p why filled in) when a shutdown signal arrived or
+     * the config_.hostDeadlineMs budget for this run-loop entry is
+     * exhausted. Polls the wall clock only every ~1k calls, and only
+     * when a deadline or signal handler is actually armed.
+     */
+    bool hostAbortDue(std::string &why);
+    /** Structured host-abort exit (hostAborted set, not replayable). */
+    RunResult abortRun(const std::string &reason);
+
     const isa::ObjectCode &code_;
     SystemConfig config_;
     std::unique_ptr<pe::Memory> memory_;
@@ -582,6 +672,11 @@ class System
     bool replayable_ = false;
     struct Checkpoint;
     std::unique_ptr<Checkpoint> checkpoint_;
+
+    // Durable-checkpoint and host-abort plumbing.
+    std::function<void(System &)> checkpointSink_;
+    std::chrono::steady_clock::time_point runStart_{};
+    unsigned hostGuardTick_ = 0;
 
     StatSet stats_;
     trace::Tracer tracer_;

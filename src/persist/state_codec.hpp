@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Binary codecs for the simulator state that travels inside a durable
+ * checkpoint: the statistics registry, the trace event stream, the
+ * message-cache and ring-bus snapshots, and kernel context records.
+ *
+ * Decode never throws and never trusts the input: every length is
+ * bounds-checked against the remaining bytes and every enum/index is
+ * range-checked, flipping the Decoder into its sticky failed state on
+ * the first problem. The section CRC catches random corruption; these
+ * checks catch *structurally* hostile bytes behind a valid CRC, so a
+ * bad checkpoint is always refused, never undefined behavior.
+ */
+#pragma once
+
+#include <vector>
+
+#include "msg/message_cache.hpp"
+#include "mp/ring_bus.hpp"
+#include "mp/system.hpp"
+#include "persist/io.hpp"
+#include "support/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace qm::persist {
+
+void encodeStatSet(Encoder &enc, const StatSet &stats);
+StatSet decodeStatSet(Decoder &dec);
+
+/** The full recorder content: events + dropped count + kind counts. */
+struct TraceState
+{
+    std::vector<trace::Event> events;
+    std::uint64_t dropped = 0;
+    std::array<std::size_t, trace::kEventKinds> kindCounts{};
+};
+
+void encodeTraceState(Encoder &enc, const TraceState &state);
+TraceState decodeTraceState(Decoder &dec);
+
+void encodeCacheSnapshot(Encoder &enc, const msg::MessageCache::Snapshot &snap);
+msg::MessageCache::Snapshot decodeCacheSnapshot(Decoder &dec);
+
+void encodeBusSnapshot(Encoder &enc, const mp::RingBus::Snapshot &snap);
+mp::RingBus::Snapshot decodeBusSnapshot(Decoder &dec);
+
+void encodeContext(Encoder &enc, const mp::Context &ctx);
+mp::Context decodeContext(Decoder &dec);
+
+void encodeHostOp(Encoder &enc, const mp::HostOp &op);
+mp::HostOp decodeHostOp(Decoder &dec);
+
+/**
+ * Sparse memory image: 4 KiB pages that are entirely zero are skipped,
+ * so a 32 MiB address space with a small working set persists in a few
+ * hundred KiB. Decode fails unless the declared size matches
+ * @p expected_size exactly.
+ */
+void encodeSparseMemory(Encoder &enc, const std::vector<std::uint8_t> &bytes);
+std::vector<std::uint8_t> decodeSparseMemory(Decoder &dec,
+                                             std::size_t expected_size);
+
+} // namespace qm::persist

@@ -2,10 +2,14 @@
 
 #include <cctype>
 #include <chrono>
+#include <iostream>
 #include <set>
+#include <thread>
 
+#include "sim/journal.hpp"
 #include "support/diagnostics.hpp"
 #include "support/format.hpp"
+#include "support/shutdown.hpp"
 #include "support/thread_pool.hpp"
 #include "trace/export.hpp"
 
@@ -88,6 +92,7 @@ runOnce(const occam::CompiledProgram &program,
     report.blockedCycles = result.blockedCycles;
     report.busCycles = result.busCycles;
     report.watchdogTripped = result.watchdogTripped;
+    report.hostAborted = result.hostAborted;
     report.failureReason = result.failureReason;
     report.faultsInjected = result.faultsInjected;
     report.faultRecoveries = result.faultRecoveries;
@@ -114,8 +119,19 @@ runOnce(const occam::CompiledProgram &program,
     return report;
 }
 
+std::string
+RunPolicy::resolvedJournalPath(const std::string &label) const
+{
+    if (!journalPath.empty())
+        return journalPath;
+    if (!journalDir.empty())
+        return cat(journalDir, "/", sanitizeFileStem(label), ".journal");
+    return "";
+}
+
 std::vector<RunReport>
-runAll(const std::vector<RunSpec> &specs, int jobs)
+runAll(const std::vector<RunSpec> &specs, int jobs,
+       const RunPolicy &policy)
 {
     unsigned workers = jobs < 1 ? ThreadPool::defaultWorkers()
                                 : static_cast<unsigned>(jobs);
@@ -136,14 +152,91 @@ runAll(const std::vector<RunSpec> &specs, int jobs)
                 "spec its own path (or run with jobs=1)");
         }
     }
+
+    std::string journal_path =
+        policy.resolvedJournalPath(policy.journalLabel);
+    SweepJournal journal;
+    if (!journal_path.empty()) {
+        persist::Status st =
+            journal.open(journal_path, policy.journalLabel, specs);
+        // A valid journal for a *different* sweep means the caller
+        // pointed --resume-dir at stale results; replaying them would
+        // be silently wrong, so refuse loudly.
+        fatalIf(!st.ok(), "sweep journal '", journal_path,
+                "': ", st.toString());
+        if (journal.recreated())
+            std::cerr << "[journal] " << journal_path
+                      << ": corrupt header, starting a fresh journal\n";
+        else if (journal.completedCount() > 0)
+            std::cerr << "[journal] " << journal_path << ": replaying "
+                      << journal.completedCount() << "/" << specs.size()
+                      << " completed runs\n";
+    }
+    int max_attempts = std::max(1, policy.maxAttempts);
+
     std::vector<RunReport> reports(specs.size());
     parallelFor(specs.size(), workers, [&](std::size_t i) {
         const RunSpec &spec = specs[i];
         panicIf(spec.program == nullptr, "RunSpec without a program");
-        reports[i] = runOnce(*spec.program, spec.resultArray,
-                             spec.expected, spec.pes, spec.config);
+        if (journal.has(i)) {
+            reports[i] = journal.get(i);
+            return;
+        }
+        if (support::shutdownRequested()) {
+            // Wind-down: specs not yet started become structured
+            // interrupted rows (never journaled - they never ran).
+            RunReport report;
+            report.pes = spec.pes;
+            report.hostAborted = true;
+            report.attempts = 0;
+            report.failureReason =
+                cat("interrupted: ", support::shutdownSignalName(),
+                    " received before this run started");
+            reports[i] = report;
+            return;
+        }
+        mp::SystemConfig config = spec.config;
+        if (policy.deadlineMs > 0)
+            config.hostDeadlineMs = policy.deadlineMs;
+        RunReport report;
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+            report = runOnce(*spec.program, spec.resultArray,
+                             spec.expected, spec.pes, config);
+            report.attempts = attempt;
+            if (report.completed && report.verified)
+                break;
+            // Retries exist for host-side transients; once the host
+            // itself is shutting down there is nothing to heal.
+            if (support::shutdownRequested())
+                break;
+            if (attempt < max_attempts && policy.backoffMs > 0)
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    static_cast<long>(policy.backoffMs) << (attempt - 1)));
+        }
+        bool failed = !(report.completed && report.verified);
+        bool interrupted = report.hostAborted && support::shutdownRequested();
+        // Quarantine = the retry budget existed, was spent, and the
+        // spec still failed: the row is set aside as a structured
+        // failure instead of poisoning the sweep.
+        report.quarantined = failed && !interrupted && max_attempts > 1;
+        reports[i] = report;
+        // Host-aborted rows are wall-clock artifacts, not results;
+        // journaling one would replay a non-deterministic outcome.
+        if (journal.isOpen() && !report.hostAborted) {
+            persist::Status st = journal.record(i, report);
+            if (!st.ok())
+                std::cerr << "[journal] " << journal_path
+                          << ": append failed (" << st.toString()
+                          << "); sweep continues non-resumable\n";
+        }
     });
     return reports;
+}
+
+std::vector<RunReport>
+runAll(const std::vector<RunSpec> &specs, int jobs)
+{
+    return runAll(specs, jobs, RunPolicy{});
 }
 
 std::string
@@ -169,7 +262,7 @@ runSpeedupSweep(const std::string &name, const std::string &source,
                 const std::vector<int> &pe_counts,
                 const occam::CompileOptions &options,
                 const mp::SystemConfig &base_config, int jobs,
-                const std::string &trace_dir)
+                const std::string &trace_dir, const RunPolicy &policy)
 {
     occam::CompiledProgram program = occam::compileOccam(source, options);
     std::vector<RunSpec> specs;
@@ -191,7 +284,10 @@ runSpeedupSweep(const std::string &name, const std::string &source,
     }
     SpeedupSeries series;
     series.name = name;
-    series.runs = runAll(specs, jobs);
+    RunPolicy run_policy = policy;
+    if (run_policy.journalLabel.empty())
+        run_policy.journalLabel = name;
+    series.runs = runAll(specs, jobs, run_policy);
     return series;
 }
 

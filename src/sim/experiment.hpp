@@ -64,6 +64,21 @@ struct RunReport
      */
     std::uint64_t traceDropped = 0;
 
+    // Self-healing runner bookkeeping (see RunPolicy). `attempts` is
+    // how many times the spec was driven end to end (1 unless retries
+    // were requested and needed); `quarantined` marks a spec that
+    // exhausted its retry budget without a verified completion and was
+    // set aside as a structured failed row instead of aborting the
+    // sweep; `hostAborted` marks a run cut short by the host (deadline
+    // or SIGINT/SIGTERM) - such rows are never journaled, because the
+    // abort point is wall-clock-dependent, not deterministic;
+    // `journalReplayed` marks a row served from a previous attempt's
+    // completion journal instead of being re-simulated.
+    int attempts = 1;
+    bool quarantined = false;
+    bool hostAborted = false;
+    bool journalReplayed = false;
+
     /**
      * The run's complete statistics registry (counters, scalars, and
      * the latency/occupancy histograms), copied out of the run's
@@ -110,6 +125,62 @@ struct RunSpec
 };
 
 /**
+ * Run-level robustness policy for runAll: completion journaling (for
+ * crash-safe resumable sweeps), per-run host wall-clock deadlines,
+ * and bounded deterministic retry with quarantine. All-default means
+ * the historical behavior: no journal, no deadline, one attempt.
+ */
+struct RunPolicy
+{
+    /**
+     * Completion journal file (see sim::SweepJournal). Empty disables
+     * journaling. Rows already journaled by a previous attempt are
+     * replayed byte-identically instead of re-simulated; a valid
+     * journal for a *different* sweep is refused (fatal), a corrupt
+     * one is recreated from scratch with a stderr notice.
+     */
+    std::string journalPath;
+
+    /**
+     * Directory for auto-named journals: sweeps derive
+     * <journalDir>/<sanitized-label>.journal when journalPath is
+     * empty. Empty disables.
+     */
+    std::string journalDir;
+
+    /** Human label folded into the journal fingerprint. */
+    std::string journalLabel;
+
+    /**
+     * Per-attempt host wall-clock budget in milliseconds (0 = none).
+     * A run that exceeds it ends as a structured `deadline:` failed
+     * row (RunReport::hostAborted) instead of wedging the sweep.
+     */
+    long deadlineMs = 0;
+
+    /**
+     * Total attempts per spec (minimum 1). The simulator is
+     * deterministic, so retries exist for *host*-side transients
+     * (deadline trips on a loaded machine, resource exhaustion
+     * surfacing as fatal rows) - a deterministic simulated failure
+     * fails identically every attempt and is quarantined after the
+     * budget without having wasted more than maxAttempts runs.
+     */
+    int maxAttempts = 1;
+
+    /**
+     * Base backoff between attempts in milliseconds; attempt k sleeps
+     * backoffMs * 2^(k-1) (deterministic exponential schedule, no
+     * jitter - there is no thundering herd to avoid, only a host to
+     * let recover).
+     */
+    int backoffMs = 0;
+
+    /** Journal path for @p label, honoring journalPath > journalDir. */
+    std::string resolvedJournalPath(const std::string &label) const;
+};
+
+/**
  * Execute every spec across @p jobs worker threads and return the
  * reports in spec order. The sweep grid is a set of independent
  * simulations, so the reports are identical for any job count:
@@ -118,7 +189,16 @@ struct RunSpec
  * with parallelism as long as no two traced specs share the same
  * Chrome trace output path (they would race on it); duplicate paths
  * are refused when workers > 1.
+ *
+ * With a journaling @p policy, finished rows are appended to the
+ * completion journal as they complete and previously-journaled rows
+ * are replayed without re-simulation, so a sweep killed mid-flight
+ * resumes where it left off yet emits byte-identical reports. After
+ * a shutdown signal (support::shutdownRequested) remaining specs are
+ * returned as structured `interrupted:` rows instead of being run.
  */
+std::vector<RunReport> runAll(const std::vector<RunSpec> &specs,
+                              int jobs, const RunPolicy &policy);
 std::vector<RunReport> runAll(const std::vector<RunSpec> &specs,
                               int jobs = 1);
 
@@ -143,7 +223,8 @@ runSpeedupSweep(const std::string &name, const std::string &source,
                 const std::vector<int> &pe_counts,
                 const occam::CompileOptions &options = {},
                 const mp::SystemConfig &base_config = {},
-                int jobs = 1, const std::string &trace_dir = "");
+                int jobs = 1, const std::string &trace_dir = "",
+                const RunPolicy &policy = {});
 
 /** Single run helper used by the sweep and the ablation bench. */
 RunReport runOnce(const occam::CompiledProgram &program,

@@ -1,0 +1,196 @@
+#include "sim/journal.hpp"
+
+#include <cstdint>
+
+#include "persist/state_codec.hpp"
+#include "support/format.hpp"
+
+namespace qm::sim {
+
+namespace {
+
+constexpr const char *kJournalMagic = "QMSWJNL1";
+
+} // namespace
+
+void
+encodeRunReport(persist::Encoder &enc, const RunReport &report)
+{
+    enc.i64(report.pes);
+    enc.u8(report.completed ? 1 : 0);
+    enc.u8(report.verified ? 1 : 0);
+    enc.i64(report.cycles);
+    enc.u64(report.instructions);
+    enc.u64(report.contexts);
+    enc.u64(report.rendezvous);
+    enc.u64(report.contextSwitches);
+    enc.f64(report.utilization);
+    enc.i64(report.computeCycles);
+    enc.i64(report.kernelCycles);
+    enc.i64(report.blockedCycles);
+    enc.i64(report.busCycles);
+    enc.u8(report.watchdogTripped ? 1 : 0);
+    enc.str(report.failureReason);
+    enc.u64(report.faultsInjected);
+    enc.u64(report.faultRecoveries);
+    enc.u8(report.recovered ? 1 : 0);
+    enc.i64(report.replays);
+    enc.u64(report.faultKinds.size());
+    for (const auto &k : report.faultKinds) {
+        enc.u64(k.injected);
+        enc.u64(k.detected);
+        enc.u64(k.recovered);
+    }
+    enc.u64(report.traceDropped);
+    enc.i64(report.attempts);
+    enc.u8(report.quarantined ? 1 : 0);
+    enc.u8(report.hostAborted ? 1 : 0);
+    persist::encodeStatSet(enc, report.stats);
+    // Host performance figures ride along so --host-time output is
+    // stable across a resume (they describe the attempt that actually
+    // simulated the row, which is exactly what the journal replays).
+    enc.f64(report.hostWallMs);
+    enc.f64(report.simCyclesPerSec);
+}
+
+RunReport
+decodeRunReport(persist::Decoder &dec)
+{
+    RunReport report;
+    report.pes = static_cast<int>(dec.i64());
+    report.completed = dec.u8() != 0;
+    report.verified = dec.u8() != 0;
+    report.cycles = dec.i64();
+    report.instructions = dec.u64();
+    report.contexts = dec.u64();
+    report.rendezvous = dec.u64();
+    report.contextSwitches = dec.u64();
+    report.utilization = dec.f64();
+    report.computeCycles = dec.i64();
+    report.kernelCycles = dec.i64();
+    report.blockedCycles = dec.i64();
+    report.busCycles = dec.i64();
+    report.watchdogTripped = dec.u8() != 0;
+    report.failureReason = dec.str();
+    report.faultsInjected = dec.u64();
+    report.faultRecoveries = dec.u64();
+    report.recovered = dec.u8() != 0;
+    report.replays = static_cast<int>(dec.i64());
+    if (dec.u64() != report.faultKinds.size()) {
+        dec.fail("fault-kind count mismatch");
+        return report;
+    }
+    for (auto &k : report.faultKinds) {
+        k.injected = dec.u64();
+        k.detected = dec.u64();
+        k.recovered = dec.u64();
+    }
+    report.traceDropped = dec.u64();
+    report.attempts = static_cast<int>(dec.i64());
+    report.quarantined = dec.u8() != 0;
+    report.hostAborted = dec.u8() != 0;
+    report.stats = persist::decodeStatSet(dec);
+    report.hostWallMs = dec.f64();
+    report.simCyclesPerSec = dec.f64();
+    return report;
+}
+
+std::string
+sweepFingerprint(const std::string &label,
+                 const std::vector<RunSpec> &specs)
+{
+    persist::Encoder digest;
+    for (const RunSpec &spec : specs) {
+        mp::SystemConfig cfg = spec.config;
+        cfg.numPes = spec.pes;  // runOnce overrides the same way
+        digest.str(mp::configFingerprint(cfg));
+        const auto &words = spec.program->object.words;
+        digest.u32(persist::crc32(words.data(),
+                                  words.size() * sizeof(isa::Word)));
+        digest.str(spec.resultArray);
+        digest.u64(spec.expected.size());
+        for (std::int32_t v : spec.expected)
+            digest.i64(v);
+    }
+    return cat(label, ";specs=", specs.size(), ";digest=",
+               persist::crc32(digest.bytes().data(),
+                              digest.bytes().size()));
+}
+
+persist::Status
+SweepJournal::open(const std::string &path, const std::string &label,
+                   const std::vector<RunSpec> &specs)
+{
+    using persist::ErrCode;
+    using persist::Status;
+    std::lock_guard<std::mutex> lock(mu_);
+    done_.assign(specs.size(), std::nullopt);
+    recreated_ = false;
+    std::string fingerprint = sweepFingerprint(label, specs);
+
+    std::vector<std::vector<std::uint8_t>> records;
+    Status read = persist::readJournal(path, kJournalMagic, fingerprint,
+                                       records);
+    if (read.code == ErrCode::Mismatch)
+        return read;  // valid journal, different sweep: refuse
+    bool truncate = false;
+    if (!read.ok() && read.code != ErrCode::Io) {
+        // Unreadable header: the journal is a cache of deterministic
+        // results, so start over rather than refuse the whole sweep.
+        recreated_ = true;
+        truncate = true;
+        records.clear();
+    }
+    for (const std::vector<std::uint8_t> &payload : records) {
+        persist::Decoder dec(payload);
+        std::uint64_t index = dec.u64();
+        RunReport report = decodeRunReport(dec);
+        // Every record passed its CRC, so failures here mean a format
+        // drift; skip the row (it will simply be re-run) rather than
+        // trusting a misdecoded report.
+        if (!dec.ok() || !dec.atEnd() || index >= done_.size())
+            continue;
+        report.journalReplayed = true;
+        done_[index] = std::move(report);
+    }
+    return writer_.open(path, kJournalMagic, fingerprint, truncate);
+}
+
+bool
+SweepJournal::has(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return index < done_.size() && done_[index].has_value();
+}
+
+const RunReport &
+SweepJournal::get(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return *done_[index];
+}
+
+persist::Status
+SweepJournal::record(std::size_t index, const RunReport &report)
+{
+    persist::Encoder enc;
+    enc.u64(index);
+    encodeRunReport(enc, report);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!writer_.isOpen())
+        return persist::Status::error(persist::ErrCode::Io,
+                                      "journal is not open");
+    return writer_.append(enc.bytes());
+}
+
+std::size_t
+SweepJournal::completedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto &row : done_)
+        n += row.has_value() ? 1 : 0;
+    return n;
+}
+
+} // namespace qm::sim

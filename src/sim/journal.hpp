@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Append-only completion journal for sweep benches: each finished
+ * RunSpec's full RunReport is appended (and fsync'd) to a journal
+ * file, so a sweep killed mid-flight can be re-run and replay the
+ * already-finished rows byte-identically while executing only the
+ * unfinished ones. The journal is keyed by a sweep fingerprint
+ * (series label + per-spec config/program/verification digests), so
+ * a stale journal from a different sweep is refused rather than
+ * silently replayed.
+ */
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/io.hpp"
+#include "sim/experiment.hpp"
+
+namespace qm::sim {
+
+/** Serialize every field of @p report (including the StatSet). */
+void encodeRunReport(persist::Encoder &enc, const RunReport &report);
+
+/**
+ * Inverse of encodeRunReport. On malformed input the decoder's sticky
+ * failed state is set and the partial report must be discarded.
+ */
+RunReport decodeRunReport(persist::Decoder &dec);
+
+/**
+ * Deterministic digest of a sweep: @p label plus, per spec, the
+ * simulation-relevant config fingerprint (PE count folded in, host
+ * choices excluded), a CRC of the program's object code, and the
+ * verification reference. Two sweeps with the same fingerprint run
+ * the same simulations in the same order, so their journals are
+ * interchangeable; anything else is a Mismatch.
+ */
+std::string sweepFingerprint(const std::string &label,
+                             const std::vector<RunSpec> &specs);
+
+/**
+ * The completion journal itself. Thread-safe appends (runAll records
+ * rows from its worker threads); loads tolerate a torn final record
+ * (the partial tail is ignored and overwritten by the next append).
+ */
+class SweepJournal
+{
+public:
+    /**
+     * Open (or create) the journal at @p path for this sweep and load
+     * any rows a previous attempt already completed. A corrupt header
+     * is treated as no-journal: the file is recreated from scratch and
+     * recreated() reports it. A *valid* journal for a different sweep
+     * (fingerprint mismatch) is refused with ErrCode::Mismatch - the
+     * caller decides whether that is fatal.
+     */
+    persist::Status open(const std::string &path, const std::string &label,
+                         const std::vector<RunSpec> &specs);
+
+    /** Row for spec @p index already journaled by a previous attempt? */
+    bool has(std::size_t index) const;
+
+    /** The replayed report for spec @p index (requires has(index)). */
+    const RunReport &get(std::size_t index) const;
+
+    /**
+     * Append spec @p index's finished report and fsync. Failures are
+     * returned, not thrown: a journal that stops persisting degrades
+     * the sweep to non-resumable but never kills it.
+     */
+    persist::Status record(std::size_t index, const RunReport &report);
+
+    /** Rows loaded from a previous attempt. */
+    std::size_t completedCount() const;
+
+    /** True when open() found a corrupt header and started fresh. */
+    bool recreated() const { return recreated_; }
+
+    bool isOpen() const { return writer_.isOpen(); }
+
+private:
+    mutable std::mutex mu_;
+    persist::JournalWriter writer_;
+    std::vector<std::optional<RunReport>> done_;
+    bool recreated_ = false;
+};
+
+} // namespace qm::sim

@@ -41,6 +41,15 @@ class SplitMix64
             below(static_cast<std::uint64_t>(hi - lo + 1)));
     }
 
+    /**
+     * Raw generator state, for durable checkpoints: persisting and
+     * restoring the state resumes the stream exactly where it left
+     * off, which is what makes fault-injected runs byte-identical
+     * across a save/kill/resume boundary.
+     */
+    std::uint64_t rawState() const { return state; }
+    void setRawState(std::uint64_t s) { state = s; }
+
   private:
     std::uint64_t state;
 };

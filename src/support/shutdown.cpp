@@ -1,0 +1,74 @@
+#include "support/shutdown.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace qm::support {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_installed{false};
+
+extern "C" void
+shutdownHandler(int sig)
+{
+    g_signal.store(sig, std::memory_order_relaxed);
+    // One chance to wind down cleanly; the next signal kills us.
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+void
+installShutdownSignals()
+{
+    if (g_installed.exchange(true))
+        return;
+    std::signal(SIGINT, shutdownHandler);
+    std::signal(SIGTERM, shutdownHandler);
+}
+
+bool
+shutdownSignalsInstalled()
+{
+    return g_installed.load(std::memory_order_relaxed);
+}
+
+bool
+shutdownRequested()
+{
+    return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+shutdownSignal()
+{
+    return g_signal.load(std::memory_order_relaxed);
+}
+
+const char *
+shutdownSignalName()
+{
+    switch (shutdownSignal()) {
+    case SIGINT: return "SIGINT";
+    case SIGTERM: return "SIGTERM";
+    case 0: return "none";
+    default: return "host";
+    }
+}
+
+void
+requestShutdown()
+{
+    g_signal.store(-1, std::memory_order_relaxed);
+}
+
+void
+clearShutdown()
+{
+    g_signal.store(0, std::memory_order_relaxed);
+}
+
+} // namespace qm::support

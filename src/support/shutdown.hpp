@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Cooperative shutdown flag for SIGINT/SIGTERM.
+ *
+ * Long-running drivers (occamc, the sweep benches) install the handler
+ * once at startup; the handler only sets an async-signal-safe flag.
+ * The simulation loops and the sweep runner poll the flag at safe
+ * boundaries and wind down cleanly - flushing the sweep journal,
+ * metrics, and trace output that is already complete - instead of
+ * dying mid-write. A second signal falls through to the default
+ * disposition, so a wedged process can still be killed interactively.
+ */
+#pragma once
+
+namespace qm::support {
+
+/**
+ * Install the SIGINT/SIGTERM flag handler. Idempotent. After the
+ * first signal the handlers reset to SIG_DFL, so repeating the signal
+ * terminates immediately.
+ */
+void installShutdownSignals();
+
+/** Handlers were installed in this process. */
+bool shutdownSignalsInstalled();
+
+/** A shutdown signal has been received (or requested by a test). */
+bool shutdownRequested();
+
+/** Signal number that triggered the shutdown (0 = none). */
+int shutdownSignal();
+
+/** Short name for the shutdown cause ("SIGINT", "SIGTERM", "host"). */
+const char *shutdownSignalName();
+
+/** Test hook: raise the flag without a signal. */
+void requestShutdown();
+
+/** Test hook: clear the flag (does not reinstall handlers). */
+void clearShutdown();
+
+} // namespace qm::support

@@ -38,6 +38,19 @@ class Distribution
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Rebuild from persisted raw moments (durable checkpoints). */
+    static Distribution
+    fromRaw(std::uint64_t count, double min, double max, double sum)
+    {
+        Distribution d;
+        d.count_ = count;
+        d.min_ = min;
+        d.max_ = max;
+        d.sum_ = sum;
+        return d;
+    }
 
   private:
     std::uint64_t count_ = 0;
@@ -135,6 +148,21 @@ class Histogram
     /** Bucket-wise exact merge. */
     void merge(const Histogram &other);
 
+    /** Rebuild from persisted raw fields (durable checkpoints). */
+    static Histogram
+    fromRaw(std::uint64_t count, std::uint64_t sum, std::uint64_t min,
+            std::uint64_t max,
+            const std::array<std::uint64_t, kNumBuckets> &buckets)
+    {
+        Histogram h;
+        h.count_ = count;
+        h.sum_ = sum;
+        h.min_ = min;
+        h.max_ = max;
+        h.buckets_ = buckets;
+        return h;
+    }
+
   private:
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
@@ -203,6 +231,22 @@ class StatSet
     histogramMap() const
     {
         return histograms_;
+    }
+    const std::map<std::string, Distribution> &
+    distributionMap() const
+    {
+        return distributions_;
+    }
+
+    /**
+     * Mutable slot for the named distribution (created on first use).
+     * Exists for checkpoint restore, which rebuilds registry entries
+     * from persisted raw moments.
+     */
+    Distribution &
+    distributionRef(const std::string &name)
+    {
+        return distributions_[name];
     }
 
     /**

@@ -246,6 +246,21 @@ class Tracer
         kindCounts_ = mark.kindCounts;
     }
 
+    /**
+     * Replace the recorded stream outright (durable checkpoint
+     * restore in a fresh process): the events captured up to the
+     * persisted mark are reinstated so the resumed run's exported
+     * trace is byte-identical to an uninterrupted run's.
+     */
+    void
+    restoreStream(std::vector<Event> events, std::size_t dropped,
+                  const std::array<std::size_t, kEventKinds> &kindCounts)
+    {
+        events_ = std::move(events);
+        dropped_ = dropped;
+        kindCounts_ = kindCounts;
+    }
+
     /** Number of recorded events of @p kind. */
     std::size_t
     countOf(EventKind kind) const

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""CLI durability smoke test, run by ctest.
+
+Asserts:
+  * occamc's structured exit codes, one per failure class
+    (usage 2, compile 3, watchdog/deadline 4, structured run
+    failure 5, fatal 6, interrupted 128+signo);
+  * occamc --checkpoint-file / --resume byte-identity on stdout,
+    and the corrupt-checkpoint cold-start fallback;
+  * bench_compare.py's exit-2 diagnostics on missing/unreadable/
+    malformed report files (no tracebacks).
+
+Usage: cli_durability_test.py OCCAMC BENCH_COMPARE SOURCE_DIR
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+failures = []
+
+
+def check(name, ok, detail=""):
+    tag = "ok" if ok else "FAIL"
+    print(f"{tag}: {name}" + (f" ({detail})" if detail and not ok else ""))
+    if not ok:
+        failures.append(name)
+
+
+def run(cmd, **kw):
+    return subprocess.run(cmd, capture_output=True, text=True, **kw)
+
+
+def main():
+    occamc, bench_compare, srcdir = sys.argv[1:4]
+    pipeline = os.path.join(srcdir, "examples", "pipeline.occ")
+    tmp = tempfile.mkdtemp(prefix="cli_durability_")
+
+    def path(name):
+        return os.path.join(tmp, name)
+
+    # --- occamc exit-code classes -------------------------------------
+    p = run([occamc, "--definitely-not-a-flag"])
+    check("usage error exits 2", p.returncode == 2, f"rc={p.returncode}")
+
+    p = run([occamc, path("missing.occ")])
+    check("unreadable input exits 2", p.returncode == 2,
+          f"rc={p.returncode}")
+
+    bad = path("bad.occ")
+    with open(bad, "w") as f:
+        f.write("seq !!! not occam\n")
+    p = run([occamc, bad])
+    check("compile error exits 3", p.returncode == 3,
+          f"rc={p.returncode}")
+
+    slow = path("slow.occ")
+    with open(slow, "w") as f:
+        f.write("var results[1]:\nvar total:\nseq\n  total := 0\n"
+                "  seq i = [1 for 500000]\n    total := total + i\n"
+                "  results[0] := total\n")
+    p = run([occamc, "--run", "--deadline-ms", "1", slow])
+    check("host deadline exits 4 (watchdog class)", p.returncode == 4,
+          f"rc={p.returncode}")
+    check("deadline row is structured",
+          "failure: deadline:" in p.stdout, p.stdout[-200:])
+
+    p = run([occamc, "--run", "--pes", "4", "--faults",
+             "seed=7,rate=0.5,kinds=corrupt", pipeline])
+    check("structured run failure exits 5", p.returncode == 5,
+          f"rc={p.returncode}")
+
+    dead = path("dead.occ")
+    with open(dead, "w") as f:
+        f.write("chan a:\nvar x:\nseq\n  a ? x\n")
+    p = run([occamc, "--run", dead])
+    check("kernel panic exits 6", p.returncode == 6,
+          f"rc={p.returncode}")
+
+    proc = subprocess.Popen([occamc, "--run", slow],
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    time.sleep(0.3)
+    proc.send_signal(signal.SIGTERM)
+    rc = proc.wait(timeout=30)
+    check("SIGTERM exits 143 after wind-down",
+          rc == 128 + signal.SIGTERM, f"rc={rc}")
+
+    # --- checkpoint / resume ------------------------------------------
+    ckpt = path("pipeline.qmc")
+    base_cmd = [occamc, "--run", "--pes", "4", "--recover",
+                "--checkpoint-every", "200", "--stats"]
+    p_full = run(base_cmd + ["--checkpoint-file", ckpt, pipeline])
+    check("checkpointed run succeeds", p_full.returncode == 0,
+          f"rc={p_full.returncode}")
+    check("checkpoint file written", os.path.exists(ckpt))
+
+    p_res = run(base_cmd + ["--resume", ckpt, pipeline])
+    check("resumed run succeeds", p_res.returncode == 0,
+          f"rc={p_res.returncode}")
+    check("resumed stdout is byte-identical",
+          p_res.stdout == p_full.stdout)
+    check("resume notice goes to stderr only",
+          "resumed from" in p_res.stderr)
+
+    with open(ckpt, "rb") as f:
+        image = bytearray(f.read())
+    image[len(image) // 2] ^= 0x40
+    corrupt = path("corrupt.qmc")
+    with open(corrupt, "wb") as f:
+        f.write(image)
+    p_bad = run(base_cmd + ["--resume", corrupt, pipeline])
+    check("corrupt checkpoint falls back to cold start",
+          p_bad.returncode == 0 and p_bad.stdout == p_full.stdout,
+          f"rc={p_bad.returncode}")
+    check("corrupt checkpoint diagnosed on stderr",
+          "cannot resume" in p_bad.stderr, p_bad.stderr[:200])
+
+    # --- bench_compare robustness -------------------------------------
+    good = path("BENCH_good.json")
+    with open(good, "w") as f:
+        json.dump({"bench": "t", "series": [
+            {"name": "s", "runs": [
+                {"pes": 1, "cycles": 100, "verified": True}]}]}, f)
+
+    p = run([sys.executable, bench_compare, good, good])
+    check("bench_compare accepts a valid report", p.returncode == 0,
+          f"rc={p.returncode}")
+
+    p = run([sys.executable, bench_compare, path("nope.json"), good])
+    check("missing report exits 2", p.returncode == 2,
+          f"rc={p.returncode}")
+    check("missing report: one-line diagnostic, no traceback",
+          "Traceback" not in p.stderr and
+          len(p.stderr.strip().splitlines()) == 1, p.stderr[:200])
+
+    malformed = path("BENCH_malformed.json")
+    with open(malformed, "w") as f:
+        f.write("{not json")
+    p = run([sys.executable, bench_compare, good, malformed])
+    check("malformed report exits 2", p.returncode == 2,
+          f"rc={p.returncode}")
+    check("malformed report: no traceback", "Traceback" not in p.stderr)
+
+    wrongshape = path("BENCH_list.json")
+    with open(wrongshape, "w") as f:
+        f.write("[1, 2, 3]")
+    p = run([sys.executable, bench_compare, wrongshape, good])
+    check("non-object report exits 2", p.returncode == 2,
+          f"rc={p.returncode}")
+
+    if failures:
+        print(f"{len(failures)} check(s) failed")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

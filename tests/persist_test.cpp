@@ -1,0 +1,665 @@
+/**
+ * @file
+ * Durability suite: durable checkpoint save/load/resume byte-identity
+ * across cores, topologies, host thread counts, and fault injection; a
+ * corrupt-checkpoint fuzzer (bit flips and truncations must be
+ * detected and refused with a structured error, never a crash or a
+ * silently-wrong resume); the sweep completion journal (replay
+ * identity, torn tails, fingerprint mismatch); and in-memory
+ * snapshot/restore identity under hierarchical topologies and PDES
+ * threading.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "mp/system.hpp"
+#include "occam/compiler.hpp"
+#include "persist/io.hpp"
+#include "sim/experiment.hpp"
+#include "sim/journal.hpp"
+#include "support/shutdown.hpp"
+#include "trace/export.hpp"
+
+namespace {
+
+using namespace qm;
+
+const char *kPipelineSource = R"(var results[2]:
+chan a:
+chan b:
+var total, count:
+seq
+  total := 0
+  count := 0
+  par
+    seq i = [1 for 16]
+      a ! i
+    seq j = [1 for 16]
+      var x:
+      seq
+        a ? x
+        b ! x * x
+    seq k = [1 for 16]
+      var y:
+      seq
+        b ? y
+        total := total + y
+        count := count + 1
+  results[0] := total
+  results[1] := count
+)";
+
+const occam::CompiledProgram &
+pipelineProgram()
+{
+    static occam::CompiledProgram program =
+        occam::compileOccam(kPipelineSource);
+    return program;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "persist_test_" + name;
+}
+
+/** Every surface a resumed run must reproduce byte-for-byte. */
+struct Surfaces
+{
+    mp::RunResult result;
+    std::string stats;
+    std::string trace;
+    std::vector<std::uint8_t> memory;
+};
+
+Surfaces
+capture(mp::System &system, const mp::RunResult &result)
+{
+    Surfaces s;
+    s.result = result;
+    s.stats = system.stats().render();
+    s.trace = trace::chromeTraceJson(system.tracer());
+    system.memory().snapshotTo(s.memory);
+    return s;
+}
+
+void
+expectIdentical(const Surfaces &a, const Surfaces &b)
+{
+    EXPECT_EQ(a.result.completed, b.result.completed);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.instructions, b.result.instructions);
+    EXPECT_EQ(a.result.contexts, b.result.contexts);
+    EXPECT_EQ(a.result.rendezvous, b.result.rendezvous);
+    EXPECT_EQ(a.result.contextSwitches, b.result.contextSwitches);
+    EXPECT_EQ(a.result.utilization, b.result.utilization);
+    EXPECT_EQ(a.result.computeCycles, b.result.computeCycles);
+    EXPECT_EQ(a.result.kernelCycles, b.result.kernelCycles);
+    EXPECT_EQ(a.result.blockedCycles, b.result.blockedCycles);
+    EXPECT_EQ(a.result.busCycles, b.result.busCycles);
+    EXPECT_EQ(a.result.watchdogTripped, b.result.watchdogTripped);
+    EXPECT_EQ(a.result.failureReason, b.result.failureReason);
+    EXPECT_EQ(a.result.faultsInjected, b.result.faultsInjected);
+    EXPECT_EQ(a.result.faultRecoveries, b.result.faultRecoveries);
+    EXPECT_EQ(a.result.traceDropped, b.result.traceDropped);
+    EXPECT_EQ(a.stats, b.stats);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.memory, b.memory);
+}
+
+/**
+ * Drive one full run that persists its @p target_snapshot-th snapshot
+ * to @p path (the last one if the run snapshots fewer times), and
+ * return the uninterrupted run's surfaces.
+ */
+Surfaces
+runSaving(const mp::SystemConfig &config, const std::string &path,
+          int target_snapshot)
+{
+    const occam::CompiledProgram &program = pipelineProgram();
+    mp::System system(program.object, config);
+    int seen = 0;
+    system.setCheckpointSink([&](mp::System &s) {
+        ++seen;
+        // Persist the target snapshot, then keep overwriting until a
+        // later one passes it (covers "last one wins" too).
+        if (seen <= target_snapshot) {
+            persist::Status st = s.saveCheckpoint(path);
+            ASSERT_TRUE(st.ok()) << st.toString();
+        }
+    });
+    mp::RunResult result = system.run(program.mainLabel);
+    EXPECT_TRUE(result.completed) << result.failureReason;
+    EXPECT_GE(seen, 1);
+    return capture(system, result);
+}
+
+/** Warm-start from @p path under @p config and return the surfaces. */
+Surfaces
+resumeFrom(const mp::SystemConfig &config, const std::string &path)
+{
+    const occam::CompiledProgram &program = pipelineProgram();
+    mp::System system(program.object, config);
+    persist::Status st = system.loadCheckpoint(path);
+    EXPECT_TRUE(st.ok()) << st.toString();
+    mp::RunResult result = system.resume();
+    EXPECT_TRUE(result.completed) << result.failureReason;
+    return capture(system, result);
+}
+
+mp::SystemConfig
+baseConfig(int pes)
+{
+    mp::SystemConfig config;
+    config.numPes = pes;
+    config.recovery.enabled = true;
+    config.recovery.checkpointEvery = 150;
+    config.traceConfig.enabled = true;
+    return config;
+}
+
+// ---------------------------------------------------------------------------
+// Durable checkpoint: resume byte-identity.
+// ---------------------------------------------------------------------------
+
+struct ResumeCase
+{
+    const char *name;
+    const char *topology;  ///< nullptr = default flat ring.
+    int pes;
+    mp::SimCore saveCore;
+    mp::SimCore resumeCore;
+    int resumeThreads;
+};
+
+class DurableResumeTest : public ::testing::TestWithParam<ResumeCase>
+{
+};
+
+TEST_P(DurableResumeTest, ResumeMatchesUninterruptedRun)
+{
+    const ResumeCase &c = GetParam();
+    std::string path = tempPath(std::string("resume_") + c.name + ".qmc");
+    mp::SystemConfig save_config = baseConfig(c.pes);
+    save_config.core = c.saveCore;
+    if (c.topology)
+        save_config.setTopology(mp::parseTopology(c.topology));
+    // Resume every prefix: the 1st, 2nd, ... snapshot must each warm-
+    // start into the same completed run the uninterrupted one saw.
+    for (int target = 1; target <= 3; ++target) {
+        Surfaces full = runSaving(save_config, path, target);
+        mp::SystemConfig resume_config = save_config;
+        resume_config.core = c.resumeCore;
+        resume_config.hostThreads = c.resumeThreads;
+        Surfaces resumed = resumeFrom(resume_config, path);
+        expectIdentical(full, resumed);
+    }
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, DurableResumeTest,
+    ::testing::Values(
+        ResumeCase{"flat_event", nullptr, 4, mp::SimCore::Event,
+                   mp::SimCore::Event, 1},
+        ResumeCase{"flat_cross_core", nullptr, 4, mp::SimCore::Tick,
+                   mp::SimCore::Event, 1},
+        ResumeCase{"flat_cross_core_rev", nullptr, 4, mp::SimCore::Event,
+                   mp::SimCore::Tick, 1},
+        ResumeCase{"ring4_threads2", "ring:4", 8, mp::SimCore::Event,
+                   mp::SimCore::Event, 2},
+        ResumeCase{"rings2x2_threads4", "rings:2x2", 8,
+                   mp::SimCore::Event, mp::SimCore::Event, 4},
+        ResumeCase{"rings2x2_from_tick", "rings:2x2", 8,
+                   mp::SimCore::Tick, mp::SimCore::Event, 4}),
+    [](const ::testing::TestParamInfo<ResumeCase> &info) {
+        return info.param.name;
+    });
+
+TEST(DurableResumeTest, FaultInjectedResumeMatchesUninterrupted)
+{
+    // The injector's SplitMix64 stream state is persisted, so the
+    // resumed run draws the same fault schedule the uninterrupted one
+    // drew past the snapshot point.
+    std::string path = tempPath("resume_faults.qmc");
+    mp::SystemConfig config = baseConfig(4);
+    config.faultPlan =
+        fault::parseFaultPlan("seed=42,rate=0.01,kinds=drop+delay");
+    Surfaces full = runSaving(config, path, 2);
+    Surfaces resumed = resumeFrom(config, path);
+    expectIdentical(full, resumed);
+    std::remove(path.c_str());
+}
+
+TEST(DurableResumeTest, MismatchedConfigRefused)
+{
+    std::string path = tempPath("resume_mismatch.qmc");
+    mp::SystemConfig config = baseConfig(4);
+    runSaving(config, path, 1);
+
+    const occam::CompiledProgram &program = pipelineProgram();
+    mp::SystemConfig other = baseConfig(8);  // different machine shape
+    mp::System system(program.object, other);
+    persist::Status st = system.loadCheckpoint(path);
+    EXPECT_EQ(st.code, persist::ErrCode::Mismatch);
+    EXPECT_NE(st.message.find("pes=4"), std::string::npos)
+        << st.toString();
+    // The refused system is still cold and runnable.
+    mp::RunResult result = system.run(program.mainLabel);
+    EXPECT_TRUE(result.completed) << result.failureReason;
+    std::remove(path.c_str());
+}
+
+TEST(DurableResumeTest, LoadAfterBootRefused)
+{
+    std::string path = tempPath("resume_booted.qmc");
+    mp::SystemConfig config = baseConfig(4);
+    runSaving(config, path, 1);
+
+    const occam::CompiledProgram &program = pipelineProgram();
+    mp::System system(program.object, config);
+    mp::RunResult result = system.run(program.mainLabel);
+    ASSERT_TRUE(result.completed);
+    persist::Status st = system.loadCheckpoint(path);
+    EXPECT_EQ(st.code, persist::ErrCode::Mismatch);
+    std::remove(path.c_str());
+}
+
+TEST(DurableResumeTest, SaveWithoutRecoveryRefused)
+{
+    const occam::CompiledProgram &program = pipelineProgram();
+    mp::SystemConfig config;
+    config.numPes = 2;
+    mp::System system(program.object, config);
+    persist::Status st = system.saveCheckpoint(tempPath("never.qmc"));
+    EXPECT_EQ(st.code, persist::ErrCode::Mismatch);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-checkpoint fuzzer: detected, refused, cold start survives.
+// ---------------------------------------------------------------------------
+
+TEST(CorruptCheckpointTest, BitFlipsDetectedAndRefused)
+{
+    std::string path = tempPath("fuzz_flip.qmc");
+    mp::SystemConfig config = baseConfig(4);
+    runSaving(config, path, 2);
+    std::vector<std::uint8_t> image;
+    ASSERT_TRUE(persist::readFile(path, image).ok());
+    ASSERT_GT(image.size(), 64u);
+
+    const occam::CompiledProgram &program = pipelineProgram();
+    // Deterministic sweep: flip one bit every 97 bytes (hits header,
+    // tags, lengths, CRCs, and payload bytes across every section).
+    int checked = 0;
+    for (std::size_t pos = 0; pos < image.size(); pos += 97) {
+        std::vector<std::uint8_t> bad = image;
+        bad[pos] ^= 1u << (pos % 8);
+        ASSERT_TRUE(persist::writeFileAtomic(path, bad).ok());
+        mp::System system(program.object, config);
+        persist::Status st = system.loadCheckpoint(path);
+        EXPECT_FALSE(st.ok()) << "undetected bit flip at byte " << pos;
+        EXPECT_FALSE(st.message.empty());
+        // A refused load leaves the system cold: it must boot and run.
+        // Actually running every case would dominate the suite, so
+        // spot-check a sample (detection itself is checked for all).
+        if (checked++ % 16 == 0) {
+            mp::RunResult result = system.run(program.mainLabel);
+            EXPECT_TRUE(result.completed) << result.failureReason;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CorruptCheckpointTest, TruncationsDetectedAndRefused)
+{
+    std::string path = tempPath("fuzz_trunc.qmc");
+    mp::SystemConfig config = baseConfig(4);
+    runSaving(config, path, 2);
+    std::vector<std::uint8_t> image;
+    ASSERT_TRUE(persist::readFile(path, image).ok());
+
+    const occam::CompiledProgram &program = pipelineProgram();
+    // Every prefix length along a stride, plus the boundary cases.
+    std::vector<std::size_t> cuts = {0, 1, 7, 8, 23, 24};
+    for (std::size_t cut = 31; cut < image.size(); cut += 211)
+        cuts.push_back(cut);
+    int checked = 0;
+    for (std::size_t cut : cuts) {
+        std::vector<std::uint8_t> bad(image.begin(),
+                                      image.begin() +
+                                          static_cast<long>(cut));
+        ASSERT_TRUE(persist::writeFileAtomic(path, bad).ok());
+        mp::System system(program.object, config);
+        persist::Status st = system.loadCheckpoint(path);
+        EXPECT_FALSE(st.ok()) << "undetected truncation at " << cut;
+        if (checked++ % 16 == 0) {
+            mp::RunResult result = system.run(program.mainLabel);
+            EXPECT_TRUE(result.completed) << result.failureReason;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CorruptCheckpointTest, MissingFileIsIoError)
+{
+    const occam::CompiledProgram &program = pipelineProgram();
+    mp::SystemConfig config = baseConfig(2);
+    mp::System system(program.object, config);
+    persist::Status st =
+        system.loadCheckpoint(tempPath("does_not_exist.qmc"));
+    EXPECT_EQ(st.code, persist::ErrCode::Io);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep journal.
+// ---------------------------------------------------------------------------
+
+std::vector<sim::RunSpec>
+journalSpecs(int n)
+{
+    std::vector<sim::RunSpec> specs;
+    for (int i = 0; i < n; ++i) {
+        sim::RunSpec spec;
+        spec.program = &pipelineProgram();
+        spec.resultArray = "results";
+        spec.expected = {1496, 16};
+        spec.pes = i + 1;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+TEST(SweepJournalTest, RunReportCodecRoundTrips)
+{
+    sim::RunReport report;
+    report.pes = 5;
+    report.completed = true;
+    report.verified = true;
+    report.cycles = 1234;
+    report.instructions = 987;
+    report.utilization = 0.625;
+    report.failureReason = "none really";
+    report.replays = 2;
+    report.attempts = 3;
+    report.quarantined = true;
+    report.faultKinds[1].injected = 7;
+    report.hostWallMs = 12.5;
+    report.stats.inc("sys.checkpoints");
+    report.stats.record("queue.depth", 4);
+
+    persist::Encoder enc;
+    sim::encodeRunReport(enc, report);
+    persist::Decoder dec(enc.bytes());
+    sim::RunReport back = sim::decodeRunReport(dec);
+    ASSERT_TRUE(dec.ok()) << dec.error();
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_EQ(back.pes, report.pes);
+    EXPECT_EQ(back.completed, report.completed);
+    EXPECT_EQ(back.verified, report.verified);
+    EXPECT_EQ(back.cycles, report.cycles);
+    EXPECT_EQ(back.instructions, report.instructions);
+    EXPECT_EQ(back.utilization, report.utilization);
+    EXPECT_EQ(back.failureReason, report.failureReason);
+    EXPECT_EQ(back.replays, report.replays);
+    EXPECT_EQ(back.attempts, report.attempts);
+    EXPECT_EQ(back.quarantined, report.quarantined);
+    EXPECT_EQ(back.faultKinds[1].injected, 7u);
+    EXPECT_EQ(back.hostWallMs, report.hostWallMs);
+    EXPECT_EQ(back.stats.render(), report.stats.render());
+}
+
+TEST(SweepJournalTest, RecordsSurviveReopen)
+{
+    std::string path = tempPath("journal_reopen.journal");
+    std::remove(path.c_str());
+    std::vector<sim::RunSpec> specs = journalSpecs(3);
+
+    sim::SweepJournal journal;
+    ASSERT_TRUE(journal.open(path, "unit", specs).ok());
+    EXPECT_EQ(journal.completedCount(), 0u);
+    sim::RunReport r0;
+    r0.pes = 1;
+    r0.completed = true;
+    ASSERT_TRUE(journal.record(0, r0).ok());
+    sim::RunReport r2;
+    r2.pes = 3;
+    r2.failureReason = "watchdog: stuck";
+    ASSERT_TRUE(journal.record(2, r2).ok());
+
+    sim::SweepJournal again;
+    ASSERT_TRUE(again.open(path, "unit", specs).ok());
+    EXPECT_EQ(again.completedCount(), 2u);
+    EXPECT_TRUE(again.has(0));
+    EXPECT_FALSE(again.has(1));
+    ASSERT_TRUE(again.has(2));
+    EXPECT_TRUE(again.get(0).journalReplayed);
+    EXPECT_EQ(again.get(2).failureReason, "watchdog: stuck");
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, TornTailIsCleanEnd)
+{
+    std::string path = tempPath("journal_torn.journal");
+    std::remove(path.c_str());
+    std::vector<sim::RunSpec> specs = journalSpecs(2);
+    {
+        sim::SweepJournal journal;
+        ASSERT_TRUE(journal.open(path, "torn", specs).ok());
+        sim::RunReport r;
+        r.pes = 1;
+        r.completed = true;
+        ASSERT_TRUE(journal.record(0, r).ok());
+    }
+    // Simulate kill -9 mid-append: half a record marker at the tail.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        std::fputc(0x52, f);
+        std::fputc(0x45, f);
+        std::fclose(f);
+    }
+    sim::SweepJournal journal;
+    ASSERT_TRUE(journal.open(path, "torn", specs).ok());
+    EXPECT_FALSE(journal.recreated());
+    EXPECT_EQ(journal.completedCount(), 1u);
+    EXPECT_TRUE(journal.has(0));
+    // And the journal still accepts appends after the torn tail.
+    sim::RunReport r;
+    r.pes = 2;
+    EXPECT_TRUE(journal.record(1, r).ok());
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, DifferentSweepRefused)
+{
+    std::string path = tempPath("journal_mismatch.journal");
+    std::remove(path.c_str());
+    std::vector<sim::RunSpec> specs = journalSpecs(2);
+    {
+        sim::SweepJournal journal;
+        ASSERT_TRUE(journal.open(path, "sweep-a", specs).ok());
+    }
+    sim::SweepJournal journal;
+    persist::Status st = journal.open(path, "sweep-b", specs);
+    EXPECT_EQ(st.code, persist::ErrCode::Mismatch);
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, CorruptHeaderRecreated)
+{
+    std::string path = tempPath("journal_corrupt.journal");
+    std::remove(path.c_str());
+    std::vector<sim::RunSpec> specs = journalSpecs(2);
+    {
+        sim::SweepJournal journal;
+        ASSERT_TRUE(journal.open(path, "corrupt", specs).ok());
+        sim::RunReport r;
+        r.pes = 1;
+        ASSERT_TRUE(journal.record(0, r).ok());
+    }
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fputc('X', f);  // clobber the magic
+        std::fclose(f);
+    }
+    sim::SweepJournal journal;
+    ASSERT_TRUE(journal.open(path, "corrupt", specs).ok());
+    EXPECT_TRUE(journal.recreated());
+    EXPECT_EQ(journal.completedCount(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, RunAllReplaysJournaledRows)
+{
+    std::string dir = ::testing::TempDir();
+    std::vector<sim::RunSpec> specs = journalSpecs(3);
+    sim::RunPolicy policy;
+    policy.journalPath = dir + "persist_test_runall.journal";
+    policy.journalLabel = "runall";
+    std::remove(policy.journalPath.c_str());
+
+    std::vector<sim::RunReport> first = sim::runAll(specs, 1, policy);
+    ASSERT_EQ(first.size(), 3u);
+    for (const sim::RunReport &r : first) {
+        EXPECT_TRUE(r.verified);
+        EXPECT_FALSE(r.journalReplayed);
+    }
+    std::vector<sim::RunReport> second = sim::runAll(specs, 2, policy);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(second[i].journalReplayed);
+        EXPECT_EQ(second[i].cycles, first[i].cycles);
+        EXPECT_EQ(second[i].stats.render(), first[i].stats.render());
+    }
+    std::remove(policy.journalPath.c_str());
+}
+
+TEST(SweepJournalTest, ShutdownMarksRemainingSpecsInterrupted)
+{
+    support::requestShutdown();
+    std::vector<sim::RunReport> reports =
+        sim::runAll(journalSpecs(2), 1);
+    support::clearShutdown();
+    ASSERT_EQ(reports.size(), 2u);
+    for (const sim::RunReport &r : reports) {
+        EXPECT_TRUE(r.hostAborted);
+        EXPECT_FALSE(r.completed);
+        EXPECT_NE(r.failureReason.find("interrupted:"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory snapshot/restore identity (hierarchical + threaded).
+// ---------------------------------------------------------------------------
+
+struct RestoreCase
+{
+    const char *name;
+    const char *topology;  ///< nullptr = default flat ring.
+    int pes;
+    int threads;
+};
+
+class RestoreIdentityTest : public ::testing::TestWithParam<RestoreCase>
+{
+};
+
+TEST_P(RestoreIdentityTest, ReplayFromCheckpointMatchesOriginal)
+{
+    const RestoreCase &c = GetParam();
+    mp::SystemConfig config = baseConfig(c.pes);
+    config.hostThreads = c.threads;
+    if (c.topology)
+        config.setTopology(mp::parseTopology(c.topology));
+
+    const occam::CompiledProgram &program = pipelineProgram();
+    mp::System system(program.object, config);
+    mp::RunResult result = system.run(program.mainLabel);
+    ASSERT_TRUE(result.completed) << result.failureReason;
+    Surfaces original = capture(system, result);
+
+    // Roll back to the last periodic checkpoint and re-drive the tail:
+    // a fault-free replay must land on the identical end state.
+    ASSERT_TRUE(system.canRestore());
+    system.restore();
+    mp::RunResult replayed = system.resume();
+    ASSERT_TRUE(replayed.completed) << replayed.failureReason;
+    expectIdentical(original, capture(system, replayed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, RestoreIdentityTest,
+    ::testing::Values(RestoreCase{"flat", nullptr, 4, 1},
+                      RestoreCase{"flat_threads2", nullptr, 4, 2},
+                      RestoreCase{"ring4_threads2", "ring:4", 8, 2},
+                      RestoreCase{"rings2x2", "rings:2x2", 8, 1},
+                      RestoreCase{"rings2x2_threads4", "rings:2x2", 8, 4},
+                      RestoreCase{"rings4x2_threads2", "rings:4x2", 8, 2}),
+    [](const ::testing::TestParamInfo<RestoreCase> &info) {
+        return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// persist primitives.
+// ---------------------------------------------------------------------------
+
+TEST(PersistIoTest, ContainerRoundTripsAndLocalizesCorruption)
+{
+    std::vector<persist::Section> sections;
+    sections.push_back({"AAAA", {1, 2, 3}});
+    sections.push_back({"BBBB", {}});
+    sections.push_back({"CCCC", std::vector<std::uint8_t>(1000, 0xAB)});
+    std::vector<std::uint8_t> image =
+        persist::buildContainer("TESTMAG1", 3, sections);
+
+    std::vector<persist::Section> back;
+    ASSERT_TRUE(persist::parseContainer(image, "TESTMAG1", 3, back).ok());
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[0].tag, "AAAA");
+    EXPECT_EQ(back[2].payload, sections[2].payload);
+
+    persist::Status st = persist::parseContainer(image, "OTHERMAG", 3,
+                                                 back);
+    EXPECT_EQ(st.code, persist::ErrCode::BadMagic);
+    st = persist::parseContainer(image, "TESTMAG1", 4, back);
+    EXPECT_EQ(st.code, persist::ErrCode::BadVersion);
+
+    std::vector<std::uint8_t> flipped = image;
+    flipped[flipped.size() - 4] ^= 0x10;  // inside CCCC's payload
+    st = persist::parseContainer(flipped, "TESTMAG1", 3, back);
+    EXPECT_EQ(st.code, persist::ErrCode::BadChecksum);
+    EXPECT_NE(st.message.find("CCCC"), std::string::npos)
+        << st.toString();
+}
+
+TEST(PersistIoTest, AtomicWriteReplacesWholeFile)
+{
+    std::string path = tempPath("atomic.bin");
+    ASSERT_TRUE(persist::writeFileAtomic(path, {1, 2, 3, 4}).ok());
+    ASSERT_TRUE(persist::writeFileAtomic(path, {9}).ok());
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(persist::readFile(path, back).ok());
+    EXPECT_EQ(back, std::vector<std::uint8_t>{9});
+    std::remove(path.c_str());
+}
+
+TEST(PersistIoTest, DecoderIsStickyAndBounded)
+{
+    persist::Encoder enc;
+    enc.u32(7);
+    persist::Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.u32(), 7u);
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_EQ(dec.u64(), 0u);  // past the end: fails, returns zero
+    EXPECT_FALSE(dec.ok());
+    EXPECT_EQ(dec.u32(), 0u);  // sticky
+    EXPECT_FALSE(dec.error().empty());
+}
+
+} // namespace

@@ -4,6 +4,11 @@
 Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance FRAC]
                         [--host-tolerance FRAC] [--min-host-speedup X]
 
+A missing, unreadable, or malformed report file is a one-line
+diagnostic and exit 2 (distinct from exit 1 = a real regression), so
+CI logs say "the bench never wrote its JSON" rather than dumping a
+traceback.
+
 Walks every (series, PE-count) cell present in the baseline and fails
 (exit 1) when the current report's cycle count regressed by more than
 the tolerance (default 0.10 = 10%), or when a baseline cell is missing
@@ -44,13 +49,39 @@ import json
 import sys
 
 
+class ReportError(Exception):
+    """A report file that cannot be compared (missing/unreadable/bad)."""
+
+
 def load_runs(path):
-    """(doc, {(series name, pes): run dict}) from one BENCH_*.json."""
-    with open(path) as handle:
-        doc = json.load(handle)
+    """(doc, {(series name, pes): run dict}) from one BENCH_*.json.
+
+    Raises ReportError with a one-line diagnostic instead of letting a
+    missing, unreadable, or malformed file escape as a traceback: CI
+    calls this on generated artifacts, and "the bench crashed before
+    writing its JSON" must read as exactly that, not as a tool bug.
+    """
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except OSError as err:
+        raise ReportError(f"{path}: cannot read report: "
+                          f"{err.strerror or err}") from err
+    except json.JSONDecodeError as err:
+        raise ReportError(f"{path}: malformed JSON: {err}") from err
+    if not isinstance(doc, dict):
+        raise ReportError(f"{path}: not a BENCH report "
+                          f"(top level is {type(doc).__name__}, "
+                          f"expected an object)")
     runs = {}
     for series in doc.get("series", []):
+        if not isinstance(series, dict):
+            raise ReportError(f"{path}: malformed series entry "
+                              f"({type(series).__name__})")
         for run in series.get("runs", []):
+            if not isinstance(run, dict):
+                raise ReportError(f"{path}: malformed run entry "
+                                  f"({type(run).__name__})")
             runs[(series.get("name", "?"), run.get("pes", 0))] = run
     return doc, runs
 
@@ -149,8 +180,12 @@ def main():
                              "over (default 8)")
     args = parser.parse_args()
 
-    base_doc, base_runs = load_runs(args.baseline)
-    cur_doc, cur_runs = load_runs(args.current)
+    try:
+        base_doc, base_runs = load_runs(args.baseline)
+        cur_doc, cur_runs = load_runs(args.current)
+    except ReportError as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
     base_name = base_doc.get("bench", "?")
     cur_name = cur_doc.get("bench", "?")
     if base_name != cur_name:
