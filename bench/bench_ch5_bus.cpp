@@ -48,6 +48,10 @@ main(int argc, char **argv)
         spec.config.faultPlan = args.faults;
         spec.config.recovery = args.recovery;
         spec.config.core = args.core;
+        args.applyTelemetry(spec.config);
+        // The sweep varies partitions at one PE count, so the label
+        // is what distinguishes the runs' telemetry lines.
+        spec.config.telemetryLabel = cat("ch5_bus:p", partitions);
         if (!args.traceDir.empty()) {
             // The sweep varies partitions at a fixed PE count, so the
             // partition count is what keeps the paths distinct.
@@ -134,5 +138,6 @@ main(int argc, char **argv)
         if (args.metricsPath != "-")
             std::cout << "wrote " << where << "\n";
     }
+    benchcli::writeTelemetryStream(args, "bench_ch5_bus", {series});
     return benchcli::benchExitCode();
 }

@@ -86,6 +86,10 @@ main(int argc, char **argv)
             spec.config.faultPlan = args.faults;
             spec.config.recovery = args.recovery;
             spec.config.core = args.core;
+            args.applyTelemetry(spec.config);
+            // The grid varies compile options at one PE count; the
+            // variant index distinguishes the telemetry lines.
+            spec.config.telemetryLabel = cat(bench.name, ":v", v);
             if (!args.traceDir.empty()) {
                 // The grid varies the compile options at a fixed PE
                 // count; the variant index keeps the paths distinct.
@@ -161,5 +165,6 @@ main(int argc, char **argv)
         if (args.metricsPath != "-")
             std::cout << "wrote " << where << "\n";
     }
+    benchcli::writeTelemetryStream(args, "bench_ch6_ablation", all);
     return benchcli::benchExitCode();
 }

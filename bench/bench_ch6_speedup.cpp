@@ -99,6 +99,7 @@ main(int argc, char **argv)
     base_config.recovery = args.recovery;
     base_config.core = args.core;
     base_config.hostThreads = args.threads;
+    args.applyTelemetry(base_config);
     const sim::RunPolicy policy = args.runPolicy();
     const std::vector<int> pe_counts = {1, 2, 3, 4, 5, 6, 7, 8};
 
@@ -153,5 +154,6 @@ main(int argc, char **argv)
         if (args.metricsPath != "-")
             std::cout << "wrote " << where << "\n";
     }
+    benchcli::writeTelemetryStream(args, "bench_ch6_speedup", all);
     return benchcli::benchExitCode();
 }

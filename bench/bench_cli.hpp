@@ -51,14 +51,27 @@
  * `--backoff-ms M` deterministic exponential backoff between
  * attempts; a spec still failing after the budget is quarantined as
  * a structured failed row.
+ * `--telemetry FILE` streams every run's live qm.telemetry.v1 NDJSON
+ * snapshots (one line every `--telemetry-every N` simulated cycles,
+ * default 1000) into FILE. Runs buffer their lines and the bench
+ * writes them in spec order after the sweep, so the file is
+ * byte-identical for any `--jobs`/`--threads` value and across a
+ * journal resume.
+ * With `--resume-dir DIR` the flight recorder also lands per-run
+ * black boxes in DIR: a run-start marker before each simulation and
+ * a full qm.flight.v1 dump on any structured failure, so a killed or
+ * quarantined sweep leaves machine-readable evidence next to its
+ * journal.
  * Benches install a SIGINT/SIGTERM handler: on the first signal the
  * running simulations wind down, finished rows are already durable in
  * the journal, and the bench exits 128+signo after flushing.
  */
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "fault/fault.hpp"
 #include "mp/system.hpp"
@@ -87,6 +100,8 @@ struct BenchArgs
     long deadlineMs = 0;            ///< 0 = no per-run deadline.
     int retries = 0;                ///< Extra attempts per failed run.
     int backoffMs = 0;              ///< Base backoff between attempts.
+    std::string telemetryPath;      ///< Empty = no telemetry stream.
+    long telemetryEvery = 1000;     ///< Cycles between snapshots.
 
     /** The self-healing policy these flags select (see sim::RunPolicy). */
     sim::RunPolicy
@@ -94,12 +109,48 @@ struct BenchArgs
     {
         sim::RunPolicy policy;
         policy.journalDir = resumeDir;
+        // Black boxes land next to the journal they explain.
+        policy.flightDir = resumeDir;
         policy.deadlineMs = deadlineMs;
         policy.maxAttempts = 1 + retries;
         policy.backoffMs = backoffMs;
         return policy;
     }
+
+    /** Fold the telemetry cadence into a sweep's base config. */
+    void
+    applyTelemetry(mp::SystemConfig &config) const
+    {
+        if (!telemetryPath.empty())
+            config.telemetryEvery = telemetryEvery;
+    }
 };
+
+/**
+ * Write every run's buffered telemetry lines to --telemetry FILE in
+ * spec order (byte-identical for any --jobs value). No-op without the
+ * flag; prints the "wrote" breadcrumb on success, a stderr diagnostic
+ * on an unwritable path (the sweep's results are already out, so a
+ * bad telemetry path does not fail the bench).
+ */
+inline void
+writeTelemetryStream(const BenchArgs &args, const char *bench_name,
+                     const std::vector<sim::SpeedupSeries> &all)
+{
+    if (args.telemetryPath.empty())
+        return;
+    std::ofstream out(args.telemetryPath,
+                      std::ios::out | std::ios::trunc);
+    if (!out) {
+        std::cerr << bench_name << ": cannot open telemetry file "
+                  << args.telemetryPath << "\n";
+        return;
+    }
+    for (const sim::SpeedupSeries &series : all)
+        for (const sim::RunReport &run : series.runs)
+            out << run.telemetry;
+    std::cout << "wrote " << args.telemetryPath << "\n";
+}
 
 /**
  * Exit status for a finished sweep: 128+signo when a shutdown signal
@@ -225,6 +276,18 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
                 args.ok = false;
                 return args;
             }
+        } else if (arg == "--telemetry" && i + 1 < argc) {
+            args.telemetryPath = argv[++i];
+        } else if (arg == "--telemetry-every" && i + 1 < argc) {
+            try {
+                args.telemetryEvery = parsePositiveIntArg(
+                    argv[++i], "--telemetry-every",
+                    /*max=*/1'000'000'000);
+            } catch (const FatalError &e) {
+                std::cerr << bench_name << ": " << e.what() << "\n";
+                args.ok = false;
+                return args;
+            }
         } else if (arg == "--checkpoint-every" && i + 1 < argc) {
             try {
                 args.recovery.checkpointEvery = parsePositiveIntArg(
@@ -244,7 +307,8 @@ parseBenchArgs(int argc, char **argv, const char *bench_name)
                          "[--topology SPEC] [--max-pes N] "
                          "[--threads N] [--host-time] "
                          "[--resume-dir DIR] [--deadline-ms N] "
-                         "[--retries N] [--backoff-ms N]\n";
+                         "[--retries N] [--backoff-ms N] "
+                         "[--telemetry FILE] [--telemetry-every N]\n";
             args.ok = false;
             return args;
         }

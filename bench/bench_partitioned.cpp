@@ -142,6 +142,7 @@ main(int argc, char **argv)
     base_config.recovery = args.recovery;
     base_config.core = args.core;
     base_config.hostThreads = args.threads;
+    args.applyTelemetry(base_config);
 
     std::vector<mp::RingTopology> topologies;
     if (args.topologyGiven) {
@@ -202,6 +203,7 @@ main(int argc, char **argv)
                 base.expected = bench.expected;
                 base.pes = 1;
                 base.config = base_config;
+                base.config.telemetryLabel = series.name;
                 specs.push_back(std::move(base));
             }
             for (int pes : pe_counts) {
@@ -214,6 +216,7 @@ main(int argc, char **argv)
                 spec.pes = pes;
                 spec.config = base_config;
                 spec.config.setTopology(topology);
+                spec.config.telemetryLabel = series.name;
                 if (!args.traceDir.empty()) {
                     spec.config.traceConfig.enabled = true;
                     spec.config.traceConfig.chromeJsonPath =
@@ -291,5 +294,6 @@ main(int argc, char **argv)
         if (args.metricsPath != "-")
             std::cout << "wrote " << where << "\n";
     }
+    benchcli::writeTelemetryStream(args, "bench_partitioned", all);
     return benchcli::benchExitCode();
 }

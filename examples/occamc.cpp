@@ -6,7 +6,9 @@
  *               [--stats] [--topology SPEC] [--trace out.json]
  *               [--metrics out.json] [--faults SPEC] [--recover]
  *               [--checkpoint-every N] [--checkpoint-file ckpt.qmc]
- *               [--resume ckpt.qmc] [--deadline-ms N] file.occ
+ *               [--resume ckpt.qmc] [--deadline-ms N]
+ *               [--flight PATH|off] [--telemetry FILE]
+ *               [--telemetry-every N] file.occ
  *
  * Compiles an OCCAM source file into queue-machine object code and, on
  * request, prints the generated assembly, dumps each context's data-flow
@@ -34,6 +36,18 @@
  * trace, metrics). A corrupt or mismatched --resume file is refused
  * with a one-line diagnostic and the run falls back to a cold start.
  * --deadline-ms bounds the run's host wall-clock time.
+ * The flight recorder (src/obs) is always on: every run keeps ring
+ * buffers of its most recent scheduling/bus/kernel/fault events, and
+ * any failure (watchdog, deadline, structured run failure, fatal
+ * error, SIGINT/SIGTERM) dumps them as a qm.flight.v1 JSON black box.
+ * --flight overrides where the dump lands (default: next to the
+ * checkpoint/resume/metrics/trace file, else ./qm.flight.json);
+ * "--flight off" suppresses the dump file (the in-memory recorder
+ * stays on; set QM_FLIGHT=0 to disable recording entirely).
+ * --telemetry streams periodic qm.telemetry.v1 NDJSON snapshots of
+ * the statistics registry mid-run, one line every --telemetry-every
+ * simulated cycles (default 1000); the stream is cycle-deterministic
+ * (byte-identical across --threads and both simulation cores).
  *
  * Exit codes are structured per failure class:
  *   0  success
@@ -56,6 +70,7 @@
 #include "occam/compiler.hpp"
 #include "persist/io.hpp"
 #include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
 #include "support/cli.hpp"
 #include "support/shutdown.hpp"
 #include "trace/export.hpp"
@@ -83,7 +98,9 @@ usage()
                  "[--trace out.json] "
                  "[--metrics out.json] [--faults SPEC] [--recover] "
                  "[--checkpoint-every N] [--checkpoint-file ckpt.qmc] "
-                 "[--resume ckpt.qmc] [--deadline-ms N] file.occ\n";
+                 "[--resume ckpt.qmc] [--deadline-ms N] "
+                 "[--flight PATH|off] [--telemetry FILE] "
+                 "[--telemetry-every N] file.occ\n";
     return kExitUsage;
 }
 
@@ -118,8 +135,9 @@ main(int argc, char **argv)
     qm::fault::FaultPlan faults;
     qm::fault::RecoveryPlan recovery;
     long deadline_ms = 0;
+    long telemetry_every = 1000;
     std::string path, trace_path, metrics_path, checkpoint_file,
-        resume_file;
+        resume_file, flight_arg, telemetry_path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--asm") {
@@ -205,6 +223,22 @@ main(int argc, char **argv)
                 return usage();
             }
             run = true;
+        } else if (arg == "--flight" && i + 1 < argc) {
+            flight_arg = argv[++i];
+            run = true;  // the black box only matters for a run
+        } else if (arg == "--telemetry" && i + 1 < argc) {
+            telemetry_path = argv[++i];
+            run = true;  // telemetry implies running
+        } else if (arg == "--telemetry-every" && i + 1 < argc) {
+            try {
+                telemetry_every = qm::parsePositiveIntArg(
+                    argv[++i], "--telemetry-every",
+                    /*max=*/1'000'000'000);
+            } catch (const qm::FatalError &e) {
+                std::cerr << "occamc: " << e.what() << "\n";
+                return usage();
+            }
+            run = true;
         } else if (!arg.empty() && arg[0] != '-') {
             path = arg;
         } else {
@@ -249,6 +283,29 @@ main(int argc, char **argv)
             config.traceConfig.enabled = !trace_path.empty();
             config.faultPlan = faults;
             config.recovery = recovery;
+            // Black-box dump destination: explicit --flight wins, else
+            // land next to whichever artifact the run already writes,
+            // else the cwd fallback (failure-only, so a clean run
+            // leaves no file behind). "--flight off" keeps the
+            // in-memory recorder but never writes the dump.
+            std::string flight_path = flight_arg;
+            if (flight_path.empty()) {
+                if (!checkpoint_file.empty())
+                    flight_path = checkpoint_file + ".flight.json";
+                else if (!resume_file.empty())
+                    flight_path = resume_file + ".flight.json";
+                else if (!metrics_path.empty() && metrics_path != "-")
+                    flight_path = metrics_path + ".flight.json";
+                else if (!trace_path.empty())
+                    flight_path = trace_path + ".flight.json";
+                else
+                    flight_path = "qm.flight.json";
+            }
+            if (flight_path == "off")
+                flight_path.clear();
+            config.flightPath = flight_path;
+            if (!telemetry_path.empty())
+                config.telemetryEvery = telemetry_every;
             // One chance to flush trace/metrics on SIGINT/SIGTERM;
             // the run loop notices the flag and winds down.
             qm::support::installShutdownSignals();
@@ -268,6 +325,25 @@ main(int argc, char **argv)
                 std::cout << "\n";
             }
             qm::mp::System system(program.object, config);
+            std::ofstream telemetry_out;
+            if (!telemetry_path.empty()) {
+                telemetry_out.open(telemetry_path,
+                                   std::ios::out | std::ios::trunc);
+                if (!telemetry_out) {
+                    std::cerr << "occamc: cannot open telemetry file "
+                              << telemetry_path << "\n";
+                    return kExitUsage;
+                }
+                // occamc streams live (one flushed line per boundary)
+                // so a killed run still leaves its partial stream;
+                // sweeps buffer per-run instead (see sim::runAll).
+                system.setTelemetrySink([&](qm::mp::System &s,
+                                            qm::mp::Cycle cycle) {
+                    telemetry_out << qm::sim::telemetryLine(
+                        path, pes, cycle, s.statsSnapshot());
+                    telemetry_out.flush();
+                });
+            }
             if (!checkpoint_file.empty())
                 system.setCheckpointSink([&](qm::mp::System &s) {
                     qm::persist::Status st =
@@ -292,15 +368,31 @@ main(int argc, char **argv)
                               << "); starting cold\n";
                 }
             }
-            qm::mp::RunResult result =
-                resumed ? system.resume() : system.run(program.mainLabel);
+            qm::mp::RunResult result;
             int replays = 0;
-            while (!result.completed && recovery.enabled &&
-                   system.replayable() && system.canRestore() &&
-                   replays < recovery.maxReplays) {
-                system.restore();
-                ++replays;
-                result = system.resume();
+            try {
+                result = resumed ? system.resume()
+                                 : system.run(program.mainLabel);
+                while (!result.completed && recovery.enabled &&
+                       system.replayable() && system.canRestore() &&
+                       replays < recovery.maxReplays) {
+                    system.restore();
+                    ++replays;
+                    result = system.resume();
+                }
+            } catch (const std::exception &e) {
+                // A kernel panic / fatal error unwinds past the run
+                // loop's own dump sites, so write the black box here
+                // before the System goes out of scope, then let the
+                // outer handler report the error (exit code 6).
+                if (!flight_path.empty() &&
+                    system.writeFlightDump(
+                              flight_path,
+                              std::string("fatal: ") + e.what())
+                        .ok())
+                    std::cerr << "occamc: flight recorder dump -> "
+                              << flight_path << "\n";
+                throw;
             }
             std::cout << "completed=" << result.completed
                       << " cycles=" << result.cycles
@@ -323,6 +415,11 @@ main(int argc, char **argv)
                 std::cout << "failure: " << result.failureReason
                           << "\n";
             exit_code = exitCodeFor(result);
+            // stderr only: stdout must stay byte-identical to runs
+            // predating the flight recorder.
+            if (exit_code != kExitOk && !flight_path.empty())
+                std::cerr << "occamc: flight recorder dump -> "
+                          << flight_path << "\n";
             std::cout << "breakdown: compute=" << result.computeCycles
                       << " kernel=" << result.kernelCycles
                       << " blocked=" << result.blockedCycles

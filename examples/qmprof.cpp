@@ -4,6 +4,9 @@
  *
  * Usage: qmprof [--top K] [--buckets N] trace.json
  *        qmprof [--top K] [--buckets N] --run file.occ [--pes N]
+ *        qmprof diff [--tolerance F] [--host-tolerance F]
+ *                    baseline.json current.json
+ *        qmprof flight [--last N] dump.flight.json
  *
  * The first form re-ingests a Chrome trace_event JSON file written by
  * occamc --trace (or a bench --trace-dir sweep) and prints the qmprof
@@ -16,6 +19,18 @@
  * enabled and analyzes the live event stream directly - no trace file
  * needed. Both forms are deterministic: the same trace (or the same
  * program at the same PE count) always prints the same report.
+ *
+ * `qmprof diff` compares two qm.metrics.v1 or BENCH JSON documents
+ * (baseline first) and prints per-run metric deltas, histogram
+ * percentile divergence, and a regression verdict per cell using the
+ * same thresholds as tools/bench_compare.py (--tolerance for
+ * simulated cycles, --host-tolerance for host wall time). Exit 0 =
+ * within tolerance, 1 = regression, 2 = unreadable input.
+ *
+ * `qmprof flight` ingests a qm.flight.v1 black-box dump (written
+ * automatically by any failed occamc/bench run) and prints the
+ * last-N-cycles event timeline per ring, blocked-context attribution,
+ * and a probable-cause digest. Exit 2 = not a flight dump.
  */
 #include <fstream>
 #include <iostream>
@@ -23,6 +38,7 @@
 #include <string>
 
 #include "mp/system.hpp"
+#include "obs/analytics.hpp"
 #include "occam/compiler.hpp"
 #include "support/cli.hpp"
 #include "trace/analyze.hpp"
@@ -34,8 +50,73 @@ usage()
 {
     std::cerr << "usage: qmprof [--top K] [--buckets N] trace.json\n"
                  "       qmprof [--top K] [--buckets N] --run file.occ "
-                 "[--pes N]\n";
+                 "[--pes N]\n"
+                 "       qmprof diff [--tolerance F] "
+                 "[--host-tolerance F] baseline.json current.json\n"
+                 "       qmprof flight [--last N] dump.flight.json\n";
     return 2;
+}
+
+/** `qmprof diff baseline.json current.json`: cross-run analytics. */
+int
+mainDiff(int argc, char **argv)
+{
+    qm::obs::DiffOptions options;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        try {
+            if (arg == "--tolerance" && i + 1 < argc) {
+                options.tolerance =
+                    qm::parseNonNegativeDoubleArg(argv[++i],
+                                                  "--tolerance");
+            } else if (arg == "--host-tolerance" && i + 1 < argc) {
+                options.hostTolerance =
+                    qm::parseNonNegativeDoubleArg(argv[++i],
+                                                  "--host-tolerance");
+            } else if (arg == "--quiet") {
+                options.showMetrics = false;
+            } else if (!arg.empty() && arg[0] != '-') {
+                paths.push_back(arg);
+            } else {
+                return usage();
+            }
+        } catch (const qm::FatalError &e) {
+            std::cerr << "qmprof: " << e.what() << "\n";
+            return usage();
+        }
+    }
+    if (paths.size() != 2)
+        return usage();
+    return qm::obs::diffReports(paths[0], paths[1], options, std::cout,
+                                std::cerr);
+}
+
+/** `qmprof flight dump.flight.json`: black-box post-mortem. */
+int
+mainFlight(int argc, char **argv)
+{
+    qm::obs::FlightOptions options;
+    std::string path;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        try {
+            if (arg == "--last" && i + 1 < argc) {
+                options.lastEvents = qm::parsePositiveIntArg(
+                    argv[++i], "--last", /*max=*/100000);
+            } else if (!arg.empty() && arg[0] != '-') {
+                path = arg;
+            } else {
+                return usage();
+            }
+        } catch (const qm::FatalError &e) {
+            std::cerr << "qmprof: " << e.what() << "\n";
+            return usage();
+        }
+    }
+    if (path.empty())
+        return usage();
+    return qm::obs::analyzeFlight(path, options, std::cout, std::cerr);
 }
 
 } // namespace
@@ -43,6 +124,10 @@ usage()
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::string(argv[1]) == "diff")
+        return mainDiff(argc, argv);
+    if (argc > 1 && std::string(argv[1]) == "flight")
+        return mainFlight(argc, argv);
     bool run = false;
     int pes = 2;
     qm::trace::AnalyzeOptions options;

@@ -189,6 +189,7 @@ struct System::Checkpoint
     Cycle deadDetectAt = 0;
     Cycle nextCheckpointAt = 0;
     Cycle lastProgress = 0;
+    Cycle nextTelemetryAt = 0;
     StatSet stats;
     msg::MessageCache::Snapshot cache;
     RingBus::Snapshot bus;
@@ -235,6 +236,11 @@ System::System(const isa::ObjectCode &code, SystemConfig config)
     recoveryOn_ = config_.recovery.enabled;
     killArmed_ = faults_ && (config_.faultPlan.kinds & fault::kPeKill) &&
                  config_.faultPlan.killPlanned();
+
+    // The flight recorder sees every Tracer emit whether or not the
+    // flag-gated trace buffer is on (QM_FLIGHT=0 opts out entirely).
+    if (flight_.enabled())
+        tracer_.setSink(&flight_);
 
     bus.setTracer(&tracer_);
     cache.setTracer(&tracer_);
@@ -948,6 +954,8 @@ System::run(const std::string &entry, Cycle max_cycles)
     Addr entry_addr = code_.labelAddr(entry);
     Word in = allocChannelPair(/*pe=*/0);
     createContext(entry_addr, in, in + 1, /*forkingPe=*/0, /*now=*/0);
+    if (config_.telemetryEvery > 0)
+        nextTelemetryAt_ = config_.telemetryEvery;
     if (recoveryOn_) {
         if (config_.recovery.checkpointEvery > 0)
             nextCheckpointAt_ = config_.recovery.checkpointEvery;
@@ -1050,6 +1058,9 @@ System::runLoopTick(Cycle max_cycles)
                 cat("cycle limit reached (", max_cycles, ")");
             replayable_ = false;
             finalizeRun(result);
+            if (!config_.flightPath.empty())
+                writeFlightDump(config_.flightPath,
+                                result.failureReason);
             return result;
         }
         if (watchdog > 0 && best_time - lastProgress_ > watchdog)
@@ -1081,6 +1092,13 @@ System::runLoopTick(Cycle max_cycles)
             snapshot();
             continue;
         }
+        // Telemetry boundary: same quiesce conditions as checkpoints
+        // (and evaluated after them, so a coincident boundary sees the
+        // checkpoint's counter), but purely observational - no machine
+        // state changes, so the loop continues into dispatch.
+        if (nextTelemetryAt_ > 0 && best_time >= nextTelemetryAt_ &&
+            pendingDeadPe_ < 0 && !replay_in_flight)
+            emitTelemetry(best_time);
 
         PeSlot &slot = *best;
         if (!dispatch(slot))
@@ -1241,6 +1259,9 @@ System::runLoopEvent(Cycle max_cycles)
                 cat("cycle limit reached (", max_cycles, ")");
             replayable_ = false;
             finalizeRun(result);
+            if (!config_.flightPath.empty())
+                writeFlightDump(config_.flightPath,
+                                result.failureReason);
             return result;
         }
         if (watchdog > 0 && best_time - lastProgress_ > watchdog)
@@ -1265,6 +1286,11 @@ System::runLoopEvent(Cycle max_cycles)
             snapshot();
             continue;
         }
+        // Telemetry boundary (after checkpoints, exactly as in
+        // runLoopTick; observational, so no continue).
+        if (nextTelemetryAt_ > 0 && best_time >= nextTelemetryAt_ &&
+            pendingDeadPe_ < 0 && !replay_in_flight)
+            emitTelemetry(best_time);
 
         // Acting on the slot: consume its validated entry now and
         // re-register its next wake (if any) after the batch.
@@ -1603,6 +1629,9 @@ System::runLoopThreaded(Cycle max_cycles)
                 cat("cycle limit reached (", max_cycles, ")");
             replayable_ = false;
             finalizeRun(result);
+            if (!config_.flightPath.empty())
+                writeFlightDump(config_.flightPath,
+                                result.failureReason);
             return result;
         }
         if (watchdog > 0 && best_time - lastProgress_ > watchdog)
@@ -1627,6 +1656,13 @@ System::runLoopThreaded(Cycle max_cycles)
             snapshot();
             continue;
         }
+        // Telemetry boundary. The window cap below guarantees the
+        // boundary is a window top, so the registry state sampled here
+        // is exactly what the sequential loop would sample: every
+        // speculation record up to this point has been committed.
+        if (nextTelemetryAt_ > 0 && best_time >= nextTelemetryAt_ &&
+            pendingDeadPe_ < 0 && !replay_in_flight)
+            emitTelemetry(best_time);
 
         // Form the window [T0, W). W is capped by the lookahead and by
         // every time-triggered guard above, so each guard can only
@@ -1642,6 +1678,8 @@ System::runLoopThreaded(Cycle max_cycles)
             window_end = std::min(window_end, deadDetectAt_);
         if (nextCheckpointAt_ > 0)
             window_end = std::min(window_end, nextCheckpointAt_);
+        if (nextTelemetryAt_ > 0)
+            window_end = std::min(window_end, nextTelemetryAt_);
         if (watchdog > 0)
             window_end =
                 std::min(window_end, lastProgress_ + watchdog + 1);
@@ -1650,8 +1688,9 @@ System::runLoopThreaded(Cycle max_cycles)
 
         // Speculation round. When no time-triggered guard needs
         // window-exact slot state (no watchdog, no periodic
-        // checkpoints - both would have to preempt or sample slots
-        // whose in-place state had run ahead), a running context may
+        // checkpoints, no telemetry boundaries - all would have to
+        // preempt or sample slots whose in-place state had run
+        // ahead), a running context may
         // be banked all the way to the cycle budget: it never consults
         // the ready queue again until its next host op, so its batches
         // are pure slot-local compute wherever they start, and the
@@ -1662,7 +1701,8 @@ System::runLoopThreaded(Cycle max_cycles)
         // least two exist - a serial phase (the common startup and
         // drain-out shape) skips the barrier entirely and runs live
         // below.
-        const bool banking = watchdog == 0 && nextCheckpointAt_ == 0;
+        const bool banking = watchdog == 0 && nextCheckpointAt_ == 0 &&
+                             nextTelemetryAt_ == 0;
         const Cycle spec_horizon =
             banking ? max_cycles + 1 : window_end;
         int active = 0;
@@ -1915,6 +1955,7 @@ System::snapshot()
     cp->deadDetectAt = deadDetectAt_;
     cp->nextCheckpointAt = nextCheckpointAt_;
     cp->lastProgress = lastProgress_;
+    cp->nextTelemetryAt = nextTelemetryAt_;
     cp->stats = stats_;
     cp->cache = cache.snapshot();
     cp->bus = bus.snapshot();
@@ -1934,6 +1975,16 @@ System::snapshot()
     // snapshot boundary is also a crash-recovery point on disk.
     if (checkpointSink_)
         checkpointSink_(*this);
+    // Flight recorder: note the boundary, and refresh the on-disk
+    // black box whenever this snapshot was durably persisted - a
+    // kill -9 (which no handler can catch) then still leaves a
+    // parseable post-mortem next to the checkpoint file.
+    Cycle flight_now = 0;
+    for (auto &s : slots)
+        flight_now = std::max(flight_now, s->clock);
+    flight_.checkpoint(flight_now, static_cast<int>(liveContexts));
+    if (checkpointSink_ && !config_.flightPath.empty())
+        writeFlightDump(config_.flightPath, "checkpoint");
 }
 
 bool
@@ -1965,6 +2016,7 @@ System::restore()
     deadDetectAt_ = cp.deadDetectAt;
     nextCheckpointAt_ = cp.nextCheckpointAt;
     lastProgress_ = cp.lastProgress;
+    nextTelemetryAt_ = cp.nextTelemetryAt;
     stats_ = cp.stats;
     cache.restore(cp.cache);
     bus.restore(cp.bus);
@@ -1996,6 +2048,13 @@ System::restore()
     // fault schedule, so a deterministic failure is not simply
     // re-executed forever; injected counters keep accumulating across
     // replays.
+    // The flight recorder deliberately does NOT rewind: it is a
+    // record of what the host actually executed, abandoned replay
+    // timelines included - exactly what a post-mortem wants.
+    Cycle flight_now = 0;
+    for (auto &s : slots)
+        flight_now = std::max(flight_now, s->clock);
+    flight_.noteRestore(flight_now);
 }
 
 // ---------------------------------------------------------------------------
@@ -2439,6 +2498,17 @@ System::loadCheckpoint(const std::string &path)
     checkpoint_ = std::move(cp);
     booted = true;
     restore();
+    // The telemetry schedule is host-side streaming state, not part
+    // of the on-disk format: a durable resume re-aligns to the first
+    // boundary after the resume point (restore() zeroed it from the
+    // decoded checkpoint's default).
+    if (config_.telemetryEvery > 0) {
+        Cycle now = 0;
+        for (auto &s : slots)
+            now = std::max(now, s->clock);
+        nextTelemetryAt_ =
+            (now / config_.telemetryEvery + 1) * config_.telemetryEvery;
+    }
     return Status::okStatus();
 }
 
@@ -2558,6 +2628,11 @@ System::failRun(const std::string &reason, bool watchdog)
     result.watchdogTripped = watchdog;
     result.failureReason = reason;
     finalizeRun(result);
+    // Black box: every structured failure leaves a post-mortem next
+    // to the checkpoint/metrics files (abortRun routes through here,
+    // so deadline and signal exits are covered too).
+    if (!config_.flightPath.empty())
+        writeFlightDump(config_.flightPath, reason);
     return result;
 }
 
@@ -2596,6 +2671,66 @@ System::abortRun(const std::string &reason)
     replayable_ = false;
     result.hostAborted = true;
     return result;
+}
+
+persist::Status
+System::writeFlightDump(const std::string &path,
+                        const std::string &reason)
+{
+    if (!flight_.enabled())
+        return persist::Status::okStatus();
+    obs::FlightHeader header;
+    header.reason = reason;
+    Cycle now = 0;
+    for (auto &s : slots)
+        now = std::max(now, s->clock);
+    header.cycle = now;
+    header.pes = config_.numPes;
+    header.liveContexts = static_cast<int>(liveContexts);
+    return flight_.dumpToFile(path, header);
+}
+
+StatSet
+System::statsSnapshot()
+{
+    // Same folding order as finalizeRun, applied to a copy: global
+    // registry, then each PE's aggregate + scoped view + cycle
+    // breakdown scalars, then the cache and bus registries. Flushing
+    // the event core's pending plain-counter deltas mutates only the
+    // per-PE registries they were always destined for (snapshot() and
+    // finalizeRun() flush at the same points), so the run's own
+    // output is unchanged.
+    for (auto &slot : slots)
+        slot->pe->flushStats();
+    StatSet out = stats_;
+    for (auto &slot : slots) {
+        out.merge(slot->pe->stats());
+        out.mergeScoped(slot->pe->stats(), slot->scope);
+        StatScope scope = out.scoped(slot->scope);
+        scope.set("clock", static_cast<double>(slot->clock));
+        scope.set("cycles_busy", static_cast<double>(slot->busyCycles));
+        scope.set("cycles_kernel",
+                  static_cast<double>(slot->kernelCycles));
+        scope.set("cycles_switch",
+                  static_cast<double>(slot->switchCycles));
+    }
+    out.merge(cache.stats());
+    out.merge(bus.stats());
+    return out;
+}
+
+void
+System::emitTelemetry(Cycle best_time)
+{
+    // The stamp is the first boundary crossed; a quiet stretch that
+    // slept through several boundaries advances the schedule past all
+    // of them, so stamps stay aligned to multiples of telemetryEvery
+    // and depend only on the simulated timeline.
+    Cycle stamp = nextTelemetryAt_;
+    while (nextTelemetryAt_ <= best_time)
+        nextTelemetryAt_ += config_.telemetryEvery;
+    if (telemetrySink_)
+        telemetrySink_(*this, stamp);
 }
 
 std::string

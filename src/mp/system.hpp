@@ -33,6 +33,7 @@
 
 #include "fault/fault.hpp"
 #include "isa/assembler.hpp"
+#include "obs/flight.hpp"
 #include "isa/runtime.hpp"
 #include "mp/ring_bus.hpp"
 #include "msg/message_cache.hpp"
@@ -186,6 +187,31 @@ struct SystemConfig
      * simulated timeline or the checkpoint fingerprint.
      */
     long hostDeadlineMs = 0;
+
+    /**
+     * Where the always-on flight recorder (src/obs) auto-dumps its
+     * `qm.flight.v1` black box: written on every structured failure
+     * exit (watchdog, deadlock, deadline, shutdown signal, cycle
+     * budget) and refreshed at each checkpoint boundary so even a
+     * kill -9 leaves a post-mortem on disk. Empty = no automatic
+     * dumps (the recorder still records; drivers can dump manually
+     * via System::writeFlightDump). Host-side only: never part of
+     * the simulated timeline or the checkpoint fingerprint.
+     */
+    std::string flightPath;
+
+    /**
+     * Emit a telemetry snapshot every N simulated cycles (0 = off).
+     * Snapshots fire at deterministic cycle boundaries evaluated at
+     * the same guard points as periodic checkpoints, so the stream is
+     * byte-identical across cores, --threads, and --jobs. Host-side
+     * only: excluded from the checkpoint fingerprint; an interrupted
+     * stream re-aligns to the next boundary after the resume point.
+     */
+    Cycle telemetryEvery = 0;
+
+    /** Label stamped into telemetry snapshots (program/series name). */
+    std::string telemetryLabel;
 };
 
 /**
@@ -409,6 +435,41 @@ class System
 
     /** Aggregate statistics from the last run. */
     const StatSet &stats() const { return stats_; }
+
+    /**
+     * Consistent mid-run view of the statistics registry: the global
+     * StatSet plus every PE slot's pending plain-counter deltas and
+     * per-PE scoped views, folded the same way finalizeRun() folds
+     * them at the end. Purely observational — the run's own stats are
+     * not perturbed. Used by the telemetry stream.
+     */
+    StatSet statsSnapshot();
+
+    /** The always-on flight recorder (see src/obs/flight.hpp). */
+    const obs::FlightRecorder &flight() const { return flight_; }
+
+    /**
+     * Dump the flight recorder's black box to @p path with @p reason,
+     * stamped with the current cycle high-water mark and live-context
+     * count. No-op (ok Status) when QM_FLIGHT=0 disabled the
+     * recorder. Called automatically on failure exits when
+     * config.flightPath is set; public for drivers' fatal-error
+     * paths.
+     */
+    persist::Status writeFlightDump(const std::string &path,
+                                    const std::string &reason);
+
+    /**
+     * Hook invoked at every telemetry boundary (config.telemetryEvery
+     * > 0) with this system and the boundary cycle stamp. The sink
+     * runs on the simulation thread between batches; it must not
+     * mutate the machine.
+     */
+    void
+    setTelemetrySink(std::function<void(System &, Cycle)> sink)
+    {
+        telemetrySink_ = std::move(sink);
+    }
 
     /** The run's event recorder (empty unless tracing is enabled). */
     const trace::Tracer &tracer() const { return tracer_; }
@@ -678,7 +739,16 @@ class System
     std::chrono::steady_clock::time_point runStart_{};
     unsigned hostGuardTick_ = 0;
 
+    // Telemetry stream state (inert unless config_.telemetryEvery > 0).
+    Cycle nextTelemetryAt_ = 0;  ///< Next snapshot boundary.
+    std::function<void(System &, Cycle)> telemetrySink_;
+    /** Telemetry boundary reached: advance and invoke the sink. */
+    void emitTelemetry(Cycle best_time);
+
     StatSet stats_;
+    // The flight recorder must outlive the tracer, whose sink pointer
+    // refers to it (members destroy in reverse declaration order).
+    obs::FlightRecorder flight_;
     trace::Tracer tracer_;
 };
 

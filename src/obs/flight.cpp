@@ -1,0 +1,220 @@
+#include "obs/flight.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace qm::obs {
+
+namespace {
+
+/**
+ * Ring layout. Scheduling events dominate the stream, so the sched
+ * ring is the deepest; the checkpoint ring is tiny because boundary
+ * events are rare and each one is a complete progress marker. Total
+ * footprint is a few hundred 40-byte events — well under the "plain
+ * counters and bounded memory" budget.
+ */
+enum RingId
+{
+    kRingSched = 0,   ///< Context lifecycle + PE busy spans.
+    kRingBus,         ///< Ring-bus transfers and channel rendezvous.
+    kRingKernel,      ///< Kernel trap entries.
+    kRingFault,       ///< Fault injections and recovery actions.
+    kRingCheckpoint,  ///< Checkpoint/restore boundaries (synthetic).
+    kNumRings,
+};
+
+constexpr std::size_t kRingCapacity[kNumRings] = {256, 128, 128, 64, 32};
+constexpr const char *kRingName[kNumRings] = {
+    "sched", "bus", "kernel", "fault", "checkpoint"};
+
+bool
+flightDisabledByEnv()
+{
+    const char *env = std::getenv("QM_FLIGHT");
+    if (env == nullptr)
+        return false;
+    return std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0;
+}
+
+void
+writeEvent(JsonWriter &json, const trace::Event &event)
+{
+    json.beginObject();
+    json.key("kind").value(flightKindName(event.kind));
+    json.key("pe").value(static_cast<int>(event.pe));
+    if (event.ctx != trace::kNoCtx)
+        json.key("ctx").value(event.ctx);
+    json.key("at").value(event.at);
+    if (event.end != 0)
+        json.key("end").value(event.end);
+    json.key("a").value(event.a);
+    json.key("b").value(event.b);
+    json.endObject();
+}
+
+} // namespace
+
+const char *
+flightKindName(trace::EventKind kind)
+{
+    if (kind == kCheckpointKind)
+        return "checkpoint";
+    if (kind == kRestoreKind)
+        return "restore";
+    return trace::toString(kind);
+}
+
+std::vector<trace::Event>
+FlightRing::ordered() const
+{
+    std::vector<trace::Event> out;
+    out.reserve(events_.size());
+    if (recorded_ <= capacity_) {
+        out = events_;
+        return out;
+    }
+    std::size_t start = static_cast<std::size_t>(recorded_ % capacity_);
+    for (std::size_t i = 0; i < events_.size(); ++i)
+        out.push_back(events_[(start + i) % capacity_]);
+    return out;
+}
+
+FlightRecorder::FlightRecorder()
+{
+    enabled_ = !flightDisabledByEnv();
+    rings_.reserve(kNumRings);
+    for (int r = 0; r < kNumRings; ++r)
+        rings_.emplace_back(kRingName[r], kRingCapacity[r]);
+}
+
+FlightRing &
+FlightRecorder::ringFor(trace::EventKind kind)
+{
+    switch (kind) {
+      case trace::EventKind::Rendezvous:
+      case trace::EventKind::BusTransfer:
+        return rings_[kRingBus];
+      case trace::EventKind::TrapEnter:
+        return rings_[kRingKernel];
+      case trace::EventKind::FaultInject:
+      case trace::EventKind::FaultRecover:
+        return rings_[kRingFault];
+      default:
+        break;
+    }
+    if (kind == kCheckpointKind || kind == kRestoreKind)
+        return rings_[kRingCheckpoint];
+    return rings_[kRingSched];
+}
+
+void
+FlightRecorder::record(const trace::Event &event)
+{
+    // mp::System never attaches a disabled recorder as the Tracer's
+    // sink, but the kill switch must hold for direct callers too.
+    if (!enabled_)
+        return;
+    ++counts_[static_cast<std::size_t>(event.kind)];
+    ringFor(event.kind).push(event);
+}
+
+void
+FlightRecorder::checkpoint(trace::Cycle at, int liveContexts)
+{
+    if (!enabled_)
+        return;
+    ++checkpointCount_;
+    rings_[kRingCheckpoint].push(
+        {kCheckpointKind, -1, trace::kNoCtx, at, 0,
+         static_cast<std::uint64_t>(liveContexts), checkpointCount_});
+}
+
+void
+FlightRecorder::noteRestore(trace::Cycle at)
+{
+    if (!enabled_)
+        return;
+    ++restoreCount_;
+    rings_[kRingCheckpoint].push({kRestoreKind, -1, trace::kNoCtx, at,
+                                  0, 0, restoreCount_});
+}
+
+std::uint64_t
+FlightRecorder::countOf(trace::EventKind kind) const
+{
+    return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::string
+FlightRecorder::dump(const FlightHeader &header) const
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("schema").value("qm.flight.v1");
+    json.key("reason").value(header.reason);
+    json.key("cycle").value(header.cycle);
+    json.key("pes").value(header.pes);
+    json.key("live_contexts").value(header.liveContexts);
+    json.key("counts").beginObject();
+    for (int k = 0; k < trace::kEventKinds; ++k)
+        if (counts_[static_cast<std::size_t>(k)] != 0)
+            json.key(trace::toString(static_cast<trace::EventKind>(k)))
+                .value(counts_[static_cast<std::size_t>(k)]);
+    if (checkpointCount_ != 0)
+        json.key("checkpoint").value(checkpointCount_);
+    if (restoreCount_ != 0)
+        json.key("restore").value(restoreCount_);
+    json.endObject();
+    json.key("rings").beginArray();
+    for (const FlightRing &ring : rings_) {
+        json.beginObject();
+        json.key("name").value(ring.name());
+        json.key("capacity").value(ring.capacity());
+        json.key("recorded").value(ring.recorded());
+        json.key("events").beginArray();
+        for (const trace::Event &event : ring.ordered())
+            writeEvent(json, event);
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << "\n";
+    return os.str();
+}
+
+persist::Status
+FlightRecorder::dumpToFile(const std::string &path,
+                           const FlightHeader &header) const
+{
+    std::string doc = dump(header);
+    std::vector<std::uint8_t> bytes(doc.begin(), doc.end());
+    return persist::writeFileAtomic(path, bytes);
+}
+
+persist::Status
+writeFlightMarker(const std::string &path, const std::string &reason)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("schema").value("qm.flight.v1");
+    json.key("reason").value(reason);
+    json.key("cycle").value(0);
+    json.key("pes").value(0);
+    json.key("live_contexts").value(0);
+    json.key("counts").beginObject().endObject();
+    json.key("rings").beginArray().endArray();
+    json.endObject();
+    os << "\n";
+    std::string doc = os.str();
+    std::vector<std::uint8_t> bytes(doc.begin(), doc.end());
+    return persist::writeFileAtomic(path, bytes);
+}
+
+} // namespace qm::obs

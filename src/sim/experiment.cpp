@@ -6,7 +6,9 @@
 #include <set>
 #include <thread>
 
+#include "obs/flight.hpp"
 #include "sim/journal.hpp"
+#include "sim/telemetry.hpp"
 #include "support/diagnostics.hpp"
 #include "support/format.hpp"
 #include "support/shutdown.hpp"
@@ -53,6 +55,17 @@ runOnce(const occam::CompiledProgram &program,
 
     RunReport report;
     report.pes = pes;
+    // Buffer the live telemetry stream into the report instead of
+    // writing it here: the sweep writes every run's lines in spec
+    // order afterwards, so the stream file is --jobs-independent.
+    if (config.telemetryEvery > 0) {
+        std::string label = config.telemetryLabel;
+        system.setTelemetrySink(
+            [&report, label, pes](mp::System &sys, mp::Cycle cycle) {
+                report.telemetry += telemetryLine(label, pes, cycle,
+                                                  sys.statsSnapshot());
+            });
+    }
     mp::RunResult result;
     try {
         result = system.run(program.mainLabel);
@@ -71,12 +84,22 @@ runOnce(const occam::CompiledProgram &program,
         report.recovered = result.completed && report.replays > 0;
     } catch (const FatalError &e) {
         // A run that dies (e.g. kernel deadlock panic) still yields a
-        // report row: the sweep survives and records the failure.
+        // report row: the sweep survives and records the failure. The
+        // System outlives the try block precisely so the flight
+        // recorder's last-moments evidence survives the unwinding.
         report.failureReason = cat("fatal: ", e.what());
+        if (!config.flightPath.empty() &&
+            system.writeFlightDump(config.flightPath,
+                                   report.failureReason).ok())
+            report.flightDumpPath = config.flightPath;
         stamp_host(report);
         return report;
     } catch (const PanicError &e) {
         report.failureReason = cat("panic: ", e.what());
+        if (!config.flightPath.empty() &&
+            system.writeFlightDump(config.flightPath,
+                                   report.failureReason).ok())
+            report.flightDumpPath = config.flightPath;
         stamp_host(report);
         return report;
     }
@@ -98,6 +121,11 @@ runOnce(const occam::CompiledProgram &program,
     report.faultRecoveries = result.faultRecoveries;
     report.faultKinds = result.faultKinds;
     report.traceDropped = result.traceDropped;
+    // Structured failures (watchdog, deadline, corruption, signal,
+    // cycle limit) already dumped the black box inside System; the
+    // report just records where it landed.
+    if (!report.completed && !config.flightPath.empty())
+        report.flightDumpPath = config.flightPath;
     stamp_host(report);
     report.stats = system.stats();
     report.verified = result.completed;
@@ -198,6 +226,22 @@ runAll(const std::vector<RunSpec> &specs, int jobs,
         mp::SystemConfig config = spec.config;
         if (policy.deadlineMs > 0)
             config.hostDeadlineMs = policy.deadlineMs;
+        if (!policy.flightDir.empty() && config.flightPath.empty()) {
+            std::string stem = policy.journalLabel.empty()
+                                   ? std::string("run")
+                                   : policy.journalLabel;
+            // The spec index keeps paths unique even when a sweep
+            // varies something other than the PE count (ablation
+            // variants, bus partitions).
+            config.flightPath =
+                cat(policy.flightDir, "/", sanitizeFileStem(stem), "-r",
+                    i, "-pe", spec.pes, ".flight.json");
+            // Drop a minimal marker before the run starts: a kill -9
+            // that lands mid-simulation still leaves a parseable
+            // qm.flight.v1 document saying a run began here. A
+            // structured failure overwrites it with the full dump.
+            obs::writeFlightMarker(config.flightPath, "run-start");
+        }
         RunReport report;
         for (int attempt = 1; attempt <= max_attempts; ++attempt) {
             report = runOnce(*spec.program, spec.resultArray,
@@ -274,6 +318,9 @@ runSpeedupSweep(const std::string &name, const std::string &source,
         spec.expected = expected;
         spec.pes = pes;
         spec.config = base_config;
+        if (spec.config.telemetryEvery > 0 &&
+            spec.config.telemetryLabel.empty())
+            spec.config.telemetryLabel = name;
         if (!trace_dir.empty()) {
             spec.config.traceConfig.enabled = true;
             spec.config.traceConfig.chromeJsonPath =

@@ -95,6 +95,22 @@ struct RunReport
     // comparison; BENCH JSON only carries them under --host-time.
     double hostWallMs = -1.0;
     double simCyclesPerSec = -1.0;
+
+    /**
+     * Buffered live-telemetry stream (qm.telemetry.v1 NDJSON lines,
+     * see sim/telemetry.hpp). Runs buffer instead of streaming so a
+     * parallel sweep (--jobs) can write every run's lines in spec
+     * order after the fact, keeping the stream file byte-identical
+     * for any job count. Empty unless telemetryEvery was armed.
+     */
+    std::string telemetry;
+
+    /**
+     * Path of the qm.flight.v1 black-box dump this run wrote, if the
+     * run failed with a flight path armed (empty otherwise). Journaled
+     * with the row, so a resumed sweep still points at the evidence.
+     */
+    std::string flightDumpPath;
 };
 
 /** One benchmark swept over PE counts. */
@@ -175,6 +191,17 @@ struct RunPolicy
      * let recover).
      */
     int backoffMs = 0;
+
+    /**
+     * Directory for per-run flight-recorder black boxes. When set,
+     * every executed spec gets
+     * <flightDir>/<sanitized-label>-pe<N>.flight.json: a minimal
+     * "run-start" marker is written before the run (so a kill -9 that
+     * lands mid-run still leaves a parseable qm.flight.v1 document),
+     * and the run overwrites it with a full dump on any structured
+     * failure. Empty disables.
+     */
+    std::string flightDir;
 
     /** Journal path for @p label, honoring journalPath > journalDir. */
     std::string resolvedJournalPath(const std::string &label) const;

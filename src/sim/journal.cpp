@@ -9,7 +9,10 @@ namespace qm::sim {
 
 namespace {
 
-constexpr const char *kJournalMagic = "QMSWJNL1";
+// Version 2 appended the buffered telemetry stream and flight-dump
+// path to each row; a v1 journal fails the magic check and is rebuilt
+// from scratch (it is only a cache of deterministic results).
+constexpr const char *kJournalMagic = "QMSWJNL2";
 
 } // namespace
 
@@ -51,6 +54,10 @@ encodeRunReport(persist::Encoder &enc, const RunReport &report)
     // simulated the row, which is exactly what the journal replays).
     enc.f64(report.hostWallMs);
     enc.f64(report.simCyclesPerSec);
+    // v2: replayed rows keep their telemetry stream (so the NDJSON
+    // file is identical across a resume) and their black-box path.
+    enc.str(report.telemetry);
+    enc.str(report.flightDumpPath);
 }
 
 RunReport
@@ -92,6 +99,8 @@ decodeRunReport(persist::Decoder &dec)
     report.stats = persist::decodeStatSet(dec);
     report.hostWallMs = dec.f64();
     report.simCyclesPerSec = dec.f64();
+    report.telemetry = dec.str();
+    report.flightDumpPath = dec.str();
     return report;
 }
 

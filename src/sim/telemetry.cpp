@@ -1,0 +1,47 @@
+#include "sim/telemetry.hpp"
+
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace qm::sim {
+
+std::string
+telemetryLine(const std::string &label, int pes, std::int64_t cycle,
+              const StatSet &stats)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("schema").value(kTelemetrySchema);
+    json.key("label").value(label);
+    json.key("pes").value(pes);
+    json.key("cycle").value(cycle);
+    json.key("counters").beginObject();
+    for (const auto &[name, value] : stats.counterMap())
+        json.key(name).value(value);
+    json.endObject();
+    json.key("scalars").beginObject();
+    for (const auto &[name, value] : stats.scalarMap())
+        json.key(name).value(value);
+    json.endObject();
+    json.key("histograms").beginObject();
+    for (const auto &[name, h] : stats.histogramMap()) {
+        json.key(name).beginObject()
+            .key("count").value(h.count())
+            .key("sum").value(h.sum())
+            .key("min").value(h.min())
+            .key("max").value(h.max())
+            .key("mean").value(h.mean())
+            .key("p50").value(h.percentile(50.0))
+            .key("p90").value(h.percentile(90.0))
+            .key("p99").value(h.percentile(99.0))
+            .endObject();
+    }
+    json.endObject();
+    json.endObject();
+    os << "\n";
+    return os.str();
+}
+
+} // namespace qm::sim

@@ -64,4 +64,22 @@ parsePositiveIntArg(const std::string &text, const std::string &flag,
     return static_cast<int>(parseIntArg(text, flag, 1, max));
 }
 
+/**
+ * Parse @p text as a non-negative decimal number (tolerance flags).
+ * Throws FatalError naming @p flag on garbage or a negative value.
+ */
+inline double
+parseNonNegativeDoubleArg(const std::string &text,
+                          const std::string &flag)
+{
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    errno = 0;
+    double value = std::strtod(begin, &end);
+    fatalIf(end == begin || *end != '\0' || errno == ERANGE,
+            flag, " expects a number, got '", text, "'");
+    fatalIf(value < 0.0, flag, " must be >= 0, got '", text, "'");
+    return value;
+}
+
 } // namespace qm

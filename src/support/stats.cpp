@@ -29,11 +29,15 @@ Histogram::percentile(double p) const
             continue;
         }
         // Interpolate within [lo, hi), clamped to the exact envelope
-        // (the overflow bucket in particular has no usable hi).
+        // (the overflow bucket in particular has no usable hi). The
+        // cap is compared strictly-greater rather than via
+        // min(cap, max_ + 1): with max_ == UINT64_MAX the +1 would
+        // wrap to 0 and collapse the bucket to [lo, lo+1).
         double lo = static_cast<double>(
             std::max(bucketLow(i), min_));
-        double hi = static_cast<double>(
-            std::min<std::uint64_t>(bucketHigh(i), max_ + 1));
+        std::uint64_t cap = bucketHigh(i);
+        double hi = cap > max_ ? static_cast<double>(max_) + 1.0
+                               : static_cast<double>(cap);
         if (hi <= lo)
             hi = lo + 1.0;
         double into =
@@ -55,11 +59,20 @@ Histogram::merge(const Histogram &other)
         min_ = other.min_;
     if (count_ == 0 || other.max_ > max_)
         max_ = other.max_;
-    count_ += other.count_;
-    sum_ += other.sum_;
-    for (int i = 0; i < kNumBuckets; ++i)
-        buckets_[static_cast<std::size_t>(i)] +=
-            other.buckets_[static_cast<std::size_t>(i)];
+    // Saturate instead of wrapping: a wrapped count would report a
+    // near-empty histogram for the fullest one possible, and a wrapped
+    // sum a nonsense mean. Saturation keeps both monotone.
+    if (__builtin_add_overflow(count_, other.count_, &count_))
+        count_ = ~std::uint64_t{0};
+    if (__builtin_add_overflow(sum_, other.sum_, &sum_))
+        sum_ = ~std::uint64_t{0};
+    for (int i = 0; i < kNumBuckets; ++i) {
+        std::uint64_t &mine = buckets_[static_cast<std::size_t>(i)];
+        if (__builtin_add_overflow(
+                mine, other.buckets_[static_cast<std::size_t>(i)],
+                &mine))
+            mine = ~std::uint64_t{0};
+    }
 }
 
 void
@@ -188,6 +201,77 @@ StatSet::render() const
            << " p50=" << fixed(hist.percentile(50), 1)
            << " p90=" << fixed(hist.percentile(90), 1)
            << " p99=" << fixed(hist.percentile(99), 1) << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** "pe0.ready_wait" -> "pe0_ready_wait" (exposition-safe name). */
+std::string
+promName(const std::string &prefix, const std::string &name)
+{
+    std::string out = prefix + "_" + name;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const StatSet &stats, const std::string &prefix)
+{
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    for (const auto &[name, value] : stats.counterMap()) {
+        std::string metric = promName(prefix, name);
+        os << "# TYPE " << metric << " counter\n"
+           << metric << " " << value << "\n";
+    }
+    for (const auto &[name, value] : stats.scalarMap()) {
+        std::string metric = promName(prefix, name);
+        os << "# TYPE " << metric << " gauge\n"
+           << metric << " " << fixed(value, 6) << "\n";
+    }
+    for (const auto &[name, dist] : stats.distributionMap()) {
+        std::string metric = promName(prefix, name);
+        os << "# TYPE " << metric << " summary\n"
+           << metric << "_count " << dist.count() << "\n"
+           << metric << "_sum " << fixed(dist.sum(), 6) << "\n"
+           << "# TYPE " << metric << "_min gauge\n"
+           << metric << "_min " << fixed(dist.min(), 6) << "\n"
+           << "# TYPE " << metric << "_max gauge\n"
+           << metric << "_max " << fixed(dist.max(), 6) << "\n";
+    }
+    for (const auto &[name, hist] : stats.histogramMap()) {
+        std::string metric = promName(prefix, name);
+        os << "# TYPE " << metric << " histogram\n";
+        // Cumulative le buckets up to the last populated one; the
+        // mandatory +Inf bucket then carries the total count, so the
+        // empty log2 tail never bloats the exposition.
+        int last = -1;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i)
+            if (hist.bucketCount(i) > 0)
+                last = i;
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i <= last && i < Histogram::kNumBuckets - 1;
+             ++i) {
+            cumulative += hist.bucketCount(i);
+            // Bucket i covers [2^(i-1), 2^i) over integers, so its
+            // inclusive Prometheus upper bound is 2^i - 1 (bucket 0
+            // holds exact zeros: le="0").
+            os << metric << "_bucket{le=\""
+               << (Histogram::bucketHigh(i) - 1) << "\"} " << cumulative
+               << "\n";
+        }
+        os << metric << "_bucket{le=\"+Inf\"} " << hist.count() << "\n"
+           << metric << "_sum " << hist.sum() << "\n"
+           << metric << "_count " << hist.count() << "\n";
     }
     return os.str();
 }

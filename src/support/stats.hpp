@@ -279,6 +279,19 @@ class StatSet
  * per-PE metric views ("pe0.ready_wait", ...) without the emit sites
  * having to assemble names themselves.
  */
+/**
+ * Render a registry in the Prometheus text exposition format
+ * (version 0.0.4): counters become `counter` samples, scalars
+ * `gauge`s, distributions a _count/_sum pair plus min/max gauges, and
+ * log2 histograms full `histogram` families with cumulative `le`
+ * buckets (+Inf included). Metric names are `<prefix>_<name>` with
+ * every character outside [a-zA-Z0-9_:] mapped to '_', so registry
+ * names like "pe0.ready_wait" scrape cleanly. Deterministic: maps are
+ * name-ordered and doubles are locale-pinned.
+ */
+std::string renderPrometheus(const StatSet &stats,
+                             const std::string &prefix = "qm");
+
 class StatScope
 {
   public:

@@ -90,6 +90,20 @@ struct TraceConfig
     std::string chromeJsonPath;
 };
 
+/**
+ * Passive observer of the emit stream. A sink sees every event the
+ * Tracer's emit helpers are called with, regardless of whether the
+ * flag-gated recorder itself is enabled; the flight recorder
+ * (src/obs) implements this to keep a bounded ring of recent events
+ * always on. Sinks must be cheap: they run inline at emit points.
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+    virtual void record(const Event &event) = 0;
+};
+
 /** The flag-gated event recorder. One instance per mp::System. */
 class Tracer
 {
@@ -99,37 +113,40 @@ class Tracer
 
     bool enabled() const { return enabled_; }
 
+    /** Attach/detach the always-on sink (nullptr detaches). */
+    void setSink(EventSink *sink) { sink_ = sink; }
+
     // --- Emit points (inline no-ops when disabled) -----------------------
 
     void
     ctxCreate(Cycle at, int homePe, CtxId ctx, int forkingPe)
     {
-        if (enabled_)
-            push({EventKind::CtxCreate, static_cast<std::int16_t>(homePe),
+        if (enabled_ || sink_)
+            emit({EventKind::CtxCreate, static_cast<std::int16_t>(homePe),
                   ctx, at, 0, static_cast<std::uint64_t>(forkingPe), 0});
     }
 
     void
     ctxDispatch(Cycle at, int pe, CtxId ctx)
     {
-        if (enabled_)
-            push({EventKind::CtxDispatch, static_cast<std::int16_t>(pe),
+        if (enabled_ || sink_)
+            emit({EventKind::CtxDispatch, static_cast<std::int16_t>(pe),
                   ctx, at, 0, 0, 0});
     }
 
     void
     ctxPark(Cycle at, int pe, CtxId ctx, ParkReason reason)
     {
-        if (enabled_)
-            push({EventKind::CtxPark, static_cast<std::int16_t>(pe), ctx,
+        if (enabled_ || sink_)
+            emit({EventKind::CtxPark, static_cast<std::int16_t>(pe), ctx,
                   at, 0, static_cast<std::uint64_t>(reason), 0});
     }
 
     void
     ctxFinish(Cycle at, int pe, CtxId ctx)
     {
-        if (enabled_)
-            push({EventKind::CtxFinish, static_cast<std::int16_t>(pe),
+        if (enabled_ || sink_)
+            emit({EventKind::CtxFinish, static_cast<std::int16_t>(pe),
                   ctx, at, 0, 0, 0});
     }
 
@@ -137,8 +154,8 @@ class Tracer
     rendezvous(Cycle at, std::uint64_t channel, CtxId receiver,
                std::uint64_t value)
     {
-        if (enabled_)
-            push({EventKind::Rendezvous, -1, receiver, at, 0, channel,
+        if (enabled_ || sink_)
+            emit({EventKind::Rendezvous, -1, receiver, at, 0, channel,
                   value});
     }
 
@@ -146,10 +163,10 @@ class Tracer
     busTransfer(Cycle start, Cycle end, int src, int dst, int hops,
                 Cycle bridgeWait = 0)
     {
-        if (enabled_)
+        if (enabled_ || sink_)
             // Hops stay in the low 16 bits so flat-ring traces (bridge
             // wait always zero) keep their historical payload bytes.
-            push({EventKind::BusTransfer, static_cast<std::int16_t>(src),
+            emit({EventKind::BusTransfer, static_cast<std::int16_t>(src),
                   kNoCtx, start, end, static_cast<std::uint64_t>(dst),
                   static_cast<std::uint64_t>(hops) |
                       (static_cast<std::uint64_t>(bridgeWait) << 16)});
@@ -164,16 +181,16 @@ class Tracer
     void
     ctxMigrate(Cycle at, int pe, CtxId ctx, int fromPe)
     {
-        if (enabled_)
-            push({EventKind::CtxMigrate, static_cast<std::int16_t>(pe),
+        if (enabled_ || sink_)
+            emit({EventKind::CtxMigrate, static_cast<std::int16_t>(pe),
                   ctx, at, 0, static_cast<std::uint64_t>(fromPe), 0});
     }
 
     void
     trapEnter(Cycle at, int pe, std::uint64_t number, long serviceCycles)
     {
-        if (enabled_)
-            push({EventKind::TrapEnter, static_cast<std::int16_t>(pe),
+        if (enabled_ || sink_)
+            emit({EventKind::TrapEnter, static_cast<std::int16_t>(pe),
                   kNoCtx, at, 0, number,
                   static_cast<std::uint64_t>(serviceCycles)});
     }
@@ -181,8 +198,8 @@ class Tracer
     void
     peBusy(Cycle start, Cycle end, int pe, CtxId ctx)
     {
-        if (enabled_)
-            push({EventKind::PeBusy, static_cast<std::int16_t>(pe), ctx,
+        if (enabled_ || sink_)
+            emit({EventKind::PeBusy, static_cast<std::int16_t>(pe), ctx,
                   start, end, 0, 0});
     }
 
@@ -195,8 +212,8 @@ class Tracer
     faultInject(Cycle at, int pe, std::uint64_t kindBit,
                 std::uint64_t payload)
     {
-        if (enabled_)
-            push({EventKind::FaultInject, static_cast<std::int16_t>(pe),
+        if (enabled_ || sink_)
+            emit({EventKind::FaultInject, static_cast<std::int16_t>(pe),
                   kNoCtx, at, 0, kindBit, payload});
     }
 
@@ -209,8 +226,8 @@ class Tracer
     faultRecover(Cycle at, int pe, std::uint64_t kindBit,
                  std::uint64_t payload)
     {
-        if (enabled_)
-            push({EventKind::FaultRecover, static_cast<std::int16_t>(pe),
+        if (enabled_ || sink_)
+            emit({EventKind::FaultRecover, static_cast<std::int16_t>(pe),
                   kNoCtx, at, 0, kindBit, payload});
     }
 
@@ -277,6 +294,17 @@ class Tracer
   private:
     void push(const Event &event);
 
+    /** Fan one built event out to the sink and the gated recorder. */
+    void
+    emit(const Event &event)
+    {
+        if (sink_)
+            sink_->record(event);
+        if (enabled_)
+            push(event);
+    }
+
+    EventSink *sink_ = nullptr;
     bool enabled_ = false;
     std::size_t maxEvents_ = 0;
     std::size_t dropped_ = 0;

@@ -211,6 +211,57 @@ TEST(Histogram, MergeIsExactBucketwiseAddition)
     EXPECT_EQ(a.min(), reference.min());
 }
 
+TEST(Histogram, SingleSamplePercentilesAreExact)
+{
+    Histogram h;
+    h.sample(42);
+    for (double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), 42.0);
+}
+
+TEST(Histogram, OutOfRangePercentilesClampToTheValidRange)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.percentile(-10), h.percentile(0));
+    EXPECT_DOUBLE_EQ(h.percentile(250), h.percentile(100));
+}
+
+TEST(Histogram, PercentileAtUint64MaxDoesNotWrap)
+{
+    // Regression: the bucket's upper cap used to be computed as
+    // min(bucketHigh, max + 1), which wraps to 0 when max is
+    // UINT64_MAX and collapses the overflow bucket to [lo, lo+1) -
+    // p100 then reported ~min instead of ~max.
+    Histogram h;
+    h.sample(std::uint64_t{1} << 35);
+    h.sample(~std::uint64_t{0});
+    double p100 = h.percentile(100);
+    EXPECT_GE(p100, 9.0e18);
+    EXPECT_LE(h.percentile(50), p100);
+}
+
+TEST(Histogram, MergeSaturatesInsteadOfWrapping)
+{
+    std::array<std::uint64_t, Histogram::kNumBuckets> buckets{};
+    std::uint64_t near_max = ~std::uint64_t{0} - 1;
+    buckets[1] = near_max;  // all samples were 1
+    Histogram big =
+        Histogram::fromRaw(near_max, near_max, 1, 1, buckets);
+    Histogram small;
+    small.sample(1);
+    small.sample(1);
+    small.sample(1);
+    big.merge(small);
+    // count/sum/bucket would each wrap to 1; they must pin instead.
+    EXPECT_EQ(big.count(), ~std::uint64_t{0});
+    EXPECT_EQ(big.sum(), ~std::uint64_t{0});
+    EXPECT_EQ(big.bucketCount(1), ~std::uint64_t{0});
+    EXPECT_EQ(big.min(), 1u);
+    EXPECT_EQ(big.max(), 1u);
+}
+
 TEST(Stats, HistogramsRegisterAndRender)
 {
     StatSet stats;

@@ -6,9 +6,14 @@ Three attack modes, all seeded and reproducible:
   run    kill -9 an `occamc --checkpoint-file` run at a randomized
          point, then `--resume` from whatever checkpoint survived and
          require stdout byte-identical to an uninterrupted reference.
+         A landed kill that left a checkpoint must also leave the
+         flight recorder's parseable qm.flight.v1 black box beside it.
   sweep  kill -9 a journaled bench (`--resume-dir`) mid-sweep, re-run
          with the same journal dir, and require both the final stdout
          and the BENCH_*.json byte-identical to an uninterrupted run.
+         Any *.flight.json the sweep dropped in the journal dir must
+         parse as qm.flight.v1, and a kill that landed after sweep
+         progress must have left at least one.
   fuzz   mutate a valid checkpoint (random bit flips, truncations,
          random-garbage splices) and require every mutant to be
          refused cleanly: occamc must diagnose on stderr, fall back to
@@ -29,6 +34,7 @@ Examples:
 
 import argparse
 import glob
+import json
 import os
 import random
 import shutil
@@ -69,6 +75,20 @@ def kill_after(cmd, delay, cwd=None):
         return True
 
 
+def flight_dumps(directory):
+    """(paths, all_parse) for every *.flight.json under directory."""
+    paths = sorted(glob.glob(os.path.join(directory, "*.flight.json")))
+    all_parse = True
+    for path in paths:
+        try:
+            with open(path) as f:
+                if json.load(f).get("schema") != "qm.flight.v1":
+                    all_parse = False
+        except (OSError, ValueError):
+            all_parse = False
+    return paths, all_parse
+
+
 def occamc_cmd(args, extra):
     return [args.occamc, "--run", "--pes", "4", "--recover",
             "--checkpoint-every", "150", "--stats"] + extra + [PIPELINE]
@@ -88,6 +108,14 @@ def mode_run(args, rng):
         killed = kill_after(occamc_cmd(args, ["--checkpoint-file",
                                               ckpt]), delay)
         kills += killed
+        # kill -9 is uncatchable, so the only black box is the one the
+        # checkpoint boundary persisted: if a checkpoint survived the
+        # kill, the flight dump next to it must too, and must parse.
+        if killed and os.path.exists(ckpt):
+            dumps, all_parse = flight_dumps(tmp)
+            report(f"trial {trial}: flight dump survives the kill",
+                   all_parse and ckpt + ".flight.json" in dumps,
+                   f"dumps={dumps}")
         # Resume from whatever survived; a missing/partial checkpoint
         # must degrade to a cold start, never to different output.
         resume = run(occamc_cmd(args, ["--resume", ckpt]))
@@ -137,6 +165,17 @@ def mode_sweep(args, rng):
         delay = rng.uniform(0.05, 0.9) * max(ref_secs, 0.01)
         killed = kill_after(bench_cmd(args, journal), delay, cwd=tmp)
         kills += killed
+        # Every run the sweep started dropped a qm.flight.v1 marker in
+        # the journal dir before executing (atomic write, so a kill
+        # can never leave a partial one). If the kill landed after any
+        # sweep progress, at least one must be there, and every one
+        # present must parse.
+        if killed:
+            dumps, all_parse = flight_dumps(journal)
+            progressed = bool(os.listdir(journal))
+            report(f"trial {trial}: journal flight dumps parse",
+                   all_parse and (dumps or not progressed),
+                   f"dumps={len(dumps)} progressed={progressed}")
         done = run(bench_cmd(args, journal), cwd=tmp)
         label = (f"kill@{delay * 1e3:.0f}ms" if killed else "no-kill")
         report(f"trial {trial}: post-{label} rerun exits 0",
